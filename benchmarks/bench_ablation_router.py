@@ -1,0 +1,107 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+These benches are not paper figures; they quantify the individual design
+decisions inside the routers:
+
+* sorting front-layer candidates by qubit index before the greedy legal
+  subset scan (generic router, Alg. 1);
+* the number of seed edges tried per QAOA stage;
+* the fan-out geometric progression versus a strictly serial fan-out in the
+  quantum-simulation router.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GenericRouter,
+    GenericRouterOptions,
+    QAOARouter,
+    QAOARouterOptions,
+    QSimRouter,
+    QSimRouterOptions,
+)
+from repro.hardware import FPQAConfig
+from repro.utils.reporting import ratio
+from repro.workloads import qsim_workload, random_circuit_workload, random_graph_edges
+
+from .conftest import save_table
+
+NUM_QUBITS = 36
+
+
+def test_ablation_candidate_sorting(benchmark):
+    """Generic router: greedy scan with vs without candidate sorting."""
+    circuit = random_circuit_workload(NUM_QUBITS, 10, seed=111)
+    config = FPQAConfig.square_for(NUM_QUBITS)
+
+    def run():
+        sorted_schedule = GenericRouter(config, GenericRouterOptions(sort_candidates=True)).compile(circuit)
+        unsorted_schedule = GenericRouter(config, GenericRouterOptions(sort_candidates=False)).compile(circuit)
+        return sorted_schedule, unsorted_schedule
+
+    sorted_schedule, unsorted_schedule = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        {
+            "variant": "sorted candidates (paper)",
+            "depth": sorted_schedule.two_qubit_depth(),
+            "stages": sorted_schedule.metadata["num_macro_stages"],
+        },
+        {
+            "variant": "unsorted candidates",
+            "depth": unsorted_schedule.two_qubit_depth(),
+            "stages": unsorted_schedule.metadata["num_macro_stages"],
+        },
+    ]
+    save_table("ablation_sorting", rows, title="Ablation — front-layer candidate sorting")
+    assert sorted_schedule.num_two_qubit_gates() == unsorted_schedule.num_two_qubit_gates()
+
+
+def test_ablation_qaoa_seed_trials(benchmark):
+    """QAOA router: effect of the number of seed candidates per stage."""
+    edges = random_graph_edges(NUM_QUBITS, 0.3, seed=112)
+
+    def run():
+        rows = []
+        for trials in (1, 2, 4, 8):
+            router = QAOARouter(options=QAOARouterOptions(seed_trials=trials))
+            schedule = router.compile(NUM_QUBITS, edges)
+            rows.append(
+                {
+                    "seed_trials": trials,
+                    "stages": schedule.metadata["stages_per_layer"][0],
+                    "avg_parallelism": round(schedule.average_parallelism(), 3),
+                    "compile_s": round(schedule.metadata["compile_time_s"], 4),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, iterations=1, rounds=1)
+    save_table("ablation_qaoa_seeds", rows, title="Ablation — QAOA seed trials per stage")
+    # per-stage greedy maximisation does not guarantee a globally smaller
+    # stage count, but more trials should never make it much worse
+    assert rows[-1]["stages"] <= rows[0]["stages"] * 1.1 + 2
+
+
+def test_ablation_fanout_progression(benchmark):
+    """QSim router: paper's geometric fan-out vs a serial (one-per-layer) fan-out."""
+    strings = qsim_workload(NUM_QUBITS, 0.5, num_strings=10, seed=113)
+    config = FPQAConfig.square_for(NUM_QUBITS)
+
+    def run():
+        geometric = QSimRouter(config).compile(strings)
+        serial = QSimRouter(
+            config, QSimRouterOptions(fanout_progression=(1,))
+        ).compile(strings)
+        return geometric, serial
+
+    geometric, serial = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        {"variant": "geometric fan-out (paper)", "depth": geometric.two_qubit_depth()},
+        {"variant": "serial fan-out", "depth": serial.two_qubit_depth()},
+    ]
+    rows.append({"variant": "depth gain", "depth": round(ratio(rows[1]["depth"], rows[0]["depth"]), 2)})
+    save_table("ablation_fanout", rows, title="Ablation — fan-out progression")
+    assert geometric.two_qubit_depth() < serial.two_qubit_depth()
+    assert geometric.num_two_qubit_gates() == serial.num_two_qubit_gates()

@@ -1,0 +1,56 @@
+"""Extension study — FPQA compilation of QEC syndrome extraction.
+
+Not a figure in the paper: the conclusion names error-correction circuits
+as future work.  This benchmark compiles one syndrome-extraction round of
+rotated surface codes of growing distance with the generic flying-ancilla
+router and tracks depth, gate count and per-stage parallelism, plus a
+fixed-atom-array baseline at the smallest distance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import BaselineTranspiler
+from repro.core import QPilotCompiler
+from repro.workloads import surface_code_syndrome_circuit
+
+from .conftest import FULL_SCALE, SABRE_OPTIONS, save_table
+
+DISTANCES = (3, 5, 7, 9) if FULL_SCALE else (3, 5, 7)
+
+
+def test_extension_surface_code_rounds(benchmark, baseline_devices):
+    """Compile one syndrome round per code distance and report the scaling."""
+    compiler = QPilotCompiler()
+    rows = []
+    for distance in DISTANCES:
+        circuit = surface_code_syndrome_circuit(distance)
+        result = compiler.compile_circuit(circuit)
+        row = {
+            "distance": distance,
+            "qubits": circuit.num_qubits,
+            "logical_2q": circuit.num_two_qubit_gates(),
+            "qpilot_depth": result.depth,
+            "qpilot_2q": result.num_two_qubit_gates,
+            "avg_parallelism": round(result.schedule.average_parallelism(), 2),
+            "compile_s": round(result.compile_time_s, 3),
+        }
+        if distance == DISTANCES[0]:
+            device = baseline_devices["faa_square"]
+            baseline = BaselineTranspiler(device, SABRE_OPTIONS).compile(circuit)
+            row["baseline_depth"] = baseline.two_qubit_depth
+            row["baseline_2q"] = baseline.num_two_qubit_gates
+        rows.append(row)
+
+    largest = surface_code_syndrome_circuit(DISTANCES[-1])
+    benchmark(lambda: compiler.compile_circuit(largest))
+
+    save_table("extension_qec", rows, title="Extension — surface-code syndrome extraction")
+
+    # shape checks: compilation scales to growing distances, the parallelism
+    # benefits from the stabilizer structure, and depth grows sub-linearly in
+    # the number of logical 2-qubit gates
+    assert all(row["compile_s"] < 30 for row in rows)
+    assert rows[-1]["avg_parallelism"] >= rows[0]["avg_parallelism"] * 0.8
+    assert rows[-1]["qpilot_depth"] < 3 * rows[-1]["logical_2q"]

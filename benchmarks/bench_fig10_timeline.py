@@ -1,0 +1,45 @@
+"""Fig. 10 — execution-time breakdown of compiled programs.
+
+The paper shows the wall-clock execution of three compiled programs
+(QAOA-40, QSIM-10, BV-70) split into movement, 2-Q gate and 1-Q gate
+segments, with movement dominating.  This benchmark rebuilds the same
+timelines from the routers' schedules and the FPQA timing model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_timelines, execution_timeline
+from repro.circuit import bernstein_vazirani_circuit
+from repro.core import QPilotCompiler
+from repro.workloads import qsim_workload, regular_graph_edges
+
+from .conftest import save_table
+
+
+def _compile_programs():
+    compiler = QPilotCompiler()
+    qaoa40 = compiler.compile_qaoa(40, regular_graph_edges(40, 3, seed=91)).schedule
+    qsim10 = compiler.compile_pauli_strings(
+        qsim_workload(10, 0.3, num_strings=20, seed=92)
+    ).schedule
+    bv70 = compiler.compile_circuit(bernstein_vazirani_circuit(70, seed=93)).schedule
+    return {"QAOA-40": qaoa40, "QSIM-10": qsim10, "BV-70": bv70}
+
+
+def test_fig10_execution_timeline(benchmark):
+    """Regenerate the Fig. 10 execution breakdown."""
+    schedules = benchmark.pedantic(_compile_programs, iterations=1, rounds=1)
+
+    timelines = [execution_timeline(schedule) for schedule in schedules.values()]
+    rows = compare_timelines(timelines)
+    save_table("fig10_timeline", rows, title="Fig. 10 — execution time breakdown (us)")
+
+    # shape checks: every program has a non-trivial timeline and, as in the
+    # paper, atom movement / transfer dominates the execution time
+    for timeline in timelines:
+        assert timeline.total_time_us > 0
+        fractions = timeline.category_fractions()
+        moving = fractions.get("movement", 0.0) + fractions.get("atom_transfer", 0.0)
+        assert moving > fractions.get("2q_gate", 0.0)

@@ -1,0 +1,58 @@
+"""Fig. 14 — compiled circuit depth vs FPQA array width.
+
+For each workload family (random circuits, quantum simulation, QAOA) the
+qubits are arranged in rectangular arrays of width 8-128 columns and the
+same workload is recompiled for every width.  The paper finds that QAOA
+prefers the widest array while random and quantum-simulation workloads peak
+at moderate widths — the router-in-the-loop design-space exploration knob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QPilotCompiler, sweep_array_width
+from repro.workloads import qsim_workload, random_circuit_workload, random_graph_edges
+
+from .conftest import FULL_SCALE, NUM_PAULI_STRINGS, save_table
+
+NUM_QUBITS = 100 if FULL_SCALE else 50
+WIDTHS = (8, 16, 32, 64, 128)
+
+
+def _sweep(workload_kind: str):
+    if workload_kind == "random":
+        circuit = random_circuit_workload(NUM_QUBITS, 10, seed=31)
+        compile_fn = lambda compiler: compiler.compile_circuit(circuit)  # noqa: E731
+    elif workload_kind == "qsim":
+        strings = qsim_workload(NUM_QUBITS, 0.3, num_strings=NUM_PAULI_STRINGS, seed=32)
+        compile_fn = lambda compiler: compiler.compile_pauli_strings(strings)  # noqa: E731
+    else:
+        edges = random_graph_edges(NUM_QUBITS, 0.3, seed=33)
+        compile_fn = lambda compiler: compiler.compile_qaoa(NUM_QUBITS, edges)  # noqa: E731
+    return sweep_array_width(compile_fn, NUM_QUBITS, widths=WIDTHS, workload_name=workload_kind)
+
+
+@pytest.mark.parametrize("workload_kind", ["random", "qsim", "qaoa"])
+def test_fig14_array_width(benchmark, workload_kind):
+    """Regenerate one workload family's width-vs-depth curve."""
+    sweep = benchmark.pedantic(_sweep, args=(workload_kind,), iterations=1, rounds=1)
+
+    rows = [
+        {"workload": workload_kind, "qubits": NUM_QUBITS, "width": point.width, "depth": point.depth}
+        for point in sweep.points
+    ]
+    best = sweep.best("depth")
+    for row in rows:
+        row["optimal"] = "*" if row["width"] == best.width else ""
+    save_table(
+        f"fig14_width_{workload_kind}",
+        rows,
+        title=f"Fig. 14 — depth vs array width ({workload_kind}, {NUM_QUBITS} qubits)",
+    )
+
+    # shape checks: every width compiles, and the depth actually varies with
+    # the width (the trade-off the figure is about)
+    depths = [point.depth for point in sweep.points]
+    assert all(depth > 0 for depth in depths)
+    assert max(depths) > min(depths)

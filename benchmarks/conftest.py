@@ -1,0 +1,58 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper.  By
+default the workloads are scaled down so the whole harness finishes in a
+few minutes on a laptop; set the environment variable ``REPRO_FULL=1`` to
+run the paper's full 100-qubit grids (the SABRE baselines then dominate the
+runtime).
+
+Each benchmark prints its table (visible with ``pytest -s``) and also saves
+it under ``benchmarks/results/`` so the numbers can be inspected after a
+quiet run.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines import SabreOptions
+from repro.hardware import device_catalogue
+from repro.utils.reporting import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Full-scale mode reproduces the paper's complete grids (slow).
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") not in {"0", "", "false", "False"}
+
+#: Qubit sizes used for experiments that involve the SABRE baselines.
+BASELINE_SIZES = (5, 10, 20, 50, 100) if FULL_SCALE else (5, 10, 20)
+#: Qubit sizes for Q-Pilot-only experiments (routers are fast).
+QPILOT_SIZES = (5, 10, 20, 50, 100)
+#: Number of Pauli strings per quantum-simulation workload.
+NUM_PAULI_STRINGS = 100 if FULL_SCALE else 20
+#: SABRE settings used by every baseline compilation in the harness.
+SABRE_OPTIONS = SabreOptions(layout_trials=2 if FULL_SCALE else 1, seed=7)
+
+
+def save_table(name: str, rows: list[dict], *, columns=None, title: str | None = None) -> str:
+    """Render rows as a table, print it and persist it under results/."""
+    text = format_table(rows, columns=columns, title=title or name)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def baseline_devices():
+    """The three baseline devices of the paper's evaluation."""
+    return device_catalogue()
+
+
+@pytest.fixture(scope="session")
+def full_scale() -> bool:
+    return FULL_SCALE

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Error-rate estimation and execution timelines for compiled programs.
+
+Run with ``python examples/fidelity_and_timeline.py``.
+
+This example compiles three programs (a random circuit, a Trotter step and
+a QAOA cost layer), then uses the analysis toolkit to produce:
+
+* the Eq. 5 fidelity estimate and the error-rate-vs-2Q-error curve
+  (the Fig. 15a study),
+* the execution timeline split into movement / gate / atom-transfer
+  segments (the Fig. 10 study), and
+* the AOD movement statistics behind Fig. 9.
+"""
+
+from __future__ import annotations
+
+from repro import QPilotCompiler, random_pauli_strings
+from repro.analysis import (
+    compare_timelines,
+    error_curve,
+    execution_timeline,
+    movement_report,
+    parallelism_profile,
+)
+from repro.circuit import random_cx_circuit
+from repro.utils.reporting import format_table
+from repro.workloads import regular_graph_edges
+
+
+def main() -> None:
+    compiler = QPilotCompiler()
+    random_result = compiler.compile_circuit(random_cx_circuit(10, 20, seed=4))
+    qsim_result = compiler.compile_pauli_strings(random_pauli_strings(10, 15, 0.3, seed=5))
+    qaoa_result = compiler.compile_qaoa(30, regular_graph_edges(30, 3, seed=6))
+    results = {
+        "random_10q": random_result,
+        "qsim_10q": qsim_result,
+        "qaoa_30q": qaoa_result,
+    }
+
+    # --- fidelity summaries ----------------------------------------------------
+    rows = []
+    for name, result in results.items():
+        evaluation = result.evaluation
+        rows.append(
+            {
+                "program": name,
+                "atoms": evaluation.num_atoms,
+                "depth": evaluation.depth,
+                "2q_gates": evaluation.num_two_qubit_gates,
+                "movement": round(evaluation.total_movement_distance, 1),
+                "success_prob": round(evaluation.success_probability, 4),
+            }
+        )
+    print(format_table(rows, title="Eq. 5 fidelity estimates"))
+
+    # --- error curves ------------------------------------------------------------
+    curve_rows = []
+    for name, result in results.items():
+        curve = error_curve(result.schedule, name, two_qubit_error_rates=[1e-5, 1e-4, 1e-3, 1e-2])
+        row = {"program": name}
+        for two_q, overall in curve.as_pairs():
+            row[f"e2q={two_q:g}"] = round(overall, 3)
+        curve_rows.append(row)
+    print(format_table(curve_rows, title="Circuit error rate vs 2-Q gate error rate (Fig. 15a)"))
+
+    # --- execution timelines -------------------------------------------------------
+    timelines = [execution_timeline(result.schedule) for result in results.values()]
+    print(format_table(compare_timelines(timelines), title="Execution time breakdown in us (Fig. 10)"))
+
+    # --- movement statistics for the QAOA program ----------------------------------
+    report = movement_report(qaoa_result.schedule)
+    print(format_table([report.summary()], title="AOD movement summary for qaoa_30q (Fig. 9)"))
+    profile = parallelism_profile(qaoa_result.schedule)
+    print(
+        f"qaoa_30q: {profile.num_stages} Rydberg stages, "
+        f"average parallelism {profile.average_parallelism:.2f}, "
+        f"max {profile.max_parallelism} gates in one stage"
+    )
+
+
+if __name__ == "__main__":
+    main()

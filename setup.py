@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e .`` keeps working on offline machines whose
+setuptools/pip lack the ``wheel`` package needed for PEP 517 editable
+builds.
+"""
+
+from setuptools import setup
+
+setup()

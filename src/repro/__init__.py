@@ -1,0 +1,103 @@
+"""Q-Pilot: field programmable qubit array compilation with flying ancillas.
+
+A reproduction of the DAC 2024 paper "Q-Pilot: Field Programmable Qubit
+Array Compilation with Flying Ancillas" (Wang et al.), including every
+substrate the evaluation depends on: a quantum-circuit IR, baseline
+devices and a SABRE-style transpiler, the FPQA hardware model, the three
+flying-ancilla routers (generic, quantum simulation, QAOA), a performance
+evaluator with the paper's fidelity model, workload generators, and the
+analysis utilities behind every table and figure.
+
+Quick start::
+
+    from repro import QPilotCompiler, random_cx_circuit
+
+    circuit = random_cx_circuit(20, 40, seed=1)
+    result = QPilotCompiler().compile_circuit(circuit)
+    print(result.summary())
+"""
+
+from repro.circuit import (
+    Gate,
+    PauliString,
+    QuantumCircuit,
+    pauli_evolution_circuit,
+    qaoa_maxcut_circuit,
+    random_cx_circuit,
+    random_pauli_strings,
+    trotter_circuit,
+)
+from repro.core import (
+    CompilationResult,
+    FidelityModel,
+    FPQASchedule,
+    GenericRouter,
+    PerformanceEvaluator,
+    QAOARouter,
+    QPilotCompiler,
+    QSimRouter,
+    route_circuit,
+    route_pauli_strings,
+    route_qaoa,
+)
+from repro.hardware import (
+    CouplingGraph,
+    FPQAConfig,
+    SLMArray,
+    device_catalogue,
+    ibm_washington_device,
+    square_fixed_atom_array,
+    triangular_fixed_atom_array,
+)
+from repro.baselines import (
+    BaselineResult,
+    BaselineTranspiler,
+    ExactStageSolver,
+    IterativePeelingSolver,
+    SabreRouter,
+    best_baseline,
+    compile_on_all_baselines,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # circuit IR and workload builders
+    "Gate",
+    "QuantumCircuit",
+    "PauliString",
+    "random_cx_circuit",
+    "random_pauli_strings",
+    "pauli_evolution_circuit",
+    "trotter_circuit",
+    "qaoa_maxcut_circuit",
+    # core compiler
+    "QPilotCompiler",
+    "CompilationResult",
+    "GenericRouter",
+    "QSimRouter",
+    "QAOARouter",
+    "route_circuit",
+    "route_pauli_strings",
+    "route_qaoa",
+    "FPQASchedule",
+    "PerformanceEvaluator",
+    "FidelityModel",
+    # hardware
+    "FPQAConfig",
+    "SLMArray",
+    "CouplingGraph",
+    "device_catalogue",
+    "ibm_washington_device",
+    "square_fixed_atom_array",
+    "triangular_fixed_atom_array",
+    # baselines
+    "BaselineTranspiler",
+    "BaselineResult",
+    "SabreRouter",
+    "compile_on_all_baselines",
+    "best_baseline",
+    "ExactStageSolver",
+    "IterativePeelingSolver",
+]

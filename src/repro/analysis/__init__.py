@@ -1,0 +1,41 @@
+"""Post-compilation analysis: fidelity curves, parallelism, movement, timelines."""
+
+from repro.analysis.fidelity import (
+    ErrorCurve,
+    default_error_sweep,
+    error_curve,
+    error_threshold,
+    fidelity_report,
+)
+from repro.analysis.movement_stats import AtomTrajectory, MovementReport, movement_report
+from repro.analysis.parallelism import (
+    ParallelismProfile,
+    compare_parallelism,
+    parallelism_profile,
+    stage_sizes,
+)
+from repro.analysis.timeline import (
+    ExecutionTimeline,
+    TimelineSegment,
+    compare_timelines,
+    execution_timeline,
+)
+
+__all__ = [
+    "ErrorCurve",
+    "error_curve",
+    "error_threshold",
+    "default_error_sweep",
+    "fidelity_report",
+    "ParallelismProfile",
+    "parallelism_profile",
+    "stage_sizes",
+    "compare_parallelism",
+    "MovementReport",
+    "AtomTrajectory",
+    "movement_report",
+    "ExecutionTimeline",
+    "TimelineSegment",
+    "execution_timeline",
+    "compare_timelines",
+]

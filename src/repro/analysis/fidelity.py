@@ -1,0 +1,84 @@
+"""Fidelity / error-rate analysis (Fig. 15a).
+
+Thin wrappers around :class:`repro.core.evaluator.FidelityModel` producing
+the error-rate-vs-2Q-error curves the paper plots for three small
+workloads (random, quantum simulation, QAOA).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.evaluator import FidelityModel, PerformanceEvaluator
+from repro.core.schedule import FPQASchedule
+
+
+@dataclass
+class ErrorCurve:
+    """Overall circuit error rate as a function of the 2-qubit gate error rate."""
+
+    label: str
+    two_qubit_error_rates: list[float]
+    circuit_error_rates: list[float]
+
+    def as_pairs(self) -> list[tuple[float, float]]:
+        return list(zip(self.two_qubit_error_rates, self.circuit_error_rates))
+
+    def error_at(self, two_qubit_error: float) -> float:
+        """Interpolated circuit error at a given 2Q error rate."""
+        return float(
+            np.interp(
+                two_qubit_error,
+                self.two_qubit_error_rates,
+                self.circuit_error_rates,
+            )
+        )
+
+
+def default_error_sweep(num_points: int = 25) -> list[float]:
+    """Logarithmic sweep of 2-qubit gate error rates from 1e-6 to 1e-1."""
+    return [float(x) for x in np.logspace(-6, -1, num_points)]
+
+
+def error_curve(
+    schedule: FPQASchedule,
+    label: str,
+    *,
+    two_qubit_error_rates: list[float] | None = None,
+) -> ErrorCurve:
+    """Compute the Fig. 15a curve for one compiled schedule."""
+    sweep = two_qubit_error_rates or default_error_sweep()
+    evaluator = PerformanceEvaluator()
+    points = evaluator.error_rate_vs_two_qubit_error(schedule, sweep)
+    return ErrorCurve(
+        label=label,
+        two_qubit_error_rates=[p[0] for p in points],
+        circuit_error_rates=[p[1] for p in points],
+    )
+
+
+def error_threshold(curve: ErrorCurve, target_error: float = 0.5) -> float | None:
+    """Largest 2Q error rate at which the circuit error stays below ``target_error``.
+
+    Returns None when even the smallest swept 2Q error exceeds the target.
+    """
+    best: float | None = None
+    for two_q, overall in curve.as_pairs():
+        if overall < target_error:
+            best = two_q
+    return best
+
+
+def fidelity_report(schedule: FPQASchedule) -> dict:
+    """One-shot fidelity summary for a schedule using its configured model."""
+    evaluator = PerformanceEvaluator(FidelityModel.from_config(schedule.config))
+    evaluation = evaluator.evaluate(schedule)
+    return {
+        "name": schedule.name,
+        "atoms": evaluation.num_atoms,
+        "depth": evaluation.depth,
+        "success_probability": evaluation.success_probability,
+        "error_rate": evaluation.error_rate,
+    }

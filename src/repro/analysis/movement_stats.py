@@ -1,0 +1,128 @@
+"""Movement spatiotemporal analysis (Fig. 9).
+
+For a compiled schedule the paper visualises, per movement step, the
+displacement of every AOD atom, the X/Y trajectory of each atom over time,
+and histograms of (i) how many movements each atom performs, (ii) the total
+distance each atom travels, and (iii) its average speed.  This module
+computes the same series from the schedule's movement stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import FPQASchedule, MovementStage
+
+
+@dataclass
+class AtomTrajectory:
+    """Movement history of one AOD atom across the schedule."""
+
+    ancilla: int
+    #: (movement step index, from position, to position) in SLM grid units.
+    segments: list[tuple[int, tuple[float, float], tuple[float, float]]] = field(default_factory=list)
+
+    @property
+    def num_movements(self) -> int:
+        return sum(1 for _, src, dst in self.segments if src != dst)
+
+    @property
+    def total_distance(self) -> float:
+        total = 0.0
+        for _, src, dst in self.segments:
+            total += ((dst[0] - src[0]) ** 2 + (dst[1] - src[1]) ** 2) ** 0.5
+        return total
+
+    def positions_over_time(self) -> list[tuple[int, float, float]]:
+        """(step, row, col) samples after each of the atom's movements."""
+        return [(step, dst[0], dst[1]) for step, _, dst in self.segments]
+
+    def average_speed_m_per_s(self, site_spacing_um: float, step_duration_us: float) -> float:
+        """Average speed assuming each movement takes ``step_duration_us``."""
+        moves = self.num_movements
+        if moves == 0 or step_duration_us <= 0:
+            return 0.0
+        metres = self.total_distance * site_spacing_um * 1e-6
+        seconds = moves * step_duration_us * 1e-6
+        return metres / seconds
+
+
+@dataclass
+class MovementReport:
+    """All Fig. 9 series for one schedule."""
+
+    schedule_name: str
+    step_max_distances: list[float]
+    trajectories: dict[int, AtomTrajectory]
+    site_spacing_um: float
+    typical_step_duration_us: float
+
+    def movements_histogram(self) -> dict[int, int]:
+        """Histogram: number of atoms vs number of movements performed."""
+        histogram: dict[int, int] = {}
+        for trajectory in self.trajectories.values():
+            histogram[trajectory.num_movements] = histogram.get(trajectory.num_movements, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def distance_histogram(self, bin_size: float = 10.0) -> dict[float, int]:
+        """Histogram of per-atom total travel distance (grid units, binned)."""
+        histogram: dict[float, int] = {}
+        for trajectory in self.trajectories.values():
+            bucket = round(trajectory.total_distance / bin_size) * bin_size
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def speed_histogram(self, bin_size_m_per_s: float = 0.01) -> dict[float, int]:
+        """Histogram of per-atom average speeds (m/s, binned)."""
+        histogram: dict[float, int] = {}
+        for trajectory in self.trajectories.values():
+            speed = trajectory.average_speed_m_per_s(
+                self.site_spacing_um, self.typical_step_duration_us
+            )
+            if speed <= 0:
+                continue
+            bucket = round(speed / bin_size_m_per_s) * bin_size_m_per_s
+            histogram[bucket] = histogram.get(bucket, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def mean_speed_m_per_s(self) -> float:
+        speeds = [
+            t.average_speed_m_per_s(self.site_spacing_um, self.typical_step_duration_us)
+            for t in self.trajectories.values()
+            if t.num_movements > 0
+        ]
+        return sum(speeds) / len(speeds) if speeds else 0.0
+
+    def summary(self) -> dict:
+        return {
+            "schedule": self.schedule_name,
+            "movement_steps": len(self.step_max_distances),
+            "atoms_tracked": len(self.trajectories),
+            "total_max_distance": round(sum(self.step_max_distances), 2),
+            "mean_speed_m_per_s": round(self.mean_speed_m_per_s(), 4),
+        }
+
+
+def movement_report(schedule: FPQASchedule) -> MovementReport:
+    """Extract the Fig. 9 movement series from a compiled schedule."""
+    trajectories: dict[int, AtomTrajectory] = {}
+    step_max: list[float] = []
+    step_index = 0
+    for stage in schedule.stages:
+        if not isinstance(stage, MovementStage):
+            continue
+        step_max.append(stage.step.max_distance)
+        for move in stage.step.moves:
+            trajectory = trajectories.setdefault(move.ancilla, AtomTrajectory(ancilla=move.ancilla))
+            trajectory.segments.append((step_index, move.from_pos, move.to_pos))
+        step_index += 1
+    config = schedule.config
+    # one movement step's duration at the typical displacement of one site
+    typical_duration = config.t0_us + config.site_spacing_um / config.move_speed_um_per_s * 1e6
+    return MovementReport(
+        schedule_name=schedule.name,
+        step_max_distances=step_max,
+        trajectories=trajectories,
+        site_spacing_um=config.site_spacing_um,
+        typical_step_duration_us=typical_duration,
+    )

@@ -1,0 +1,80 @@
+"""Per-stage parallelism analysis (Fig. 15b).
+
+The paper reports, for QAOA workloads of 20/50/100 qubits, the distribution
+of the number of 2-qubit gates executed per Rydberg stage and the resulting
+average parallelism (3.32, 4.13 and 4.90 respectively) — parallelism grows
+with problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import FPQASchedule, RydbergStage
+
+
+@dataclass
+class ParallelismProfile:
+    """Distribution of 2-qubit gates per Rydberg stage for one schedule."""
+
+    label: str
+    histogram: dict[int, int]
+
+    @property
+    def num_stages(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def total_gates(self) -> int:
+        return sum(count * stages for count, stages in self.histogram.items())
+
+    @property
+    def average_parallelism(self) -> float:
+        stages = self.num_stages
+        return self.total_gates / stages if stages else 0.0
+
+    @property
+    def max_parallelism(self) -> int:
+        return max(self.histogram, default=0)
+
+    def stage_ratio(self, parallel_gates: int) -> float:
+        """Fraction of stages that execute exactly ``parallel_gates`` gates."""
+        stages = self.num_stages
+        return self.histogram.get(parallel_gates, 0) / stages if stages else 0.0
+
+    def ratios(self) -> dict[int, float]:
+        """Histogram normalised to ratios (the Fig. 15b y-axis)."""
+        stages = self.num_stages
+        if not stages:
+            return {}
+        return {k: v / stages for k, v in sorted(self.histogram.items())}
+
+
+def parallelism_profile(schedule: FPQASchedule, label: str | None = None) -> ParallelismProfile:
+    """Build the parallelism distribution of one compiled schedule."""
+    return ParallelismProfile(
+        label=label or schedule.name,
+        histogram=schedule.parallelism_histogram(),
+    )
+
+
+def stage_sizes(schedule: FPQASchedule) -> list[int]:
+    """Number of 2-qubit gates in every Rydberg stage, in schedule order."""
+    return [
+        len(stage.gates)
+        for stage in schedule.stages
+        if isinstance(stage, RydbergStage) and stage.gates
+    ]
+
+
+def compare_parallelism(profiles: list[ParallelismProfile]) -> list[dict]:
+    """Summary rows for several workloads (the Fig. 15b legend table)."""
+    return [
+        {
+            "workload": profile.label,
+            "stages": profile.num_stages,
+            "avg_parallelism": round(profile.average_parallelism, 3),
+            "max_parallelism": profile.max_parallelism,
+        }
+        for profile in profiles
+    ]

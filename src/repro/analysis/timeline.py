@@ -1,0 +1,126 @@
+"""Execution timeline analysis (Fig. 10).
+
+The paper breaks the execution of three compiled programs (QAOA-40,
+QSIM-10, BV-70) into movement, 2-qubit-gate and 1-qubit-gate segments and
+shows that movement dominates the wall-clock time.  This module converts a
+compiled schedule into the same segment list and per-category totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    FPQASchedule,
+    MeasurementStage,
+    MovementStage,
+    OneQubitStage,
+    RydbergStage,
+)
+
+
+@dataclass(frozen=True)
+class TimelineSegment:
+    """One contiguous activity on the machine."""
+
+    category: str  # "movement", "2q_gate", "1q_gate", "atom_transfer"
+    start_us: float
+    duration_us: float
+    label: str = ""
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+
+@dataclass
+class ExecutionTimeline:
+    """Ordered activity segments of one compiled program."""
+
+    schedule_name: str
+    segments: list[TimelineSegment] = field(default_factory=list)
+
+    @property
+    def total_time_us(self) -> float:
+        return self.segments[-1].end_us if self.segments else 0.0
+
+    def category_totals(self) -> dict[str, float]:
+        """Total time per activity category (the Fig. 10 bars)."""
+        totals: dict[str, float] = {}
+        for segment in self.segments:
+            totals[segment.category] = totals.get(segment.category, 0.0) + segment.duration_us
+        return totals
+
+    def category_fractions(self) -> dict[str, float]:
+        total = self.total_time_us
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in self.category_totals().items()}
+
+    def dominant_category(self) -> str | None:
+        totals = self.category_totals()
+        if not totals:
+            return None
+        return max(totals, key=totals.get)
+
+
+def execution_timeline(schedule: FPQASchedule) -> ExecutionTimeline:
+    """Convert a schedule into an ordered timeline of activity segments."""
+    timeline = ExecutionTimeline(schedule_name=schedule.name)
+    config = schedule.config
+    clock = 0.0
+    for stage in schedule.stages:
+        duration = stage.duration_us(config)
+        if duration <= 0:
+            continue
+        if isinstance(stage, MovementStage):
+            category = "movement"
+            segments = [(category, duration)]
+        elif isinstance(stage, OneQubitStage):
+            segments = [("1q_gate", duration)]
+        elif isinstance(stage, RydbergStage):
+            segments = [("2q_gate", duration)]
+        elif isinstance(stage, (AncillaCreationStage, AncillaRecycleStage)):
+            transfer = config.atom_transfer_time_us if stage.uses_atom_transfer else 0.0
+            segments = []
+            if transfer > 0:
+                segments.append(("atom_transfer", transfer))
+            gate_time = duration - transfer
+            if gate_time > 0:
+                segments.append(("2q_gate", gate_time))
+        elif isinstance(stage, MeasurementStage):
+            continue
+        else:  # pragma: no cover - future stage types
+            segments = [("other", duration)]
+        for category, seg_duration in segments:
+            timeline.segments.append(
+                TimelineSegment(
+                    category=category,
+                    start_us=clock,
+                    duration_us=seg_duration,
+                    label=stage.label,
+                )
+            )
+            clock += seg_duration
+    return timeline
+
+
+def compare_timelines(timelines: list[ExecutionTimeline]) -> list[dict]:
+    """Summary rows for several programs (the Fig. 10 comparison)."""
+    rows = []
+    for timeline in timelines:
+        totals = timeline.category_totals()
+        rows.append(
+            {
+                "program": timeline.schedule_name,
+                "total_us": round(timeline.total_time_us, 2),
+                "movement_us": round(totals.get("movement", 0.0), 2),
+                "2q_us": round(totals.get("2q_gate", 0.0), 2),
+                "1q_us": round(totals.get("1q_gate", 0.0), 2),
+                "transfer_us": round(totals.get("atom_transfer", 0.0), 2),
+                "dominant": timeline.dominant_category(),
+            }
+        )
+    return rows

@@ -1,0 +1,44 @@
+"""Baseline compilers: SABRE routing on fixed devices and solver stand-ins."""
+
+from repro.baselines.layout import Layout, degree_aware_layout, random_layout, trivial_layout
+from repro.baselines.sabre import (
+    RoutedCircuit,
+    SabreOptions,
+    SabreRouter,
+    verify_routed_circuit,
+)
+from repro.baselines.scheduling import BaselineSchedule, ScheduledLayer, asap_schedule
+from repro.baselines.solver import (
+    ExactStageSolver,
+    IterativePeelingSolver,
+    SolverResult,
+    lower_bound_depth,
+)
+from repro.baselines.transpiler import (
+    BaselineResult,
+    BaselineTranspiler,
+    best_baseline,
+    compile_on_all_baselines,
+)
+
+__all__ = [
+    "Layout",
+    "trivial_layout",
+    "random_layout",
+    "degree_aware_layout",
+    "SabreRouter",
+    "SabreOptions",
+    "RoutedCircuit",
+    "verify_routed_circuit",
+    "asap_schedule",
+    "BaselineSchedule",
+    "ScheduledLayer",
+    "BaselineTranspiler",
+    "BaselineResult",
+    "compile_on_all_baselines",
+    "best_baseline",
+    "ExactStageSolver",
+    "IterativePeelingSolver",
+    "SolverResult",
+    "lower_bound_depth",
+]

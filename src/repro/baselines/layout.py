@@ -1,0 +1,142 @@
+"""Initial qubit layout (placement) strategies for fixed-coupling devices.
+
+Before SWAP routing, logical qubits must be assigned to physical qubits.
+The strategies here mirror what Qiskit's preset pass managers provide:
+trivial layout, a degree-matching greedy layout, and SABRE's
+reverse-traversal layout refinement (implemented in
+:mod:`repro.baselines.sabre` on top of these seeds).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import RoutingError
+from repro.hardware.coupling import CouplingGraph
+from repro.utils.rng import ensure_rng
+
+
+class Layout:
+    """A bijection between logical qubits and a subset of physical qubits."""
+
+    def __init__(self, logical_to_physical: dict[int, int]):
+        self._l2p = dict(logical_to_physical)
+        self._p2l = {p: l for l, p in self._l2p.items()}
+        if len(self._p2l) != len(self._l2p):
+            raise RoutingError("layout maps two logical qubits to the same physical qubit")
+
+    @classmethod
+    def trivial(cls, num_logical: int) -> "Layout":
+        """Identity layout: logical i -> physical i."""
+        return cls({i: i for i in range(num_logical)})
+
+    @classmethod
+    def from_permutation(cls, physical_qubits: Sequence[int]) -> "Layout":
+        """Layout mapping logical i to ``physical_qubits[i]``."""
+        return cls({i: int(p) for i, p in enumerate(physical_qubits)})
+
+    # ------------------------------------------------------------------
+    def physical(self, logical: int) -> int:
+        """Physical qubit hosting a logical qubit."""
+        return self._l2p[logical]
+
+    def logical(self, physical: int) -> int | None:
+        """Logical qubit hosted on a physical qubit (None if empty)."""
+        return self._p2l.get(physical)
+
+    def swap_physical(self, phys_a: int, phys_b: int) -> None:
+        """Exchange the logical qubits sitting on two physical qubits."""
+        log_a = self._p2l.get(phys_a)
+        log_b = self._p2l.get(phys_b)
+        if log_a is not None:
+            self._l2p[log_a] = phys_b
+        if log_b is not None:
+            self._l2p[log_b] = phys_a
+        if log_a is not None:
+            self._p2l[phys_b] = log_a
+        elif phys_b in self._p2l:
+            del self._p2l[phys_b]
+        if log_b is not None:
+            self._p2l[phys_a] = log_b
+        elif phys_a in self._p2l:
+            del self._p2l[phys_a]
+
+    def copy(self) -> "Layout":
+        return Layout(self._l2p)
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._l2p)
+
+    @property
+    def num_logical(self) -> int:
+        return len(self._l2p)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._l2p == other._l2p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Layout({self._l2p})"
+
+
+def trivial_layout(circuit: QuantumCircuit, device: CouplingGraph) -> Layout:
+    """Logical qubit i -> physical qubit i."""
+    _check_fit(circuit, device)
+    return Layout.trivial(circuit.num_qubits)
+
+
+def random_layout(
+    circuit: QuantumCircuit, device: CouplingGraph, seed: int | np.random.Generator | None = None
+) -> Layout:
+    """A uniformly random placement (useful as a SABRE seed)."""
+    _check_fit(circuit, device)
+    rng = ensure_rng(seed)
+    chosen = rng.choice(device.num_qubits, size=circuit.num_qubits, replace=False)
+    return Layout.from_permutation([int(p) for p in chosen])
+
+
+def degree_aware_layout(circuit: QuantumCircuit, device: CouplingGraph) -> Layout:
+    """Greedy placement matching busy logical qubits to well-connected physical qubits.
+
+    Logical qubits are sorted by how many 2-qubit gates touch them; physical
+    qubits are visited in a BFS order starting from the highest-degree
+    physical qubit so that heavily used logical qubits land in a densely
+    connected neighbourhood.
+    """
+    _check_fit(circuit, device)
+    interaction_count = {q: 0 for q in range(circuit.num_qubits)}
+    for a, b in circuit.two_qubit_pairs():
+        interaction_count[a] += 1
+        interaction_count[b] += 1
+    logical_order = sorted(interaction_count, key=lambda q: -interaction_count[q])
+
+    start = max(range(device.num_qubits), key=device.degree)
+    visited: list[int] = []
+    seen = {start}
+    queue = [start]
+    while queue:
+        node = queue.pop(0)
+        visited.append(node)
+        for nbr in sorted(device.neighbors(node), key=lambda n: -device.degree(n)):
+            if nbr not in seen:
+                seen.add(nbr)
+                queue.append(nbr)
+    # append any disconnected leftovers
+    for q in range(device.num_qubits):
+        if q not in seen:
+            visited.append(q)
+
+    mapping = {logical: visited[i] for i, logical in enumerate(logical_order)}
+    return Layout(mapping)
+
+
+def _check_fit(circuit: QuantumCircuit, device: CouplingGraph) -> None:
+    if circuit.num_qubits > device.num_qubits:
+        raise RoutingError(
+            f"circuit needs {circuit.num_qubits} qubits but device "
+            f"{device.name} only has {device.num_qubits}"
+        )

@@ -1,0 +1,295 @@
+"""SABRE-style SWAP routing for fixed-coupling devices.
+
+This is the baseline "Qiskit transpiler" stand-in: a faithful
+re-implementation of the SABRE heuristic (Li, Ding, Xie — ASPLOS'19), which
+is the algorithm behind Qiskit's default routing pass at optimisation
+level 3.  Given a circuit in a {CX/CZ + 1Q} basis, an initial layout and a
+coupling graph, it inserts SWAPs so that every 2-qubit gate acts on
+adjacent physical qubits, while minimising a look-ahead distance cost.
+
+The router also implements SABRE's reverse-traversal trick for improving
+the initial layout: route the circuit forward, then backward, reusing the
+final layout of each pass as the initial layout of the next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import DependencyDAG
+from repro.circuit.gate import Gate
+from repro.exceptions import RoutingError
+from repro.baselines.layout import Layout, degree_aware_layout, trivial_layout
+from repro.hardware.coupling import CouplingGraph
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class SabreOptions:
+    """Tuning knobs of the SABRE heuristic."""
+
+    extended_set_size: int = 20
+    extended_set_weight: float = 0.5
+    decay_increment: float = 0.001
+    decay_reset_interval: int = 5
+    seed: int | None = 11
+    max_iterations_factor: int = 200
+    layout_trials: int = 2
+
+
+@dataclass
+class RoutedCircuit:
+    """Result of SWAP routing a circuit onto a device."""
+
+    circuit: QuantumCircuit
+    initial_layout: Layout
+    final_layout: Layout
+    num_swaps: int
+    device_name: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        """2-qubit gate count of the routed circuit (SWAPs already decomposed)."""
+        return self.circuit.num_two_qubit_gates()
+
+    @property
+    def two_qubit_depth(self) -> int:
+        """Parallel 2-qubit layer count of the routed circuit."""
+        return self.circuit.two_qubit_depth()
+
+
+class SabreRouter:
+    """SWAP router with the SABRE look-ahead heuristic."""
+
+    def __init__(self, device: CouplingGraph, options: SabreOptions | None = None):
+        self.device = device
+        self.options = options or SabreOptions()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        circuit: QuantumCircuit,
+        initial_layout: Layout | None = None,
+        *,
+        decompose_swaps: bool = True,
+    ) -> RoutedCircuit:
+        """Route a circuit, returning the SWAP-inserted physical circuit.
+
+        The output circuit acts on *physical* qubit indices.  Inserted
+        SWAPs are decomposed into 3 CX each when ``decompose_swaps`` is
+        True (the paper counts native 2-qubit gates).
+        """
+        if circuit.num_qubits > self.device.num_qubits:
+            raise RoutingError(
+                f"circuit needs {circuit.num_qubits} qubits, device has {self.device.num_qubits}"
+            )
+        layout = initial_layout.copy() if initial_layout else self._default_layout(circuit)
+        gates, final_layout, num_swaps = self._route_pass(circuit, layout.copy())
+        physical = QuantumCircuit(self.device.num_qubits, name=f"{circuit.name}@{self.device.name}")
+        for gate in gates:
+            if gate.name == "swap" and decompose_swaps:
+                a, b = gate.qubits
+                physical.cx(a, b)
+                physical.cx(b, a)
+                physical.cx(a, b)
+            else:
+                physical.append(gate)
+        return RoutedCircuit(
+            circuit=physical,
+            initial_layout=layout,
+            final_layout=final_layout,
+            num_swaps=num_swaps,
+            device_name=self.device.name,
+        )
+
+    def find_initial_layout(self, circuit: QuantumCircuit) -> Layout:
+        """SABRE layout: refine a seed layout by forward/backward routing passes."""
+        rng = ensure_rng(self.options.seed)
+        best_layout: Layout | None = None
+        best_cost = np.inf
+        seeds = [degree_aware_layout(circuit, self.device), trivial_layout(circuit, self.device)]
+        while len(seeds) < max(1, self.options.layout_trials):
+            chosen = rng.choice(self.device.num_qubits, size=circuit.num_qubits, replace=False)
+            seeds.append(Layout.from_permutation([int(p) for p in chosen]))
+        reversed_circuit = _reverse_two_qubit_structure(circuit)
+        for seed_layout in seeds[: self.options.layout_trials]:
+            layout = seed_layout.copy()
+            # forward pass then backward pass, keeping the final layout each time
+            _, layout_after_fwd, _ = self._route_pass(circuit, layout.copy())
+            _, layout_after_bwd, _ = self._route_pass(reversed_circuit, layout_after_fwd.copy())
+            _, final_layout, swaps = self._route_pass(circuit, layout_after_bwd.copy())
+            if swaps < best_cost:
+                best_cost = swaps
+                best_layout = layout_after_bwd
+        assert best_layout is not None
+        return best_layout
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _default_layout(self, circuit: QuantumCircuit) -> Layout:
+        if circuit.num_two_qubit_gates() == 0:
+            return trivial_layout(circuit, self.device)
+        return self.find_initial_layout(circuit)
+
+    def _route_pass(
+        self, circuit: QuantumCircuit, layout: Layout
+    ) -> tuple[list[Gate], Layout, int]:
+        """Single SABRE routing pass.  Returns (physical gates, final layout, #swaps)."""
+        dag = DependencyDAG(circuit)
+        dist = self.device.distance_matrix()
+        decay = np.ones(self.device.num_qubits)
+        options = self.options
+        rng = ensure_rng(options.seed)
+
+        out_gates: list[Gate] = []
+        num_swaps = 0
+        steps_since_progress = 0
+        max_steps = options.max_iterations_factor * max(1, circuit.num_qubits) + 10 * len(circuit)
+
+        iteration = 0
+        while not dag.is_done():
+            iteration += 1
+            if iteration > max_steps + 10 * len(circuit):
+                raise RoutingError("SABRE routing failed to converge (internal error)")
+            front = dag.front_layer()
+            executable: list[int] = []
+            blocked_two_qubit: list[int] = []
+            for index in front:
+                gate = dag.gate(index)
+                if gate.num_qubits == 1 or gate.is_directive:
+                    executable.append(index)
+                elif gate.num_qubits == 2:
+                    a, b = gate.qubits
+                    if self.device.are_adjacent(layout.physical(a), layout.physical(b)):
+                        executable.append(index)
+                    else:
+                        blocked_two_qubit.append(index)
+                else:
+                    raise RoutingError(
+                        f"gate {gate.name} has {gate.num_qubits} qubits; decompose before routing"
+                    )
+            if executable:
+                for index in executable:
+                    gate = dag.gate(index)
+                    mapping = {q: layout.physical(q) for q in gate.qubits}
+                    out_gates.append(gate.remap(mapping))
+                    dag.execute(index)
+                decay[:] = 1.0
+                steps_since_progress = 0
+                continue
+
+            if not blocked_two_qubit:
+                raise RoutingError("front layer is empty but the DAG is not done")
+
+            steps_since_progress += 1
+            if steps_since_progress % options.decay_reset_interval == 0:
+                decay[:] = 1.0
+
+            swap_candidates = self._swap_candidates(blocked_two_qubit, dag, layout)
+            if not swap_candidates:
+                raise RoutingError("no SWAP candidates available; device may be disconnected")
+            extended = dag.lookahead(options.extended_set_size)
+            best_swap = self._choose_swap(
+                swap_candidates, blocked_two_qubit, extended, dag, layout, dist, decay, rng
+            )
+            phys_a, phys_b = best_swap
+            out_gates.append(Gate("swap", (phys_a, phys_b)))
+            layout.swap_physical(phys_a, phys_b)
+            num_swaps += 1
+            decay[phys_a] += options.decay_increment
+            decay[phys_b] += options.decay_increment
+            if steps_since_progress > max_steps:
+                raise RoutingError(
+                    "SABRE made no progress for too long; the device graph may be disconnected"
+                )
+        return out_gates, layout, num_swaps
+
+    def _swap_candidates(
+        self, blocked: list[int], dag: DependencyDAG, layout: Layout
+    ) -> list[tuple[int, int]]:
+        """SWAPs adjacent to any qubit involved in a blocked front gate."""
+        candidates: set[tuple[int, int]] = set()
+        for index in blocked:
+            gate = dag.gate(index)
+            for logical in gate.qubits:
+                phys = layout.physical(logical)
+                for nbr in self.device.neighbors(phys):
+                    candidates.add((min(phys, nbr), max(phys, nbr)))
+        return sorted(candidates)
+
+    def _choose_swap(
+        self,
+        candidates: list[tuple[int, int]],
+        front: list[int],
+        extended: list[int],
+        dag: DependencyDAG,
+        layout: Layout,
+        dist: np.ndarray,
+        decay: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[int, int]:
+        """Pick the SWAP minimising the SABRE look-ahead cost."""
+        front_pairs = [dag.gate(i).qubits for i in front if dag.gate(i).num_qubits == 2]
+        extended_pairs = [dag.gate(i).qubits for i in extended if dag.gate(i).num_qubits == 2]
+        options = self.options
+        best_score = np.inf
+        best: list[tuple[int, int]] = []
+        for phys_a, phys_b in candidates:
+            trial = layout.copy()
+            trial.swap_physical(phys_a, phys_b)
+            front_cost = sum(
+                dist[trial.physical(a), trial.physical(b)] for a, b in front_pairs
+            )
+            front_cost /= max(1, len(front_pairs))
+            if extended_pairs:
+                ext_cost = sum(
+                    dist[trial.physical(a), trial.physical(b)] for a, b in extended_pairs
+                ) / len(extended_pairs)
+            else:
+                ext_cost = 0.0
+            score = max(decay[phys_a], decay[phys_b]) * (
+                front_cost + options.extended_set_weight * ext_cost
+            )
+            if score < best_score - 1e-12:
+                best_score = score
+                best = [(phys_a, phys_b)]
+            elif abs(score - best_score) <= 1e-12:
+                best.append((phys_a, phys_b))
+        return best[int(rng.integers(len(best)))]
+
+
+def _reverse_two_qubit_structure(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Reverse the gate order (used by SABRE's backward layout pass)."""
+    reversed_circuit = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_rev")
+    for gate in reversed(circuit.gates):
+        if gate.is_directive:
+            continue
+        reversed_circuit.append(gate)
+    return reversed_circuit
+
+
+def verify_routed_circuit(
+    original: QuantumCircuit, routed: RoutedCircuit, device: CouplingGraph
+) -> bool:
+    """Sanity checks on a routed circuit.
+
+    * Every 2-qubit gate in the routed circuit acts on coupled physical qubits.
+    * The number of non-SWAP 2-qubit gates matches the original circuit.
+    """
+    original_2q = original.num_two_qubit_gates()
+    routed_2q = 0
+    for gate in routed.circuit.gates:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            if not device.are_adjacent(a, b):
+                return False
+            routed_2q += 1
+    expected = original_2q + 3 * routed.num_swaps
+    return routed_2q == expected

@@ -1,0 +1,96 @@
+"""ASAP scheduling of routed circuits into parallel gate layers.
+
+The paper's depth metric is "the number of parallel 2-Q gate layers".  For
+the baseline devices this is obtained by packing the routed circuit's gates
+as soon as possible subject to qubit dependencies, then counting the layers
+that contain at least one 2-qubit gate.  This module also produces a timing
+estimate so the baselines can be compared on wall-clock execution time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+
+
+@dataclass
+class ScheduledLayer:
+    """One ASAP layer: gates that execute simultaneously."""
+
+    index: int
+    gates: list[Gate] = field(default_factory=list)
+
+    @property
+    def num_two_qubit(self) -> int:
+        return sum(1 for g in self.gates if g.is_two_qubit)
+
+    @property
+    def num_one_qubit(self) -> int:
+        return sum(1 for g in self.gates if g.is_one_qubit and not g.is_directive)
+
+
+@dataclass
+class BaselineSchedule:
+    """ASAP layering of a routed circuit, with summary metrics."""
+
+    layers: list[ScheduledLayer]
+    num_qubits: int
+
+    @property
+    def depth(self) -> int:
+        """Total number of layers (1-qubit layers included)."""
+        return len(self.layers)
+
+    @property
+    def two_qubit_depth(self) -> int:
+        """Number of layers containing at least one 2-qubit gate."""
+        return sum(1 for layer in self.layers if layer.num_two_qubit > 0)
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return sum(layer.num_two_qubit for layer in self.layers)
+
+    @property
+    def num_one_qubit_gates(self) -> int:
+        return sum(layer.num_one_qubit for layer in self.layers)
+
+    def parallelism_histogram(self) -> dict[int, int]:
+        """Histogram of 2-qubit gates per 2-qubit layer."""
+        histogram: dict[int, int] = {}
+        for layer in self.layers:
+            if layer.num_two_qubit > 0:
+                histogram[layer.num_two_qubit] = histogram.get(layer.num_two_qubit, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def execution_time_us(self, one_qubit_time_us: float = 0.5, two_qubit_time_us: float = 0.27) -> float:
+        """Rough execution time: each layer costs its slowest gate."""
+        total = 0.0
+        for layer in self.layers:
+            if layer.num_two_qubit > 0:
+                total += two_qubit_time_us
+            elif layer.num_one_qubit > 0:
+                total += one_qubit_time_us
+        return total
+
+
+def asap_schedule(circuit: QuantumCircuit) -> BaselineSchedule:
+    """Pack a circuit's gates into ASAP layers (dependencies only)."""
+    level: dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+    layers: list[ScheduledLayer] = []
+    for gate in circuit.gates:
+        if gate.is_barrier:
+            barrier_level = max((level[q] for q in gate.qubits), default=0)
+            for q in gate.qubits:
+                level[q] = barrier_level
+            continue
+        if gate.is_directive:
+            continue
+        new_level = max(level[q] for q in gate.qubits) + 1
+        for q in gate.qubits:
+            level[q] = new_level
+        while len(layers) < new_level:
+            layers.append(ScheduledLayer(index=len(layers)))
+        layers[new_level - 1].gates.append(gate)
+    return BaselineSchedule(layers=layers, num_qubits=circuit.num_qubits)

@@ -1,0 +1,123 @@
+"""End-to-end baseline transpiler for fixed-coupling devices.
+
+This plays the role of "Qiskit's transpiler at optimisation level 3" in the
+paper's evaluation: decompose to the device's native 2-qubit basis, find a
+SABRE initial layout, SWAP-route, and ASAP-schedule.  The result exposes
+the two metrics the paper reports for every baseline device: compiled
+2-qubit gate count and compiled circuit depth (parallel 2-Q gate layers).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.sabre import RoutedCircuit, SabreOptions, SabreRouter
+from repro.baselines.scheduling import BaselineSchedule, asap_schedule
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_to_cx
+from repro.exceptions import RoutingError
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import device_catalogue
+
+
+@dataclass
+class BaselineResult:
+    """Compilation result for one circuit on one baseline device."""
+
+    device_name: str
+    circuit_name: str
+    num_qubits: int
+    num_two_qubit_gates: int
+    two_qubit_depth: int
+    num_one_qubit_gates: int
+    num_swaps: int
+    compile_time_s: float
+    routed: RoutedCircuit | None = None
+    schedule: BaselineSchedule | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Plain-dict summary used by the benchmark harness."""
+        return {
+            "device": self.device_name,
+            "circuit": self.circuit_name,
+            "qubits": self.num_qubits,
+            "2q_gates": self.num_two_qubit_gates,
+            "depth": self.two_qubit_depth,
+            "1q_gates": self.num_one_qubit_gates,
+            "swaps": self.num_swaps,
+            "compile_time_s": round(self.compile_time_s, 4),
+        }
+
+
+class BaselineTranspiler:
+    """Decompose + layout + SABRE-route + schedule, for one device."""
+
+    def __init__(self, device: CouplingGraph, options: SabreOptions | None = None):
+        self.device = device
+        self.options = options or SabreOptions()
+
+    def compile(self, circuit: QuantumCircuit, *, keep_artifacts: bool = False) -> BaselineResult:
+        """Compile a circuit onto the device and measure depth / gate count.
+
+        Parameters
+        ----------
+        circuit:
+            Logical circuit in any supported gate set.
+        keep_artifacts:
+            If True, the routed circuit and the ASAP schedule are attached
+            to the result (costs memory for large circuits).
+        """
+        if circuit.num_qubits > self.device.num_qubits:
+            raise RoutingError(
+                f"circuit {circuit.name} needs {circuit.num_qubits} qubits; "
+                f"device {self.device.name} has {self.device.num_qubits}"
+            )
+        start = time.perf_counter()
+        native = decompose_to_cx(circuit)
+        router = SabreRouter(self.device, self.options)
+        routed = router.run(native)
+        schedule = asap_schedule(routed.circuit)
+        elapsed = time.perf_counter() - start
+        result = BaselineResult(
+            device_name=self.device.name,
+            circuit_name=circuit.name,
+            num_qubits=circuit.num_qubits,
+            num_two_qubit_gates=routed.circuit.num_two_qubit_gates(),
+            two_qubit_depth=schedule.two_qubit_depth,
+            num_one_qubit_gates=routed.circuit.num_one_qubit_gates(),
+            num_swaps=routed.num_swaps,
+            compile_time_s=elapsed,
+        )
+        if keep_artifacts:
+            result.routed = routed
+            result.schedule = schedule
+        return result
+
+
+def compile_on_all_baselines(
+    circuit: QuantumCircuit,
+    devices: dict[str, CouplingGraph] | None = None,
+    options: SabreOptions | None = None,
+) -> dict[str, BaselineResult]:
+    """Compile one circuit on every baseline device that can hold it."""
+    devices = devices or device_catalogue()
+    results: dict[str, BaselineResult] = {}
+    for name, device in devices.items():
+        if circuit.num_qubits > device.num_qubits:
+            continue
+        transpiler = BaselineTranspiler(device, options)
+        results[name] = transpiler.compile(circuit)
+    return results
+
+
+def best_baseline(results: dict[str, BaselineResult], metric: str = "two_qubit_depth") -> BaselineResult:
+    """The best-performing baseline under the requested metric (lower is better)."""
+    if not results:
+        raise RoutingError("no baseline results to compare")
+    if metric == "two_qubit_depth":
+        return min(results.values(), key=lambda r: r.two_qubit_depth)
+    if metric == "num_two_qubit_gates":
+        return min(results.values(), key=lambda r: r.num_two_qubit_gates)
+    raise RoutingError(f"unknown comparison metric {metric!r}")

@@ -1,0 +1,317 @@
+"""Quantum circuit container.
+
+:class:`QuantumCircuit` is a light-weight, append-only list of
+:class:`~repro.circuit.gate.Gate` objects plus a qubit count.  It provides
+the handful of queries compilers care about: gate counts, 2-qubit gate
+layers (the paper's circuit-depth metric), composition, inversion and qubit
+remapping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.circuit.gate import Gate, validate_gates
+from repro.exceptions import CircuitError
+
+
+class QuantumCircuit:
+    """A sequence of gates over ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of qubits in the circuit register.
+    gates:
+        Optional initial gate list (copied).
+    name:
+        Optional human-readable name, used in reports.
+    """
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate] | None = None, name: str = "circuit"):
+        if num_qubits <= 0:
+            raise CircuitError("a circuit needs at least one qubit")
+        self._num_qubits = int(num_qubits)
+        self._gates: list[Gate] = []
+        self.name = name
+        if gates is not None:
+            for gate in gates:
+                self.append(gate)
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubits in the register."""
+        return self._num_qubits
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """Immutable view of the gate list."""
+        return tuple(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __getitem__(self, index: int) -> Gate:
+        return self._gates[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumCircuit):
+            return NotImplemented
+        return self._num_qubits == other._num_qubits and self._gates == other._gates
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuantumCircuit(name={self.name!r}, num_qubits={self._num_qubits}, num_gates={len(self)})"
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "QuantumCircuit":
+        """Append a gate, validating its qubit indices. Returns self."""
+        validate_gates([gate], self._num_qubits)
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
+        """Append several gates. Returns self."""
+        for gate in gates:
+            self.append(gate)
+        return self
+
+    def add(self, name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> "QuantumCircuit":
+        """Append a gate by name. Returns self."""
+        return self.append(Gate(name, tuple(qubits), tuple(params)))
+
+    # one-qubit shorthands -------------------------------------------------
+    def i(self, q: int) -> "QuantumCircuit":
+        return self.add("id", [q])
+
+    def x(self, q: int) -> "QuantumCircuit":
+        return self.add("x", [q])
+
+    def y(self, q: int) -> "QuantumCircuit":
+        return self.add("y", [q])
+
+    def z(self, q: int) -> "QuantumCircuit":
+        return self.add("z", [q])
+
+    def h(self, q: int) -> "QuantumCircuit":
+        return self.add("h", [q])
+
+    def s(self, q: int) -> "QuantumCircuit":
+        return self.add("s", [q])
+
+    def sdg(self, q: int) -> "QuantumCircuit":
+        return self.add("sdg", [q])
+
+    def t(self, q: int) -> "QuantumCircuit":
+        return self.add("t", [q])
+
+    def tdg(self, q: int) -> "QuantumCircuit":
+        return self.add("tdg", [q])
+
+    def sx(self, q: int) -> "QuantumCircuit":
+        return self.add("sx", [q])
+
+    def rx(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rx", [q], [theta])
+
+    def ry(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("ry", [q], [theta])
+
+    def rz(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("rz", [q], [theta])
+
+    def p(self, theta: float, q: int) -> "QuantumCircuit":
+        return self.add("p", [q], [theta])
+
+    def u(self, theta: float, phi: float, lam: float, q: int) -> "QuantumCircuit":
+        return self.add("u", [q], [theta, phi, lam])
+
+    def measure(self, q: int) -> "QuantumCircuit":
+        return self.add("measure", [q])
+
+    # two-qubit shorthands -------------------------------------------------
+    def cx(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cx", [control, target])
+
+    def cz(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("cz", [a, b])
+
+    def cy(self, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cy", [control, target])
+
+    def cp(self, theta: float, control: int, target: int) -> "QuantumCircuit":
+        return self.add("cp", [control, target], [theta])
+
+    def swap(self, a: int, b: int) -> "QuantumCircuit":
+        return self.add("swap", [a, b])
+
+    def rzz(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rzz", [a, b], [theta])
+
+    def rxx(self, theta: float, a: int, b: int) -> "QuantumCircuit":
+        return self.add("rxx", [a, b], [theta])
+
+    def ccx(self, c1: int, c2: int, target: int) -> "QuantumCircuit":
+        return self.add("ccx", [c1, c2, target])
+
+    def barrier(self, *qubits: int) -> "QuantumCircuit":
+        qs = tuple(qubits) if qubits else tuple(range(self._num_qubits))
+        return self.append(Gate("barrier", qs))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def count_gates(self, predicate: Callable[[Gate], bool] | None = None) -> int:
+        """Count gates matching ``predicate`` (all unitary gates if None)."""
+        if predicate is None:
+            predicate = lambda g: not g.is_barrier  # noqa: E731
+        return sum(1 for g in self._gates if predicate(g))
+
+    def num_one_qubit_gates(self) -> int:
+        """Number of 1-qubit unitary gates (measure/reset excluded)."""
+        return sum(1 for g in self._gates if g.is_one_qubit and not g.is_directive)
+
+    def num_two_qubit_gates(self) -> int:
+        """Number of 2-qubit gates."""
+        return sum(1 for g in self._gates if g.is_two_qubit)
+
+    def gate_counts(self) -> Counter:
+        """Histogram of gate names."""
+        return Counter(g.name for g in self._gates)
+
+    def two_qubit_pairs(self) -> list[tuple[int, int]]:
+        """Operand pairs of every 2-qubit gate, in circuit order."""
+        return [(g.qubits[0], g.qubits[1]) for g in self._gates if g.is_two_qubit]
+
+    def active_qubits(self) -> set[int]:
+        """Set of qubits touched by at least one gate."""
+        used: set[int] = set()
+        for g in self._gates:
+            used.update(g.qubits)
+        return used
+
+    def depth(self, *, two_qubit_only: bool = False) -> int:
+        """Return the circuit depth.
+
+        With ``two_qubit_only=True`` this is the paper's metric: the number
+        of layers containing at least one 2-qubit gate when gates are packed
+        greedily (ASAP) while respecting qubit dependencies.  1-qubit gates
+        still create dependencies but do not open layers of their own.
+        """
+        if not self._gates:
+            return 0
+        if not two_qubit_only:
+            level = [0] * self._num_qubits
+            for g in self._gates:
+                if g.is_barrier:
+                    barrier_level = max(level[q] for q in g.qubits)
+                    for q in g.qubits:
+                        level[q] = barrier_level
+                    continue
+                new_level = max(level[q] for q in g.qubits) + 1
+                for q in g.qubits:
+                    level[q] = new_level
+            return max(level)
+        return self.two_qubit_depth()
+
+    def two_qubit_depth(self) -> int:
+        """Number of parallel 2-qubit gate layers (ASAP packing).
+
+        This is the circuit-depth definition used throughout the Q-Pilot
+        paper's evaluation: single-qubit gates are ignored for layer
+        counting but still order 2-qubit gates on the same qubit.
+        """
+        level = [0] * self._num_qubits
+        for g in self._gates:
+            if g.is_barrier or g.is_directive:
+                continue
+            if g.is_two_qubit or g.num_qubits > 2:
+                new_level = max(level[q] for q in g.qubits) + 1
+                for q in g.qubits:
+                    level[q] = new_level
+            # 1Q gates do not advance the 2Q layer counter
+        return max(level) if level else 0
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def copy(self, name: str | None = None) -> "QuantumCircuit":
+        """Return a shallow copy (gates are immutable)."""
+        return QuantumCircuit(self._num_qubits, self._gates, name or self.name)
+
+    def compose(self, other: "QuantumCircuit") -> "QuantumCircuit":
+        """Return a new circuit with ``other`` appended after ``self``."""
+        if other.num_qubits > self._num_qubits:
+            raise CircuitError(
+                f"cannot compose a {other.num_qubits}-qubit circuit onto {self._num_qubits} qubits"
+            )
+        out = self.copy()
+        out.extend(other.gates)
+        return out
+
+    def inverse(self) -> "QuantumCircuit":
+        """Return the inverse circuit (reversed order, inverted gates)."""
+        out = QuantumCircuit(self._num_qubits, name=f"{self.name}_dg")
+        for gate in reversed(self._gates):
+            if gate.is_barrier:
+                out.append(gate)
+                continue
+            out.append(gate.inverse())
+        return out
+
+    def remap_qubits(self, mapping: dict[int, int], num_qubits: int | None = None) -> "QuantumCircuit":
+        """Return a copy with every qubit ``q`` replaced by ``mapping[q]``."""
+        new_n = num_qubits if num_qubits is not None else self._num_qubits
+        out = QuantumCircuit(new_n, name=self.name)
+        for gate in self._gates:
+            out.append(gate.remap(mapping))
+        return out
+
+    def without_directives(self) -> "QuantumCircuit":
+        """Return a copy with measure/reset/barrier removed."""
+        return QuantumCircuit(
+            self._num_qubits,
+            (g for g in self._gates if not g.is_directive),
+            name=self.name,
+        )
+
+    def layers(self, *, two_qubit_only: bool = False) -> list[list[Gate]]:
+        """Partition gates into ASAP layers.
+
+        With ``two_qubit_only=True``, only 2-qubit gates are returned and
+        layered; 1-qubit gates are dropped (but still impose ordering when
+        appearing between 2-qubit gates on the same qubit — since dropping
+        them does not change which 2-qubit gates share qubits, the layer
+        structure of 2-qubit gates is unaffected).
+        """
+        level: dict[int, int] = {q: 0 for q in range(self._num_qubits)}
+        layered: list[list[Gate]] = []
+        for g in self._gates:
+            if g.is_barrier or g.is_directive:
+                continue
+            if two_qubit_only and g.num_qubits < 2:
+                continue
+            new_level = max(level[q] for q in g.qubits) + 1
+            for q in g.qubits:
+                level[q] = new_level
+            while len(layered) < new_level:
+                layered.append([])
+            layered[new_level - 1].append(g)
+        return layered
+
+    def to_text_diagram(self, max_gates: int = 40) -> str:
+        """Return a compact text listing of the circuit (for examples/docs)."""
+        lines = [f"{self.name}: {self._num_qubits} qubits, {len(self)} gates"]
+        for gate in self._gates[:max_gates]:
+            lines.append(f"  {gate}")
+        if len(self) > max_gates:
+            lines.append(f"  ... ({len(self) - max_gates} more gates)")
+        return "\n".join(lines)

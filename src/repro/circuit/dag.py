@@ -1,0 +1,181 @@
+"""Gate dependency DAG and front-layer extraction.
+
+Routers consume circuits layer by layer: the *front layer* is the set of
+gates with no unexecuted predecessor (Alg. 1 in the paper calls it the
+"source layer of the dependency graph").  :class:`DependencyDAG` maintains
+this structure incrementally so routers can pop gates as they schedule them
+without rebuilding the graph.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import CircuitError
+
+
+class DependencyDAG:
+    """Dependency graph over the gates of a circuit.
+
+    Two gates depend on each other when they share a qubit; the earlier one
+    in program order must execute first.  Gates are identified by their
+    index in the originating circuit.
+    """
+
+    def __init__(self, circuit: QuantumCircuit, *, include_one_qubit: bool = True):
+        self._circuit = circuit
+        self._include_one_qubit = include_one_qubit
+        self._gates: dict[int, Gate] = {}
+        self._predecessors: dict[int, set[int]] = defaultdict(set)
+        self._successors: dict[int, set[int]] = defaultdict(set)
+        self._remaining: set[int] = set()
+        self._executed: set[int] = set()
+        self._build()
+
+    def _build(self) -> None:
+        last_on_qubit: dict[int, int] = {}
+        for index, gate in enumerate(self._circuit.gates):
+            if gate.is_barrier:
+                continue
+            if not self._include_one_qubit and gate.num_qubits < 2:
+                continue
+            self._gates[index] = gate
+            self._remaining.add(index)
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    prev = last_on_qubit[qubit]
+                    if prev != index:
+                        self._predecessors[index].add(prev)
+                        self._successors[prev].add(index)
+                last_on_qubit[qubit] = index
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> QuantumCircuit:
+        """The originating circuit."""
+        return self._circuit
+
+    @property
+    def num_gates(self) -> int:
+        """Total number of gates tracked by the DAG."""
+        return len(self._gates)
+
+    @property
+    def num_remaining(self) -> int:
+        """Number of gates not yet marked executed."""
+        return len(self._remaining)
+
+    def is_done(self) -> bool:
+        """True when every gate has been executed."""
+        return not self._remaining
+
+    def gate(self, index: int) -> Gate:
+        """Return the gate with the given circuit index."""
+        return self._gates[index]
+
+    def predecessors(self, index: int) -> frozenset[int]:
+        """Indices of gates that must execute before ``index``."""
+        return frozenset(self._predecessors.get(index, set()))
+
+    def successors(self, index: int) -> frozenset[int]:
+        """Indices of gates that depend on ``index``."""
+        return frozenset(self._successors.get(index, set()))
+
+    def front_layer(self) -> list[int]:
+        """Indices of unexecuted gates whose predecessors are all executed.
+
+        The result is sorted by circuit order for determinism.
+        """
+        front = [
+            index
+            for index in self._remaining
+            if all(p in self._executed for p in self._predecessors.get(index, ()))
+        ]
+        return sorted(front)
+
+    def front_layer_gates(self) -> list[Gate]:
+        """Gate objects of the current front layer (circuit order)."""
+        return [self._gates[i] for i in self.front_layer()]
+
+    def lookahead(self, depth: int) -> list[int]:
+        """Return up to ``depth`` upcoming gate indices beyond the front layer.
+
+        Used by the SABRE heuristic's extended set.  The order approximates
+        topological order by circuit index.
+        """
+        upcoming: list[int] = []
+        frontier = set(self.front_layer())
+        visited = set(frontier)
+        queue = sorted(frontier)
+        while queue and len(upcoming) < depth:
+            current = queue.pop(0)
+            for succ in sorted(self._successors.get(current, ())):
+                if succ in visited or succ in self._executed:
+                    continue
+                visited.add(succ)
+                upcoming.append(succ)
+                queue.append(succ)
+                if len(upcoming) >= depth:
+                    break
+        return upcoming
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def execute(self, index: int) -> None:
+        """Mark a front-layer gate as executed.
+
+        Raises
+        ------
+        CircuitError
+            If the gate is unknown, already executed, or has unexecuted
+            predecessors.
+        """
+        if index not in self._gates:
+            raise CircuitError(f"gate index {index} is not part of this DAG")
+        if index in self._executed:
+            raise CircuitError(f"gate index {index} was already executed")
+        unmet = [p for p in self._predecessors.get(index, ()) if p not in self._executed]
+        if unmet:
+            raise CircuitError(f"gate {index} has unexecuted predecessors {unmet}")
+        self._remaining.discard(index)
+        self._executed.add(index)
+
+    def execute_many(self, indices: Iterable[int]) -> None:
+        """Execute several gates; order within ``indices`` is resolved greedily."""
+        pending = list(indices)
+        # Execute in circuit order so intra-batch dependencies resolve.
+        for index in sorted(pending):
+            self.execute(index)
+
+    def reset(self) -> None:
+        """Forget all execution state."""
+        self._executed.clear()
+        self._remaining = set(self._gates)
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+    def executed_order_is_valid(self, order: Sequence[int]) -> bool:
+        """Check that ``order`` is a valid topological execution order."""
+        seen: set[int] = set()
+        for index in order:
+            if index not in self._gates:
+                return False
+            if any(p not in seen for p in self._predecessors.get(index, ())):
+                return False
+            seen.add(index)
+        return seen == set(self._gates)
+
+    def longest_path_length(self) -> int:
+        """Length (in gates) of the longest dependency chain."""
+        depth: dict[int, int] = {}
+        for index in sorted(self._gates):
+            preds = self._predecessors.get(index, ())
+            depth[index] = 1 + max((depth[p] for p in preds), default=0)
+        return max(depth.values(), default=0)

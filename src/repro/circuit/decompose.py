@@ -1,0 +1,279 @@
+"""Gate decomposition into native bases.
+
+The Q-Pilot flow transpiles input circuits into the FPQA native set
+``{CZ} ∪ 1Q`` (the global Rydberg laser implements CZ on every coupled
+pair; the Raman laser implements arbitrary single-qubit rotations).  The
+baseline superconducting / fixed-atom devices use ``{CX} ∪ 1Q``.
+
+The decompositions here are textbook identities; they are exact (verified
+by the statevector tests) and deliberately avoid any peephole optimisation
+so that gate counting stays easy to reason about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import DecompositionError
+
+_PI = math.pi
+
+
+def _h(q: int) -> Gate:
+    return Gate("h", (q,))
+
+
+def _cz(a: int, b: int) -> Gate:
+    return Gate("cz", (a, b))
+
+
+def _cx(c: int, t: int) -> Gate:
+    return Gate("cx", (c, t))
+
+
+def _rz(theta: float, q: int) -> Gate:
+    return Gate("rz", (q,), (theta,))
+
+
+def _rx(theta: float, q: int) -> Gate:
+    return Gate("rx", (q,), (theta,))
+
+
+def _ry(theta: float, q: int) -> Gate:
+    return Gate("ry", (q,), (theta,))
+
+
+# ----------------------------------------------------------------------
+# two-qubit decompositions in terms of CX
+# ----------------------------------------------------------------------
+def _two_qubit_to_cx(gate: Gate) -> list[Gate]:
+    """Rewrite any supported 2-qubit gate as CX + 1Q gates."""
+    a, b = gate.qubits
+    name = gate.name
+    if name == "cx":
+        return [gate]
+    if name == "cz":
+        return [_h(b), _cx(a, b), _h(b)]
+    if name == "cy":
+        return [Gate("sdg", (b,)), _cx(a, b), Gate("s", (b,))]
+    if name == "ch":
+        # controlled-H = (I ⊗ Ry(pi/4)) CX (I ⊗ Ry(-pi/4)) up to phase
+        return [_ry(_PI / 4, b), _cx(a, b), _ry(-_PI / 4, b)]
+    if name == "swap":
+        return [_cx(a, b), _cx(b, a), _cx(a, b)]
+    if name == "iswap":
+        return [
+            Gate("s", (a,)),
+            Gate("s", (b,)),
+            _h(a),
+            _cx(a, b),
+            _cx(b, a),
+            _h(b),
+        ]
+    if name == "cp":
+        (theta,) = gate.params
+        return [
+            _rz(theta / 2, a),
+            _cx(a, b),
+            _rz(-theta / 2, b),
+            _cx(a, b),
+            _rz(theta / 2, b),
+        ]
+    if name == "crz":
+        (theta,) = gate.params
+        return [_rz(theta / 2, b), _cx(a, b), _rz(-theta / 2, b), _cx(a, b)]
+    if name == "crx":
+        (theta,) = gate.params
+        return [
+            _h(b),
+            _rz(theta / 2, b),
+            _cx(a, b),
+            _rz(-theta / 2, b),
+            _cx(a, b),
+            _h(b),
+        ]
+    if name == "cry":
+        (theta,) = gate.params
+        return [_ry(theta / 2, b), _cx(a, b), _ry(-theta / 2, b), _cx(a, b)]
+    if name == "rzz":
+        (theta,) = gate.params
+        return [_cx(a, b), _rz(theta, b), _cx(a, b)]
+    if name == "rxx":
+        (theta,) = gate.params
+        return [_h(a), _h(b), _cx(a, b), _rz(theta, b), _cx(a, b), _h(a), _h(b)]
+    if name == "ryy":
+        (theta,) = gate.params
+        return [
+            _rx(_PI / 2, a),
+            _rx(_PI / 2, b),
+            _cx(a, b),
+            _rz(theta, b),
+            _cx(a, b),
+            _rx(-_PI / 2, a),
+            _rx(-_PI / 2, b),
+        ]
+    if name == "ecr":
+        # ECR is locally equivalent to CX; for compilation purposes we treat
+        # it as one CX plus local rotations.
+        return [_rz(-_PI / 2, a), _cx(a, b), _rx(_PI / 2, b)]
+    raise DecompositionError(f"no CX decomposition known for 2-qubit gate {name}")
+
+
+def _three_qubit_to_cx(gate: Gate) -> list[Gate]:
+    """Standard 6-CX Toffoli-family decompositions."""
+    name = gate.name
+    if name == "ccx":
+        c1, c2, t = gate.qubits
+        return [
+            _h(t),
+            _cx(c2, t),
+            Gate("tdg", (t,)),
+            _cx(c1, t),
+            Gate("t", (t,)),
+            _cx(c2, t),
+            Gate("tdg", (t,)),
+            _cx(c1, t),
+            Gate("t", (c2,)),
+            Gate("t", (t,)),
+            _h(t),
+            _cx(c1, c2),
+            Gate("t", (c1,)),
+            Gate("tdg", (c2,)),
+            _cx(c1, c2),
+        ]
+    if name == "ccz":
+        c1, c2, t = gate.qubits
+        return [_h(t)] + _three_qubit_to_cx(Gate("ccx", (c1, c2, t))) + [_h(t)]
+    if name == "cswap":
+        c, a, b = gate.qubits
+        return [_cx(b, a)] + _three_qubit_to_cx(Gate("ccx", (c, a, b))) + [_cx(b, a)]
+    raise DecompositionError(f"no CX decomposition known for 3-qubit gate {name}")
+
+
+def decompose_to_cx(circuit: QuantumCircuit, *, keep_directives: bool = False) -> QuantumCircuit:
+    """Decompose a circuit into the ``{CX} ∪ 1Q`` basis.
+
+    Parameters
+    ----------
+    circuit:
+        Input circuit (any supported gate set).
+    keep_directives:
+        If True, measure/reset/barrier are preserved; otherwise dropped.
+    """
+    out = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_cx")
+    for gate in circuit.gates:
+        if gate.is_directive:
+            if keep_directives:
+                out.append(gate)
+            continue
+        if gate.num_qubits == 1:
+            out.append(gate)
+        elif gate.num_qubits == 2:
+            out.extend(_two_qubit_to_cx(gate))
+        elif gate.num_qubits == 3:
+            out.extend(
+                g
+                for raw in _three_qubit_to_cx(gate)
+                for g in ([raw] if raw.num_qubits == 1 or raw.name == "cx" else _two_qubit_to_cx(raw))
+            )
+        else:
+            raise DecompositionError(f"cannot decompose {gate.num_qubits}-qubit gate {gate.name}")
+    return out
+
+
+def decompose_to_cz(circuit: QuantumCircuit, *, keep_directives: bool = False) -> QuantumCircuit:
+    """Decompose a circuit into the FPQA native ``{CZ} ∪ 1Q`` basis.
+
+    Every 2-qubit gate is first rewritten over CX, then each CX is replaced
+    by ``H(t) CZ H(t)``.  Adjacent Hadamard pairs produced by this rewrite
+    are cancelled to avoid inflating the 1-qubit gate count artificially.
+    """
+    cx_circuit = decompose_to_cx(circuit, keep_directives=keep_directives)
+    out = QuantumCircuit(circuit.num_qubits, name=f"{circuit.name}_cz")
+    for gate in cx_circuit.gates:
+        if gate.name == "cx":
+            control, target = gate.qubits
+            out.extend([_h(target), _cz(control, target), _h(target)])
+        else:
+            out.append(gate)
+    return cancel_adjacent_inverses(out)
+
+
+def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
+    """Remove adjacent self-cancelling 1-qubit gate pairs (H·H, X·X, ...).
+
+    Only exact name-level cancellations between *immediately adjacent* gates
+    on the same qubit (with no intervening gate touching that qubit) are
+    applied.  This is a cheap clean-up pass, not an optimiser.
+    """
+    self_inverse = {"h", "x", "y", "z", "cz", "cx", "swap"}
+    inverse_pairs = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")}
+    result: list[Gate] = []
+    for gate in circuit.gates:
+        if result:
+            prev = result[-1]
+            same_operands = prev.qubits == gate.qubits
+            cancels = False
+            if same_operands and not gate.params and not prev.params:
+                if gate.name == prev.name and gate.name in self_inverse:
+                    cancels = True
+                elif (prev.name, gate.name) in inverse_pairs:
+                    cancels = True
+            if cancels:
+                result.pop()
+                continue
+            # allow cancellation across gates acting on disjoint qubits
+            if gate.is_one_qubit and not gate.params:
+                for back in range(len(result) - 1, -1, -1):
+                    other = result[back]
+                    if gate.qubits[0] in other.qubits:
+                        if (
+                            other.qubits == gate.qubits
+                            and not other.params
+                            and (
+                                (other.name == gate.name and gate.name in self_inverse)
+                                or (other.name, gate.name) in inverse_pairs
+                            )
+                        ):
+                            result.pop(back)
+                            break
+                        result.append(gate)
+                        break
+                else:
+                    result.append(gate)
+                continue
+        result.append(gate)
+    return QuantumCircuit(circuit.num_qubits, result, name=circuit.name)
+
+
+def basis_check(circuit: QuantumCircuit, basis: str) -> bool:
+    """Return True if every multi-qubit gate is in the requested basis.
+
+    ``basis`` is ``"cz"`` or ``"cx"``.
+    """
+    if basis not in {"cz", "cx"}:
+        raise DecompositionError(f"unknown basis {basis!r}")
+    for gate in circuit.gates:
+        if gate.is_directive or gate.num_qubits == 1:
+            continue
+        if gate.name != basis:
+            return False
+    return True
+
+
+def count_basis_gates(circuit: QuantumCircuit) -> dict[str, int]:
+    """Return counts of 1-qubit, 2-qubit, and other gates."""
+    counts = {"1q": 0, "2q": 0, "other": 0}
+    for gate in circuit.gates:
+        if gate.is_directive:
+            continue
+        if gate.num_qubits == 1:
+            counts["1q"] += 1
+        elif gate.num_qubits == 2:
+            counts["2q"] += 1
+        else:
+            counts["other"] += 1
+    return counts

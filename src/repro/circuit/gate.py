@@ -1,0 +1,457 @@
+"""Gate model for the quantum-circuit intermediate representation.
+
+A :class:`Gate` is an immutable record of an operation applied to one or
+more qubits.  The library is a *compiler*, so gates carry just enough
+semantic information for routing and scheduling decisions:
+
+* the gate name (lower-case, Qiskit-compatible where possible),
+* the qubit operands,
+* optional real parameters (rotation angles),
+* whether the gate is diagonal in the computational basis (this drives the
+  flying-ancilla legality checks), and
+* the unitary matrix for the small-scale statevector verification.
+
+Only the gates needed by the Q-Pilot flows are implemented, but the set is
+large enough to express the paper's benchmarks (random circuits, Pauli
+string evolution, QAOA) and the baseline devices' native sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+
+#: Names of gates that act on exactly one qubit.
+ONE_QUBIT_GATES = frozenset(
+    {
+        "id",
+        "x",
+        "y",
+        "z",
+        "h",
+        "s",
+        "sdg",
+        "t",
+        "tdg",
+        "sx",
+        "sxdg",
+        "rx",
+        "ry",
+        "rz",
+        "p",
+        "u",
+        "u1",
+        "u2",
+        "u3",
+        "measure",
+        "reset",
+    }
+)
+
+#: Names of gates that act on exactly two qubits.
+TWO_QUBIT_GATES = frozenset(
+    {
+        "cx",
+        "cz",
+        "cy",
+        "ch",
+        "cp",
+        "crx",
+        "cry",
+        "crz",
+        "swap",
+        "iswap",
+        "rzz",
+        "rxx",
+        "ryy",
+        "ecr",
+    }
+)
+
+#: Names of gates that act on three qubits (only used by random circuits
+#: before decomposition).
+THREE_QUBIT_GATES = frozenset({"ccx", "ccz", "cswap"})
+
+#: Gates that are diagonal in the computational (Z) basis.  Diagonal gates
+#: commute with each other and with Z-basis fan-outs, which is what makes
+#: flying-ancilla routing exact for them.
+DIAGONAL_GATES = frozenset({"id", "z", "s", "sdg", "t", "tdg", "rz", "p", "u1", "cz", "cp", "crz", "rzz", "ccz"})
+
+#: Gates with no parameters.
+_PARAMETER_COUNTS = {
+    "id": 0,
+    "x": 0,
+    "y": 0,
+    "z": 0,
+    "h": 0,
+    "s": 0,
+    "sdg": 0,
+    "t": 0,
+    "tdg": 0,
+    "sx": 0,
+    "sxdg": 0,
+    "rx": 1,
+    "ry": 1,
+    "rz": 1,
+    "p": 1,
+    "u1": 1,
+    "u2": 2,
+    "u3": 3,
+    "u": 3,
+    "measure": 0,
+    "reset": 0,
+    "cx": 0,
+    "cz": 0,
+    "cy": 0,
+    "ch": 0,
+    "cp": 1,
+    "crx": 1,
+    "cry": 1,
+    "crz": 1,
+    "swap": 0,
+    "iswap": 0,
+    "rzz": 1,
+    "rxx": 1,
+    "ryy": 1,
+    "ecr": 0,
+    "ccx": 0,
+    "ccz": 0,
+    "cswap": 0,
+    "barrier": None,
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """An immutable quantum gate instance.
+
+    Parameters
+    ----------
+    name:
+        Lower-case gate name, e.g. ``"cz"`` or ``"rz"``.
+    qubits:
+        Tuple of qubit indices the gate acts on, in operand order
+        (control first for controlled gates).
+    params:
+        Tuple of real parameters (rotation angles in radians).
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", self.name.lower())
+        object.__setattr__(self, "qubits", tuple(int(q) for q in self.qubits))
+        object.__setattr__(self, "params", tuple(float(p) for p in self.params))
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name} has repeated qubits {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"gate {self.name} has negative qubit index {self.qubits}")
+        expected = _PARAMETER_COUNTS.get(self.name)
+        if expected is not None and expected != len(self.params):
+            raise CircuitError(
+                f"gate {self.name} expects {expected} parameter(s), got {len(self.params)}"
+            )
+        if self.name in ONE_QUBIT_GATES and len(self.qubits) != 1:
+            raise CircuitError(f"gate {self.name} is single-qubit, got qubits {self.qubits}")
+        if self.name in TWO_QUBIT_GATES and len(self.qubits) != 2:
+            raise CircuitError(f"gate {self.name} is two-qubit, got qubits {self.qubits}")
+        if self.name in THREE_QUBIT_GATES and len(self.qubits) != 3:
+            raise CircuitError(f"gate {self.name} is three-qubit, got qubits {self.qubits}")
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_qubits(self) -> int:
+        """Number of qubit operands."""
+        return len(self.qubits)
+
+    @property
+    def is_one_qubit(self) -> bool:
+        """True for single-qubit gates (including measure/reset)."""
+        return self.num_qubits == 1
+
+    @property
+    def is_two_qubit(self) -> bool:
+        """True for two-qubit gates."""
+        return self.num_qubits == 2
+
+    @property
+    def is_diagonal(self) -> bool:
+        """True if the gate is diagonal in the computational basis."""
+        return self.name in DIAGONAL_GATES
+
+    @property
+    def is_barrier(self) -> bool:
+        """True for scheduling barriers."""
+        return self.name == "barrier"
+
+    @property
+    def is_directive(self) -> bool:
+        """True for non-unitary directives (measure, reset, barrier)."""
+        return self.name in {"measure", "reset", "barrier"}
+
+    def on(self, *qubits: int) -> "Gate":
+        """Return a copy of this gate applied to different qubits."""
+        return Gate(self.name, tuple(qubits), self.params)
+
+    def remap(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubits remapped through ``mapping``."""
+        return Gate(self.name, tuple(mapping[q] for q in self.qubits), self.params)
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate (raises for non-unitary directives)."""
+        if self.is_directive:
+            raise CircuitError(f"{self.name} has no inverse")
+        name_map = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t", "sx": "sxdg", "sxdg": "sx"}
+        if self.name in name_map:
+            return Gate(name_map[self.name], self.qubits)
+        if self.name in {"rx", "ry", "rz", "p", "u1", "cp", "crx", "cry", "crz", "rzz", "rxx", "ryy"}:
+            return Gate(self.name, self.qubits, tuple(-p for p in self.params))
+        if self.name in {"u", "u3"}:
+            theta, phi, lam = self.params
+            return Gate(self.name, self.qubits, (-theta, -lam, -phi))
+        if self.name == "u2":
+            phi, lam = self.params
+            return Gate("u3", self.qubits, (-math.pi / 2, -lam, -phi))
+        # self-inverse gates
+        return Gate(self.name, self.qubits, self.params)
+
+    # ------------------------------------------------------------------
+    # matrices (used only by the small statevector simulator)
+    # ------------------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """Return the unitary matrix of the gate as a dense numpy array.
+
+        Qubit operand order follows the little-endian convention used by
+        :mod:`repro.sim.statevector` (``qubits[0]`` is the least-significant
+        operand of the returned matrix).
+        """
+        return gate_matrix(self.name, self.params)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.params:
+            params = ", ".join(f"{p:.6g}" for p in self.params)
+            return f"{self.name}({params}) {list(self.qubits)}"
+        return f"{self.name} {list(self.qubits)}"
+
+
+# ----------------------------------------------------------------------
+# matrix library
+# ----------------------------------------------------------------------
+_I2 = np.eye(2, dtype=complex)
+_X = np.array([[0, 1], [1, 0]], dtype=complex)
+_Y = np.array([[0, -1j], [1j, 0]], dtype=complex)
+_Z = np.array([[1, 0], [0, -1]], dtype=complex)
+_H = np.array([[1, 1], [1, -1]], dtype=complex) / math.sqrt(2)
+_S = np.diag([1, 1j]).astype(complex)
+_T = np.diag([1, np.exp(1j * math.pi / 4)]).astype(complex)
+_SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=complex)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(theta: float) -> np.ndarray:
+    return np.diag([np.exp(-1j * theta / 2), np.exp(1j * theta / 2)]).astype(complex)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _controlled(u: np.ndarray) -> np.ndarray:
+    """Return the controlled version of a 1-qubit unitary.
+
+    Convention: operand 0 (the control) is the *least significant* qubit of
+    the 4x4 matrix, matching :mod:`repro.sim.statevector`.
+    """
+    out = np.eye(4, dtype=complex)
+    # basis order |q1 q0>: control is bit 0, target is bit 1.
+    # states with control=1 are indices 1 (target 0) and 3 (target 1)
+    out[1, 1] = u[0, 0]
+    out[1, 3] = u[0, 1]
+    out[3, 1] = u[1, 0]
+    out[3, 3] = u[1, 1]
+    return out
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix for a named gate.
+
+    Raises
+    ------
+    CircuitError
+        If the gate has no defined unitary (``measure``, ``reset``,
+        ``barrier``) or the name is unknown.
+    """
+    name = name.lower()
+    p = tuple(params)
+    if name in {"measure", "reset", "barrier"}:
+        raise CircuitError(f"gate {name} has no unitary matrix")
+    one_qubit = {
+        "id": _I2,
+        "x": _X,
+        "y": _Y,
+        "z": _Z,
+        "h": _H,
+        "s": _S,
+        "sdg": _S.conj().T,
+        "t": _T,
+        "tdg": _T.conj().T,
+        "sx": _SX,
+        "sxdg": _SX.conj().T,
+    }
+    if name in one_qubit:
+        return one_qubit[name].copy()
+    if name == "rx":
+        return _rx(p[0])
+    if name == "ry":
+        return _ry(p[0])
+    if name == "rz":
+        return _rz(p[0])
+    if name in {"p", "u1"}:
+        return np.diag([1, np.exp(1j * p[0])]).astype(complex)
+    if name == "u2":
+        return _u3(math.pi / 2, p[0], p[1])
+    if name in {"u", "u3"}:
+        return _u3(*p)
+    if name == "cx":
+        return _controlled(_X)
+    if name == "cy":
+        return _controlled(_Y)
+    if name == "cz":
+        return _controlled(_Z)
+    if name == "ch":
+        return _controlled(_H)
+    if name == "cp":
+        return _controlled(np.diag([1, np.exp(1j * p[0])]).astype(complex))
+    if name == "crx":
+        return _controlled(_rx(p[0]))
+    if name == "cry":
+        return _controlled(_ry(p[0]))
+    if name == "crz":
+        return _controlled(_rz(p[0]))
+    if name == "swap":
+        m = np.eye(4, dtype=complex)
+        m[[1, 2]] = m[[2, 1]]
+        return m
+    if name == "iswap":
+        m = np.eye(4, dtype=complex)
+        m[1, 1] = 0
+        m[2, 2] = 0
+        m[1, 2] = 1j
+        m[2, 1] = 1j
+        return m
+    if name == "rzz":
+        theta = p[0]
+        return np.diag(
+            [
+                np.exp(-1j * theta / 2),
+                np.exp(1j * theta / 2),
+                np.exp(1j * theta / 2),
+                np.exp(-1j * theta / 2),
+            ]
+        ).astype(complex)
+    if name == "rxx":
+        theta = p[0]
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        m = np.eye(4, dtype=complex) * c
+        m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = -1j * s
+        return m
+    if name == "ryy":
+        theta = p[0]
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        m = np.eye(4, dtype=complex) * c
+        m[0, 3] = m[3, 0] = 1j * s
+        m[1, 2] = m[2, 1] = -1j * s
+        return m
+    if name == "ecr":
+        # echoed cross resonance, up to local frame; included for completeness.
+        return (1 / math.sqrt(2)) * np.array(
+            [[0, 1, 0, 1j], [1, 0, -1j, 0], [0, 1j, 0, 1], [-1j, 0, 1, 0]],
+            dtype=complex,
+        )
+    if name == "ccx":
+        m = np.eye(8, dtype=complex)
+        # controls are bits 0 and 1, target is bit 2 -> swap |011> and |111>
+        m[[3, 7]] = m[[7, 3]]
+        return m
+    if name == "ccz":
+        m = np.eye(8, dtype=complex)
+        m[7, 7] = -1
+        return m
+    if name == "cswap":
+        m = np.eye(8, dtype=complex)
+        # control is bit 0; swap bits 1 and 2 when control set: |101><->|011|
+        m[[5, 3]] = m[[3, 5]]
+        return m
+    raise CircuitError(f"unknown gate name: {name}")
+
+
+# ----------------------------------------------------------------------
+# convenience constructors
+# ----------------------------------------------------------------------
+def one_qubit_gate_names(parameterised: bool = True) -> tuple[str, ...]:
+    """Return the catalogue of 1-qubit unitary gate names.
+
+    Parameters
+    ----------
+    parameterised:
+        If False, only return gates without parameters.
+    """
+    names = sorted(ONE_QUBIT_GATES - {"measure", "reset"})
+    if not parameterised:
+        names = [n for n in names if _PARAMETER_COUNTS.get(n, 0) == 0]
+    return tuple(names)
+
+
+def two_qubit_gate_names(parameterised: bool = True) -> tuple[str, ...]:
+    """Return the catalogue of 2-qubit gate names."""
+    names = sorted(TWO_QUBIT_GATES)
+    if not parameterised:
+        names = [n for n in names if _PARAMETER_COUNTS.get(n, 0) == 0]
+    return tuple(names)
+
+
+def parameter_count(name: str) -> int:
+    """Number of real parameters for a gate name (0 if unknown)."""
+    count = _PARAMETER_COUNTS.get(name.lower())
+    return 0 if count is None else count
+
+
+def validate_gates(gates: Iterable[Gate], num_qubits: int) -> None:
+    """Check that every gate fits within ``num_qubits`` qubits.
+
+    Raises
+    ------
+    CircuitError
+        If a gate references a qubit outside ``range(num_qubits)``.
+    """
+    for gate in gates:
+        for q in gate.qubits:
+            if q >= num_qubits:
+                raise CircuitError(
+                    f"gate {gate} references qubit {q} but circuit has {num_qubits} qubits"
+                )

@@ -1,0 +1,228 @@
+"""Pauli strings and Trotterised quantum-simulation circuits.
+
+A *Pauli string* is a tensor product of single-qubit Pauli operators
+(I, X, Y, Z) over the register.  Quantum simulation benchmarks in the paper
+are Trotter steps: for each Pauli string ``P`` the circuit applies
+``exp(-i θ/2 P)`` using the standard basis-change + CNOT-parity-ladder
+construction.  The Q-Pilot quantum-simulation router compiles the same
+evolution with flying ancillas instead of the ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+
+_VALID_PAULIS = frozenset("IXYZ")
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A Pauli string over ``num_qubits`` qubits.
+
+    Parameters
+    ----------
+    label:
+        A string over the alphabet ``IXYZ``; ``label[i]`` is the Pauli
+        acting on qubit ``i``.
+    coefficient:
+        Rotation angle / Hamiltonian coefficient associated with the term.
+    """
+
+    label: str
+    coefficient: float = 1.0
+
+    def __post_init__(self) -> None:
+        label = self.label.upper()
+        if not label or any(ch not in _VALID_PAULIS for ch in label):
+            raise WorkloadError(f"invalid Pauli label {self.label!r}")
+        object.__setattr__(self, "label", label)
+
+    @property
+    def num_qubits(self) -> int:
+        """Length of the string (register width)."""
+        return len(self.label)
+
+    @property
+    def support(self) -> tuple[int, ...]:
+        """Indices of qubits with a non-identity Pauli, ascending."""
+        return tuple(i for i, ch in enumerate(self.label) if ch != "I")
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity Paulis."""
+        return len(self.support)
+
+    def pauli_on(self, qubit: int) -> str:
+        """The Pauli letter acting on a qubit."""
+        return self.label[qubit]
+
+    def is_identity(self) -> bool:
+        """True when every factor is the identity."""
+        return self.weight == 0
+
+    def restricted(self, qubits: Sequence[int]) -> "PauliString":
+        """Return the string restricted to a subset of qubits (new register)."""
+        return PauliString("".join(self.label[q] for q in qubits), self.coefficient)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def random_pauli_string(
+    num_qubits: int,
+    probability: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    min_weight: int = 1,
+) -> PauliString:
+    """Sample a random Pauli string.
+
+    Each qubit independently carries a non-identity Pauli with probability
+    ``probability`` (then X/Y/Z uniformly), matching the paper's workload
+    description.  Resampling guarantees at least ``min_weight`` non-identity
+    factors so the evolution is non-trivial.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise WorkloadError("probability must be within [0, 1]")
+    if min_weight > num_qubits:
+        raise WorkloadError("min_weight cannot exceed num_qubits")
+    rng = ensure_rng(seed)
+    paulis = "XYZ"
+    while True:
+        letters = [
+            paulis[int(rng.integers(3))] if rng.random() < probability else "I"
+            for _ in range(num_qubits)
+        ]
+        string = PauliString("".join(letters), coefficient=float(rng.uniform(0.1, 1.0)))
+        if string.weight >= min_weight:
+            return string
+
+
+def random_pauli_strings(
+    num_qubits: int,
+    num_strings: int,
+    probability: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+) -> list[PauliString]:
+    """Sample ``num_strings`` independent random Pauli strings."""
+    rng = ensure_rng(seed)
+    return [
+        random_pauli_string(num_qubits, probability, seed=rng) for _ in range(num_strings)
+    ]
+
+
+# ----------------------------------------------------------------------
+# circuit construction (baseline CNOT-ladder form)
+# ----------------------------------------------------------------------
+def _basis_change(circuit: QuantumCircuit, string: PauliString, *, invert: bool) -> None:
+    """Apply the local basis change mapping each X/Y factor to Z."""
+    for qubit in string.support:
+        pauli = string.pauli_on(qubit)
+        if pauli == "X":
+            circuit.h(qubit)
+        elif pauli == "Y":
+            if invert:
+                circuit.h(qubit)
+                circuit.s(qubit)
+            else:
+                circuit.sdg(qubit)
+                circuit.h(qubit)
+
+
+def pauli_evolution_circuit(
+    string: PauliString,
+    theta: float | None = None,
+    *,
+    ladder: str = "star",
+) -> QuantumCircuit:
+    """Build ``exp(-i θ/2 P)`` with the textbook CNOT construction.
+
+    Parameters
+    ----------
+    string:
+        The Pauli string ``P``.
+    theta:
+        Rotation angle; defaults to the string's coefficient.
+    ladder:
+        ``"star"`` accumulates parity onto the first support qubit with
+        CNOTs from every other support qubit (the form the Q-Pilot router
+        parallelises); ``"chain"`` uses the nearest-neighbour CNOT ladder.
+    """
+    if string.is_identity():
+        raise WorkloadError("cannot build an evolution circuit for the identity string")
+    if ladder not in {"star", "chain"}:
+        raise WorkloadError("ladder must be 'star' or 'chain'")
+    angle = float(string.coefficient if theta is None else theta)
+    circuit = QuantumCircuit(string.num_qubits, name=f"pauli_{string.label}")
+    support = list(string.support)
+    root = support[0]
+    _basis_change(circuit, string, invert=False)
+    if ladder == "star":
+        for qubit in support[1:]:
+            circuit.cx(qubit, root)
+        circuit.rz(angle, root)
+        for qubit in reversed(support[1:]):
+            circuit.cx(qubit, root)
+    else:
+        for a, b in zip(support[:-1], support[1:]):
+            circuit.cx(a, b)
+        circuit.rz(angle, support[-1])
+        for a, b in reversed(list(zip(support[:-1], support[1:]))):
+            circuit.cx(a, b)
+    _basis_change(circuit, string, invert=True)
+    return circuit
+
+
+def trotter_circuit(
+    strings: Iterable[PauliString],
+    num_qubits: int | None = None,
+    *,
+    theta: float | None = None,
+    ladder: str = "star",
+) -> QuantumCircuit:
+    """Concatenate the evolution circuits of several Pauli strings.
+
+    This is one first-order Trotter step of ``H = Σ c_k P_k``; it is the
+    baseline workload that gets transpiled onto the fixed-coupling devices.
+    """
+    strings = list(strings)
+    if not strings:
+        raise WorkloadError("need at least one Pauli string")
+    width = num_qubits or strings[0].num_qubits
+    circuit = QuantumCircuit(width, name=f"trotter_{len(strings)}terms")
+    for string in strings:
+        if string.num_qubits != width:
+            raise WorkloadError(
+                f"string {string.label} has {string.num_qubits} qubits, expected {width}"
+            )
+        if string.is_identity():
+            continue
+        circuit = circuit.compose(pauli_evolution_circuit(string, theta, ladder=ladder))
+    circuit.name = f"trotter_{len(strings)}terms"
+    return circuit
+
+
+def pauli_weight_histogram(strings: Iterable[PauliString]) -> dict[int, int]:
+    """Histogram of string weights — useful for workload characterisation."""
+    hist: dict[int, int] = {}
+    for string in strings:
+        hist[string.weight] = hist.get(string.weight, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def iter_support_pairs(string: PauliString) -> Iterator[tuple[int, int]]:
+    """Yield (root, other) CNOT pairs for the star-form parity circuit."""
+    support = string.support
+    if len(support) < 2:
+        return
+    root = support[0]
+    for other in support[1:]:
+        yield (root, other)

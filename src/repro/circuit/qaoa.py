@@ -1,0 +1,109 @@
+"""QAOA circuit construction.
+
+A (single-layer) Max-Cut QAOA circuit over a graph ``G = (V, E)`` applies
+``RZZ(γ)`` on every edge (the cost layer) followed by ``RX(β)`` on every
+qubit (the mixer).  The Q-Pilot QAOA router only needs the edge list — all
+RZZ gates commute — but the full circuit form is needed for the baseline
+devices, which must decompose and SWAP-route it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+
+def normalise_edges(edges: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Canonicalise an edge list: (min, max) tuples, deduplicated, sorted."""
+    seen: set[tuple[int, int]] = set()
+    result: list[tuple[int, int]] = []
+    for a, b in edges:
+        a, b = int(a), int(b)
+        if a == b:
+            raise WorkloadError(f"self-loop ({a}, {b}) is not a valid QAOA edge")
+        edge = (min(a, b), max(a, b))
+        if edge in seen:
+            continue
+        seen.add(edge)
+        result.append(edge)
+    return sorted(result)
+
+
+def qaoa_maxcut_circuit(
+    num_qubits: int,
+    edges: Iterable[tuple[int, int]],
+    *,
+    gamma: float | Sequence[float] = 0.7,
+    beta: float | Sequence[float] = 0.3,
+    layers: int = 1,
+    initial_state: bool = True,
+) -> QuantumCircuit:
+    """Build a Max-Cut QAOA circuit.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of graph vertices / qubits.
+    edges:
+        Graph edges; each contributes one ``RZZ(γ)``.
+    gamma, beta:
+        Cost / mixer angles, either one value shared by all layers or one
+        value per layer.
+    layers:
+        Number of QAOA layers ``p``.
+    initial_state:
+        If True, start from the usual ``|+>^n`` state (a layer of H gates).
+    """
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    if layers < 1:
+        raise WorkloadError("layers must be >= 1")
+    edge_list = normalise_edges(edges)
+    for a, b in edge_list:
+        if b >= num_qubits:
+            raise WorkloadError(f"edge ({a}, {b}) exceeds register of {num_qubits} qubits")
+    gammas = [gamma] * layers if isinstance(gamma, (int, float)) else list(gamma)
+    betas = [beta] * layers if isinstance(beta, (int, float)) else list(beta)
+    if len(gammas) != layers or len(betas) != layers:
+        raise WorkloadError("gamma/beta sequences must have one entry per layer")
+
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}q_{len(edge_list)}e_p{layers}")
+    if initial_state:
+        for q in range(num_qubits):
+            circuit.h(q)
+    for layer in range(layers):
+        for a, b in edge_list:
+            circuit.rzz(float(gammas[layer]), a, b)
+        for q in range(num_qubits):
+            circuit.rx(2.0 * float(betas[layer]), q)
+    return circuit
+
+
+def qaoa_cost_layer(num_qubits: int, edges: Iterable[tuple[int, int]], gamma: float = 0.7) -> QuantumCircuit:
+    """Just the RZZ cost layer of a QAOA circuit (what the FPQA router schedules)."""
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    edge_list = normalise_edges(edges)
+    for a, b in edge_list:
+        if b >= num_qubits:
+            raise WorkloadError(f"edge ({a}, {b}) exceeds register of {num_qubits} qubits")
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_cost_{num_qubits}q_{len(edge_list)}e")
+    for a, b in edge_list:
+        circuit.rzz(float(gamma), a, b)
+    return circuit
+
+
+def edges_from_circuit(circuit: QuantumCircuit) -> list[tuple[int, int]]:
+    """Extract the interaction graph (unique 2-qubit pairs) from a circuit."""
+    return normalise_edges(circuit.two_qubit_pairs())
+
+
+def maxcut_value(edges: Iterable[tuple[int, int]], assignment: Sequence[int]) -> int:
+    """Number of cut edges for a ±1 / 0-1 vertex assignment (used in examples)."""
+    cut = 0
+    for a, b in normalise_edges(edges):
+        if (assignment[a] and not assignment[b]) or (assignment[b] and not assignment[a]):
+            cut += 1
+    return cut

@@ -1,0 +1,153 @@
+"""Minimal OpenQASM 2 export / import.
+
+Only the subset of OpenQASM 2.0 needed to round-trip this library's
+circuits is supported (one quantum register, the gate names in
+:mod:`repro.circuit.gate`).  This exists so users can move compiled
+baseline circuits in and out of other toolchains.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate, parameter_count
+from repro.exceptions import CircuitError
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_QASM_NAMES = {
+    "id": "id",
+    "x": "x",
+    "y": "y",
+    "z": "z",
+    "h": "h",
+    "s": "s",
+    "sdg": "sdg",
+    "t": "t",
+    "tdg": "tdg",
+    "sx": "sx",
+    "sxdg": "sxdg",
+    "rx": "rx",
+    "ry": "ry",
+    "rz": "rz",
+    "p": "p",
+    "u": "u3",
+    "u1": "u1",
+    "u2": "u2",
+    "u3": "u3",
+    "cx": "cx",
+    "cz": "cz",
+    "cy": "cy",
+    "ch": "ch",
+    "cp": "cp",
+    "crx": "crx",
+    "cry": "cry",
+    "crz": "crz",
+    "swap": "swap",
+    "iswap": "iswap",
+    "rzz": "rzz",
+    "rxx": "rxx",
+    "ccx": "ccx",
+    "ccz": "ccz",
+    "cswap": "cswap",
+    "measure": "measure",
+    "reset": "reset",
+    "barrier": "barrier",
+}
+_REVERSE_NAMES = {v: k for k, v in _QASM_NAMES.items()}
+_REVERSE_NAMES["u3"] = "u"
+
+_GATE_RE = re.compile(r"^\s*([a-zA-Z_][\w]*)\s*(?:\(([^)]*)\))?\s+(.*?);\s*$")
+_OPERAND_RE = re.compile(r"q\[(\d+)\]")
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise a circuit to an OpenQASM 2.0 string."""
+    lines = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{circuit.num_qubits}];")
+    has_measure = any(g.name == "measure" for g in circuit.gates)
+    if has_measure:
+        lines.append(f"creg c[{circuit.num_qubits}];")
+    for gate in circuit.gates:
+        qasm_name = _QASM_NAMES.get(gate.name)
+        if qasm_name is None:
+            raise CircuitError(f"gate {gate.name} has no OpenQASM 2 equivalent")
+        operands = ", ".join(f"q[{q}]" for q in gate.qubits)
+        if gate.name == "measure":
+            q = gate.qubits[0]
+            lines.append(f"measure q[{q}] -> c[{q}];")
+            continue
+        if gate.params:
+            params = ", ".join(_format_angle(p) for p in gate.params)
+            lines.append(f"{qasm_name}({params}) {operands};")
+        else:
+            lines.append(f"{qasm_name} {operands};")
+    return "\n".join(lines) + "\n"
+
+
+def _format_angle(value: float) -> str:
+    """Render an angle, using pi fractions when exact."""
+    for denom in (1, 2, 4, 8):
+        for numer_sign in (1, -1):
+            target = numer_sign * math.pi / denom
+            if abs(value - target) < 1e-12:
+                sign = "-" if numer_sign < 0 else ""
+                return f"{sign}pi/{denom}" if denom != 1 else f"{sign}pi"
+    return repr(float(value))
+
+
+def _parse_angle(token: str) -> float:
+    token = token.strip().replace(" ", "")
+    if not token:
+        raise CircuitError("empty parameter in QASM gate")
+    token = token.replace("pi", repr(math.pi))
+    try:
+        return float(eval(token, {"__builtins__": {}}, {}))  # noqa: S307 - restricted eval of arithmetic
+    except Exception as exc:  # pragma: no cover - defensive
+        raise CircuitError(f"cannot parse QASM angle {token!r}") from exc
+
+
+def from_qasm(text: str) -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string produced by :func:`to_qasm`."""
+    num_qubits = None
+    gates: list[Gate] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line or line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        if line.startswith("qreg"):
+            match = re.search(r"\[(\d+)\]", line)
+            if not match:
+                raise CircuitError(f"cannot parse qreg declaration: {line}")
+            num_qubits = int(match.group(1))
+            continue
+        if line.startswith("creg"):
+            continue
+        if line.startswith("measure"):
+            match = _OPERAND_RE.search(line)
+            if not match:
+                raise CircuitError(f"cannot parse measure: {line}")
+            gates.append(Gate("measure", (int(match.group(1)),)))
+            continue
+        match = _GATE_RE.match(line)
+        if not match:
+            raise CircuitError(f"cannot parse QASM line: {line}")
+        qasm_name, params_text, operand_text = match.groups()
+        name = _REVERSE_NAMES.get(qasm_name)
+        if name is None:
+            raise CircuitError(f"unsupported QASM gate {qasm_name}")
+        qubits = tuple(int(m) for m in _OPERAND_RE.findall(operand_text))
+        params: tuple[float, ...] = ()
+        if params_text:
+            params = tuple(_parse_angle(tok) for tok in params_text.split(","))
+        expected = parameter_count(name)
+        if name not in {"barrier"} and expected != len(params):
+            raise CircuitError(
+                f"gate {name} expects {expected} params, QASM line has {len(params)}: {line}"
+            )
+        gates.append(Gate(name, qubits, params))
+    if num_qubits is None:
+        raise CircuitError("QASM text does not declare a qreg")
+    return QuantumCircuit(num_qubits, gates, name="from_qasm")

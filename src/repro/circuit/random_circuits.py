@@ -1,0 +1,232 @@
+"""Random circuit generation.
+
+The paper builds its "random circuit" benchmarks with Qiskit's
+``random_circuit`` utility and then fixes the number of CNOT gates to a
+multiple of the qubit count (2x, 5x, 10x, 20x, 50x).  Qiskit is not
+available offline, so this module provides two generators with the same
+knobs:
+
+* :func:`random_circuit` — a faithful re-implementation of Qiskit's
+  generator: it fills layers with randomly chosen 1-, 2- (and optionally
+  3-) qubit gates over a random partition of the qubits.
+* :func:`random_cx_circuit` — the workload actually used by the evaluation:
+  a circuit with an exact number of 2-qubit gates (CX on uniformly random
+  qubit pairs) interleaved with random 1-qubit rotations, matching the
+  paper's "#2-Q gate = k × #qubit" construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+
+_ONE_QUBIT_POOL: tuple[tuple[str, int], ...] = (
+    ("x", 0),
+    ("y", 0),
+    ("z", 0),
+    ("h", 0),
+    ("s", 0),
+    ("t", 0),
+    ("sx", 0),
+    ("rx", 1),
+    ("ry", 1),
+    ("rz", 1),
+    ("u", 3),
+)
+
+_TWO_QUBIT_POOL: tuple[tuple[str, int], ...] = (
+    ("cx", 0),
+    ("cz", 0),
+    ("swap", 0),
+    ("cp", 1),
+    ("rzz", 1),
+)
+
+_THREE_QUBIT_POOL: tuple[tuple[str, int], ...] = (("ccx", 0), ("ccz", 0))
+
+
+def _random_params(count: int, rng: np.random.Generator) -> tuple[float, ...]:
+    return tuple(float(x) for x in rng.uniform(0.0, 2.0 * math.pi, size=count))
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    *,
+    max_operands: int = 2,
+    seed: int | np.random.Generator | None = None,
+    one_qubit_ratio: float = 0.5,
+) -> QuantumCircuit:
+    """Generate a random circuit layer by layer (Qiskit-style).
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit.
+    depth:
+        Number of layers.  Each layer partitions the qubits into random
+        groups of 1..max_operands qubits and applies a random gate to each.
+    max_operands:
+        Maximum gate arity (2 or 3).
+    seed:
+        Integer seed or numpy Generator.
+    one_qubit_ratio:
+        Probability that a group of size >= 2 is broken into 1-qubit gates
+        instead (controls the 2Q-gate density).
+    """
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    if depth < 0:
+        raise WorkloadError("depth must be >= 0")
+    if max_operands not in (1, 2, 3):
+        raise WorkloadError("max_operands must be 1, 2 or 3")
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}q_d{depth}")
+    for _ in range(depth):
+        qubits = list(rng.permutation(num_qubits))
+        while qubits:
+            available = min(len(qubits), max_operands)
+            arity = int(rng.integers(1, available + 1))
+            if arity >= 2 and rng.random() < one_qubit_ratio:
+                arity = 1
+            operands = [int(qubits.pop()) for _ in range(arity)]
+            if arity == 1:
+                name, nparams = _ONE_QUBIT_POOL[int(rng.integers(len(_ONE_QUBIT_POOL)))]
+            elif arity == 2:
+                name, nparams = _TWO_QUBIT_POOL[int(rng.integers(len(_TWO_QUBIT_POOL)))]
+            else:
+                name, nparams = _THREE_QUBIT_POOL[int(rng.integers(len(_THREE_QUBIT_POOL)))]
+            circuit.add(name, operands, _random_params(nparams, rng))
+    return circuit
+
+
+def random_cx_circuit(
+    num_qubits: int,
+    num_two_qubit_gates: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    one_qubit_gates_per_two_qubit: float = 1.0,
+    two_qubit_gate: str = "cx",
+) -> QuantumCircuit:
+    """Generate a random circuit with an exact number of 2-qubit gates.
+
+    This matches the paper's evaluation workloads, where the number of CNOT
+    gates is fixed at ``k × num_qubits`` for k in {2, 5, 10, 20, 50}.  Each
+    2-qubit gate acts on a uniformly random (ordered) pair of distinct
+    qubits; random 1-qubit rotations are interleaved at the requested
+    density.
+
+    Parameters
+    ----------
+    num_qubits:
+        Width of the circuit (must be >= 2 for any 2-qubit gates).
+    num_two_qubit_gates:
+        Exact number of 2-qubit gates in the output.
+    seed:
+        Integer seed or numpy Generator.
+    one_qubit_gates_per_two_qubit:
+        Expected number of random 1-qubit gates inserted per 2-qubit gate.
+    two_qubit_gate:
+        Name of the 2-qubit gate to use ("cx" by default).
+    """
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    if num_two_qubit_gates < 0:
+        raise WorkloadError("num_two_qubit_gates must be >= 0")
+    if num_two_qubit_gates > 0 and num_qubits < 2:
+        raise WorkloadError("need at least 2 qubits for 2-qubit gates")
+    rng = ensure_rng(seed)
+    circuit = QuantumCircuit(
+        num_qubits, name=f"random_{num_qubits}q_{num_two_qubit_gates}cx"
+    )
+    for _ in range(num_two_qubit_gates):
+        n_one = rng.poisson(one_qubit_gates_per_two_qubit)
+        for _ in range(int(n_one)):
+            q = int(rng.integers(num_qubits))
+            name, nparams = _ONE_QUBIT_POOL[int(rng.integers(len(_ONE_QUBIT_POOL)))]
+            circuit.add(name, [q], _random_params(nparams, rng))
+        a, b = rng.choice(num_qubits, size=2, replace=False)
+        params = _random_params(1, rng) if two_qubit_gate in {"cp", "rzz"} else ()
+        circuit.add(two_qubit_gate, [int(a), int(b)], params)
+    return circuit
+
+
+def bernstein_vazirani_circuit(num_qubits: int, secret: int | None = None, *, seed=None) -> QuantumCircuit:
+    """Bernstein–Vazirani circuit on ``num_qubits`` data qubits + 1 ancilla.
+
+    Used by the paper's execution-timeline figure (BV-70).  The last qubit
+    is the phase ancilla.
+    """
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    rng = ensure_rng(seed)
+    if secret is None:
+        # draw the secret bit by bit (2**num_qubits overflows int64 for wide registers)
+        secret = 0
+        while secret == 0:
+            secret = sum(int(rng.integers(0, 2)) << bit for bit in range(num_qubits))
+    total = num_qubits + 1
+    circuit = QuantumCircuit(total, name=f"bv_{num_qubits}")
+    ancilla = num_qubits
+    circuit.x(ancilla)
+    for q in range(total):
+        circuit.h(q)
+    for q in range(num_qubits):
+        if (secret >> q) & 1:
+            circuit.cx(q, ancilla)
+    for q in range(num_qubits):
+        circuit.h(q)
+    for q in range(num_qubits):
+        circuit.measure(q)
+    return circuit
+
+
+def ghz_circuit(num_qubits: int) -> QuantumCircuit:
+    """GHZ state preparation (H + CX chain), a common smoke-test workload."""
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for q in range(num_qubits - 1):
+        circuit.cx(q, q + 1)
+    return circuit
+
+
+def qft_circuit(num_qubits: int) -> QuantumCircuit:
+    """Quantum Fourier transform (no final swaps), dense long-range workload."""
+    if num_qubits < 1:
+        raise WorkloadError("num_qubits must be >= 1")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(angle, control, target)
+    return circuit
+
+
+def standard_random_suite(
+    sizes: Sequence[int] = (5, 10, 20, 50, 100),
+    multiples: Sequence[int] = (2, 5, 10, 20, 50),
+    *,
+    seed: int = 2024,
+) -> dict[tuple[int, int], QuantumCircuit]:
+    """Build the full random-circuit benchmark grid used by Fig. 11.
+
+    Returns a dict keyed by ``(num_qubits, multiple)`` where the circuit has
+    ``multiple * num_qubits`` CX gates.
+    """
+    suite: dict[tuple[int, int], QuantumCircuit] = {}
+    for i, n in enumerate(sizes):
+        for j, multiple in enumerate(multiples):
+            suite[(n, multiple)] = random_cx_circuit(
+                n, multiple * n, seed=seed + 97 * i + j
+            )
+    return suite

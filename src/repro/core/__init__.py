@@ -1,0 +1,87 @@
+"""Q-Pilot core: flying-ancilla routers, schedules, evaluation, and DSE."""
+
+from repro.core.ancilla import (
+    ANCILLA_COMPATIBLE_GATES,
+    ancilla_depth_overhead,
+    ancilla_routed_cz_cost,
+    breakeven_distance,
+    is_ancilla_compatible,
+    routed_cz_sequence,
+    substitute_with_copy,
+    swap_depth_overhead,
+    swap_routed_cz_cost,
+)
+from repro.core.compiler import CompilationResult, QPilotCompiler
+from repro.core.dse import DesignPoint, SweepResult, architecture_search, sweep_array_width
+from repro.core.evaluator import EvaluationResult, FidelityModel, PerformanceEvaluator
+from repro.core.generic_router import GenericRouter, GenericRouterOptions, route_circuit
+from repro.core.movement import AtomMove, MovementStep, movement_statistics
+from repro.core.qaoa_router import QAOARouter, QAOARouterOptions, route_qaoa
+from repro.core.qsim_router import (
+    QSimRouter,
+    QSimRouterOptions,
+    fanout_depth,
+    fanout_layer_sizes,
+    longest_path_stages,
+    route_pauli_strings,
+)
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    FPQASchedule,
+    MeasurementStage,
+    MovementStage,
+    OneQubitStage,
+    RydbergStage,
+    ScheduledGate,
+    Stage,
+    aod,
+    slm,
+)
+
+__all__ = [
+    "QPilotCompiler",
+    "CompilationResult",
+    "GenericRouter",
+    "GenericRouterOptions",
+    "route_circuit",
+    "QSimRouter",
+    "QSimRouterOptions",
+    "route_pauli_strings",
+    "fanout_depth",
+    "fanout_layer_sizes",
+    "longest_path_stages",
+    "QAOARouter",
+    "QAOARouterOptions",
+    "route_qaoa",
+    "FPQASchedule",
+    "Stage",
+    "OneQubitStage",
+    "AncillaCreationStage",
+    "AncillaRecycleStage",
+    "MovementStage",
+    "RydbergStage",
+    "MeasurementStage",
+    "ScheduledGate",
+    "slm",
+    "aod",
+    "PerformanceEvaluator",
+    "EvaluationResult",
+    "FidelityModel",
+    "AtomMove",
+    "MovementStep",
+    "movement_statistics",
+    "sweep_array_width",
+    "architecture_search",
+    "SweepResult",
+    "DesignPoint",
+    "routed_cz_sequence",
+    "substitute_with_copy",
+    "is_ancilla_compatible",
+    "ANCILLA_COMPATIBLE_GATES",
+    "ancilla_routed_cz_cost",
+    "swap_routed_cz_cost",
+    "ancilla_depth_overhead",
+    "swap_depth_overhead",
+    "breakeven_distance",
+]

@@ -1,0 +1,115 @@
+"""Flying-ancilla theory helpers (Section 2 of the paper).
+
+The routers use ancillas operationally; this module exposes the underlying
+algebraic facts as reusable, testable functions:
+
+* a CZ (or any diagonal 2-qubit gate) acting on a data qubit can instead
+  act on a Z-basis *copy* of that qubit (:func:`substitute_with_copy`);
+* a set of CZ gates can be routed through fresh ancillas with two
+  transversal CNOT layers (:func:`routed_cz_sequence`), the construction
+  proven in Sec. 2.2 and verified in :mod:`repro.sim.verification`;
+* the depth advantage over SWAP insertion (:func:`ancilla_depth_overhead`
+  vs :func:`swap_depth_overhead`) that motivates the whole approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.circuit.gate import DIAGONAL_GATES, Gate
+from repro.exceptions import RoutingError
+
+
+#: 2-qubit gates that commute with Z on both operands, i.e. gates that can be
+#: redirected onto a Z-basis copy of either operand.
+ANCILLA_COMPATIBLE_GATES = frozenset({"cz", "cp", "crz", "rzz"})
+
+
+def is_ancilla_compatible(gate: Gate) -> bool:
+    """True if the gate can be executed on a flying ancilla copy.
+
+    A 2-qubit gate may be redirected from a data qubit to a Z-basis copy of
+    that qubit exactly when it is diagonal in the computational basis.
+    """
+    return gate.is_two_qubit and gate.name in ANCILLA_COMPATIBLE_GATES and gate.name in DIAGONAL_GATES
+
+
+def substitute_with_copy(gate: Gate, data_qubit: int, copy_qubit: int) -> Gate:
+    """Redirect one operand of a diagonal 2-qubit gate onto its copy.
+
+    Raises
+    ------
+    RoutingError
+        If the gate is not ancilla-compatible or does not act on ``data_qubit``.
+    """
+    if not is_ancilla_compatible(gate):
+        raise RoutingError(f"gate {gate.name} cannot be redirected to an ancilla copy")
+    if data_qubit not in gate.qubits:
+        raise RoutingError(f"gate {gate} does not act on qubit {data_qubit}")
+    new_qubits = tuple(copy_qubit if q == data_qubit else q for q in gate.qubits)
+    return Gate(gate.name, new_qubits, gate.params)
+
+
+@dataclass(frozen=True)
+class AncillaCopy:
+    """Book-keeping record: ancilla ``slot`` currently copies data qubit ``source``."""
+
+    slot: int
+    source: int
+
+
+def routed_cz_sequence(num_data: int, pairs: Sequence[tuple[int, int]]) -> list[Gate]:
+    """The Sec. 2.2 construction as a plain gate list.
+
+    Data qubits are ``0..num_data-1``; ancilla ``i`` is ``num_data + i``.
+    The sequence is: transversal CNOT fan-out, one CZ per pair redirected to
+    the first operand's copy, transversal CNOT recycle.
+    """
+    for a, b in pairs:
+        if not (0 <= a < num_data and 0 <= b < num_data):
+            raise RoutingError(f"pair ({a}, {b}) outside the data register")
+        if a == b:
+            raise RoutingError(f"pair ({a}, {b}) is degenerate")
+    gates = [Gate("cx", (i, num_data + i)) for i in range(num_data)]
+    gates += [Gate("cz", (num_data + a, b)) for a, b in pairs]
+    gates += [Gate("cx", (i, num_data + i)) for i in range(num_data)]
+    return gates
+
+
+def swap_routed_cz_cost(distance: int) -> tuple[int, int]:
+    """(2Q gates, 2Q depth) of executing one CZ over ``distance`` hops with SWAPs.
+
+    On a fixed-coupling device a CZ between qubits ``distance`` hops apart
+    needs ``distance - 1`` SWAPs (3 CX each) plus the CZ itself.
+    """
+    if distance < 1:
+        raise RoutingError("distance must be >= 1")
+    swaps = distance - 1
+    return (3 * swaps + 1, 3 * swaps + 1)
+
+
+def ancilla_routed_cz_cost() -> tuple[int, int]:
+    """(2Q gates, 2Q depth) of executing one CZ with a flying ancilla.
+
+    Independent of distance: one creation CNOT, the CZ, one recycle CNOT.
+    """
+    return (3, 3)
+
+
+def swap_depth_overhead(distance: int) -> int:
+    """Extra 2-qubit depth over a direct CZ when SWAP-routing ``distance`` hops."""
+    return swap_routed_cz_cost(distance)[1] - 1
+
+
+def ancilla_depth_overhead() -> int:
+    """Extra 2-qubit depth over a direct CZ when ancilla-routing (always 2)."""
+    return ancilla_routed_cz_cost()[1] - 1
+
+
+def breakeven_distance() -> int:
+    """Smallest hop distance at which flying ancillas beat SWAP routing on depth."""
+    distance = 1
+    while swap_routed_cz_cost(distance)[1] <= ancilla_routed_cz_cost()[1]:
+        distance += 1
+    return distance

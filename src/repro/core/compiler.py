@@ -1,0 +1,130 @@
+"""Top-level Q-Pilot compiler facade.
+
+:class:`QPilotCompiler` is the public entry point most users want: hand it
+a workload (an arbitrary circuit, a list of Pauli strings, or a QAOA graph)
+and it dispatches to the right router, evaluates the schedule, and returns
+a :class:`CompilationResult` bundling the schedule and its metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.pauli import PauliString
+from repro.core.evaluator import EvaluationResult, FidelityModel, PerformanceEvaluator
+from repro.core.generic_router import GenericRouter, GenericRouterOptions
+from repro.core.qaoa_router import QAOARouter, QAOARouterOptions
+from repro.core.qsim_router import QSimRouter, QSimRouterOptions
+from repro.core.schedule import FPQASchedule
+from repro.exceptions import RoutingError
+from repro.hardware.fpqa import FPQAConfig
+
+
+@dataclass
+class CompilationResult:
+    """A compiled schedule plus its evaluated metrics."""
+
+    schedule: FPQASchedule
+    evaluation: EvaluationResult
+    router: str
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """Circuit depth: number of parallel 2-qubit layers."""
+        return self.evaluation.depth
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return self.evaluation.num_two_qubit_gates
+
+    @property
+    def compile_time_s(self) -> float | None:
+        return self.evaluation.compile_time_s
+
+    def summary(self) -> dict:
+        data = self.evaluation.summary()
+        data["router"] = self.router
+        return data
+
+
+class QPilotCompiler:
+    """Facade over the generic, quantum-simulation and QAOA routers."""
+
+    def __init__(
+        self,
+        config: FPQAConfig | None = None,
+        *,
+        fidelity_model: FidelityModel | None = None,
+        generic_options: GenericRouterOptions | None = None,
+        qsim_options: QSimRouterOptions | None = None,
+        qaoa_options: QAOARouterOptions | None = None,
+    ):
+        self.config = config
+        self.evaluator = PerformanceEvaluator(fidelity_model)
+        self.generic_options = generic_options
+        self.qsim_options = qsim_options
+        self.qaoa_options = qaoa_options
+
+    # ------------------------------------------------------------------
+    def compile_circuit(self, circuit: QuantumCircuit) -> CompilationResult:
+        """Compile an arbitrary circuit with the generic flying-ancilla router."""
+        router = GenericRouter(self.config, self.generic_options)
+        schedule = router.compile(circuit)
+        return self._package(schedule, "generic")
+
+    def compile_pauli_strings(
+        self, strings: Sequence[PauliString], num_qubits: int | None = None
+    ) -> CompilationResult:
+        """Compile a Trotter step with the quantum-simulation router."""
+        router = QSimRouter(self.config, self.qsim_options)
+        schedule = router.compile(strings, num_qubits)
+        return self._package(schedule, "qsim")
+
+    def compile_qaoa(
+        self,
+        num_qubits: int,
+        edges: Iterable[tuple[int, int]],
+        *,
+        layers: int = 1,
+        full_circuit: bool = False,
+    ) -> CompilationResult:
+        """Compile a QAOA cost layer (or full circuit) with the QAOA router."""
+        router = QAOARouter(self.config, self.qaoa_options)
+        schedule = router.compile(num_qubits, edges, layers=layers, full_circuit=full_circuit)
+        return self._package(schedule, "qaoa")
+
+    def compile(self, workload, **kwargs) -> CompilationResult:
+        """Dispatch on the workload type.
+
+        * :class:`QuantumCircuit` -> generic router
+        * a :class:`PauliString` or sequence of them -> quantum-simulation router
+        * ``(num_qubits, edges)`` tuple -> QAOA router
+        """
+        if isinstance(workload, QuantumCircuit):
+            return self.compile_circuit(workload)
+        if isinstance(workload, PauliString):
+            return self.compile_pauli_strings([workload], **kwargs)
+        if isinstance(workload, (list, tuple)) and workload and isinstance(workload[0], PauliString):
+            return self.compile_pauli_strings(list(workload), **kwargs)
+        if (
+            isinstance(workload, tuple)
+            and len(workload) == 2
+            and isinstance(workload[0], int)
+        ):
+            num_qubits, edges = workload
+            return self.compile_qaoa(num_qubits, edges, **kwargs)
+        raise RoutingError(f"cannot infer a router for workload of type {type(workload)!r}")
+
+    # ------------------------------------------------------------------
+    def _package(self, schedule: FPQASchedule, router: str) -> CompilationResult:
+        schedule.validate()
+        evaluation = self.evaluator.evaluate(schedule)
+        return CompilationResult(
+            schedule=schedule,
+            evaluation=evaluation,
+            router=router,
+            metadata=dict(schedule.metadata),
+        )

@@ -1,0 +1,112 @@
+"""Router-in-the-loop design-space exploration (Fig. 14).
+
+The compiler supports exploring FPQA architecture parameters by compiling
+the same workload against a family of candidate configurations and scoring
+each with the fast performance evaluator.  The paper's study sweeps the
+array *width* (number of SLM/AOD columns) over {8, 16, 32, 64, 128} and
+reports the compiled circuit depth; the optimum width differs per workload,
+exposing the trade-off between in-row and cross-row parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.compiler import CompilationResult, QPilotCompiler
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+
+
+@dataclass
+class DesignPoint:
+    """One candidate architecture and its compiled metrics."""
+
+    width: int
+    config: FPQAConfig
+    result: CompilationResult
+
+    @property
+    def depth(self) -> int:
+        return self.result.depth
+
+    @property
+    def error_rate(self) -> float:
+        return self.result.evaluation.error_rate
+
+    def summary(self) -> dict:
+        data = self.result.summary()
+        data["width"] = self.width
+        return data
+
+
+@dataclass
+class SweepResult:
+    """Result of sweeping the array width for one workload."""
+
+    workload_name: str
+    points: list[DesignPoint] = field(default_factory=list)
+
+    def best(self, metric: str = "depth") -> DesignPoint:
+        """Design point minimising the requested metric."""
+        if not self.points:
+            raise QPilotError("empty design-space sweep")
+        if metric == "depth":
+            return min(self.points, key=lambda p: p.depth)
+        if metric == "error_rate":
+            return min(self.points, key=lambda p: p.error_rate)
+        raise QPilotError(f"unknown sweep metric {metric!r}")
+
+    def as_series(self) -> list[tuple[int, int]]:
+        """(width, depth) pairs in sweep order — the Fig. 14 curves."""
+        return [(p.width, p.depth) for p in self.points]
+
+
+WorkloadCompiler = Callable[[QPilotCompiler], CompilationResult]
+
+
+def sweep_array_width(
+    compile_fn: WorkloadCompiler,
+    num_qubits: int,
+    *,
+    widths: Sequence[int] = (8, 16, 32, 64, 128),
+    workload_name: str = "workload",
+    base_config_kwargs: dict | None = None,
+) -> SweepResult:
+    """Compile one workload against FPQA arrays of different widths.
+
+    Parameters
+    ----------
+    compile_fn:
+        Callback receiving a :class:`QPilotCompiler` already configured for
+        one candidate width and returning the compilation result.  This lets
+        the same sweep drive any router.
+    num_qubits:
+        Number of data qubits; the row count of each candidate array is
+        derived from it.
+    widths:
+        Candidate column counts (the paper sweeps 8..128).
+    """
+    base_kwargs = base_config_kwargs or {}
+    result = SweepResult(workload_name=workload_name)
+    for width in widths:
+        config = FPQAConfig.with_width(num_qubits, int(width), **base_kwargs)
+        compiler = QPilotCompiler(config)
+        compilation = compile_fn(compiler)
+        result.points.append(DesignPoint(width=int(width), config=config, result=compilation))
+    return result
+
+
+def architecture_search(
+    compile_fn: WorkloadCompiler,
+    num_qubits: int,
+    *,
+    widths: Sequence[int] = (8, 16, 32, 64, 128),
+    metric: str = "depth",
+    workload_name: str = "workload",
+) -> DesignPoint:
+    """Convenience wrapper: sweep the widths and return the best design point."""
+    sweep = sweep_array_width(
+        compile_fn, num_qubits, widths=widths, workload_name=workload_name
+    )
+    return sweep.best(metric)

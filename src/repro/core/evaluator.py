@@ -1,0 +1,165 @@
+"""Fast performance evaluator for compiled FPQA schedules.
+
+Given a schedule and the machine configuration, the evaluator reports the
+metrics the paper uses throughout its evaluation:
+
+* number of 1-qubit and 2-qubit gates,
+* circuit depth (parallel 2-qubit layers),
+* total / per-stage AOD movement distance,
+* an execution-time estimate, and
+* the end-to-end fidelity / error-rate estimate of Eq. 5.
+
+The same evaluator powers the router-in-the-loop design-space exploration
+(:mod:`repro.core.dse`): candidate FPQA configurations are compared by the
+estimated circuit fidelity of their compiled schedules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.schedule import FPQASchedule
+from repro.hardware.fpqa import FPQAConfig
+
+
+@dataclass(frozen=True)
+class FidelityModel:
+    """Parameters of the paper's Eq. 5 error model.
+
+    epsilon = 1 - f2^(N*T) * f1^G1 * exp(-N * sum_i T0*sqrt(D_i) / T2)
+
+    where N is the number of atoms used (data + ancilla), T the circuit
+    depth (2-qubit layers), G1 the 1-qubit gate count, f1/f2 the gate
+    fidelities, T2 the coherence time, T0 the characteristic movement time
+    and D_i the maximum distance moved in stage i (in site-spacing units).
+    """
+
+    one_qubit_fidelity: float = 0.999
+    two_qubit_fidelity: float = 0.995
+    t2_s: float = 1.5
+    t0_s: float = 300e-6
+
+    @classmethod
+    def from_config(cls, config: FPQAConfig, *, two_qubit_fidelity: float | None = None) -> "FidelityModel":
+        """Build the model from an FPQA configuration."""
+        return cls(
+            one_qubit_fidelity=config.one_qubit_fidelity,
+            two_qubit_fidelity=(
+                config.two_qubit_fidelity if two_qubit_fidelity is None else two_qubit_fidelity
+            ),
+            t2_s=config.t2_s,
+            t0_s=config.t0_us * 1e-6,
+        )
+
+    def success_probability(
+        self,
+        *,
+        num_atoms: int,
+        depth: int,
+        num_one_qubit_gates: int,
+        movement_distances: list[float],
+    ) -> float:
+        """Estimated probability that the whole circuit executes without error."""
+        if num_atoms < 0 or depth < 0 or num_one_qubit_gates < 0:
+            raise ValueError("fidelity model inputs must be non-negative")
+        gate_term = (self.two_qubit_fidelity ** (num_atoms * depth)) * (
+            self.one_qubit_fidelity ** num_one_qubit_gates
+        )
+        movement_time = sum(self.t0_s * math.sqrt(max(d, 0.0)) for d in movement_distances)
+        decoherence_term = math.exp(-num_atoms * movement_time / self.t2_s)
+        return float(gate_term * decoherence_term)
+
+    def error_rate(self, **kwargs) -> float:
+        """1 - success probability (Eq. 5's epsilon)."""
+        return 1.0 - self.success_probability(**kwargs)
+
+
+@dataclass
+class EvaluationResult:
+    """Metrics of one compiled schedule."""
+
+    name: str
+    num_data_qubits: int
+    num_atoms: int
+    depth: int
+    num_two_qubit_gates: int
+    num_one_qubit_gates: int
+    num_rydberg_stages: int
+    total_movement_distance: float
+    execution_time_us: float
+    success_probability: float
+    error_rate: float
+    average_parallelism: float
+    compile_time_s: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "qubits": self.num_data_qubits,
+            "atoms": self.num_atoms,
+            "depth": self.depth,
+            "2q_gates": self.num_two_qubit_gates,
+            "1q_gates": self.num_one_qubit_gates,
+            "movement": round(self.total_movement_distance, 2),
+            "exec_time_us": round(self.execution_time_us, 2),
+            "error_rate": round(self.error_rate, 6),
+            "parallelism": round(self.average_parallelism, 3),
+        }
+
+
+class PerformanceEvaluator:
+    """Compute all schedule metrics, including the Eq. 5 fidelity estimate."""
+
+    def __init__(self, fidelity_model: FidelityModel | None = None):
+        self.fidelity_model = fidelity_model
+
+    def evaluate(self, schedule: FPQASchedule) -> EvaluationResult:
+        """Evaluate a compiled schedule."""
+        model = self.fidelity_model or FidelityModel.from_config(schedule.config)
+        depth = schedule.two_qubit_depth()
+        num_atoms = schedule.total_qubits_used()
+        one_qubit = schedule.num_one_qubit_gates()
+        distances = schedule.movement_distances()
+        success = model.success_probability(
+            num_atoms=num_atoms,
+            depth=depth,
+            num_one_qubit_gates=one_qubit,
+            movement_distances=distances,
+        )
+        return EvaluationResult(
+            name=schedule.name,
+            num_data_qubits=schedule.num_data_qubits,
+            num_atoms=num_atoms,
+            depth=depth,
+            num_two_qubit_gates=schedule.num_two_qubit_gates(),
+            num_one_qubit_gates=one_qubit,
+            num_rydberg_stages=schedule.num_rydberg_stages(),
+            total_movement_distance=schedule.total_movement_distance(),
+            execution_time_us=schedule.execution_time_us(),
+            success_probability=success,
+            error_rate=1.0 - success,
+            average_parallelism=schedule.average_parallelism(),
+            compile_time_s=schedule.metadata.get("compile_time_s"),
+        )
+
+    def error_rate_vs_two_qubit_error(
+        self, schedule: FPQASchedule, two_qubit_error_rates: list[float]
+    ) -> list[tuple[float, float]]:
+        """Sweep the 2-qubit gate error rate and report the overall error (Fig. 15a)."""
+        points: list[tuple[float, float]] = []
+        depth = schedule.two_qubit_depth()
+        num_atoms = schedule.total_qubits_used()
+        one_qubit = schedule.num_one_qubit_gates()
+        distances = schedule.movement_distances()
+        for error in two_qubit_error_rates:
+            model = FidelityModel.from_config(schedule.config, two_qubit_fidelity=1.0 - error)
+            overall = model.error_rate(
+                num_atoms=num_atoms,
+                depth=depth,
+                num_one_qubit_gates=one_qubit,
+                movement_distances=distances,
+            )
+            points.append((float(error), float(overall)))
+        return points

@@ -1,0 +1,423 @@
+"""FPQA schedule representation.
+
+A compiled Q-Pilot program is a sequence of *stages*.  Each stage is one of:
+
+* :class:`OneQubitStage` — Raman-laser stage applying 1-qubit gates to data
+  qubits (individually addressed, all in parallel).
+* :class:`AncillaCreationStage` — flying ancillas are loaded onto the AOD
+  grid and entangled with their source qubits via one parallel CNOT layer
+  (one Rydberg pulse).
+* :class:`MovementStage` — AOD rows/columns slide to new positions; no
+  gates are applied.
+* :class:`RydbergStage` — the global Rydberg laser fires, executing one
+  parallel layer of 2-qubit gates between coupled atom pairs.
+* :class:`AncillaRecycleStage` — the inverse CNOT layer that disentangles
+  (and then discards) the flying ancillas.
+* :class:`MeasurementStage` — terminal measurement of the data qubits.
+
+Operands reference either an SLM data qubit (``("slm", qubit_index)``) or an
+AOD ancilla slot (``("aod", slot_index)``).  The schedule can be flattened
+back into an ordinary gate list (ancilla slot ``k`` becomes qubit
+``num_data + k``) for statevector verification, and exposes all the metrics
+the paper's evaluation reports: 2-qubit layer count ("circuit depth"),
+1-/2-qubit gate counts, movement distance, and an execution-time estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+from repro.circuit.gate import Gate
+from repro.core.movement import AtomMove, MovementStep
+from repro.exceptions import ScheduleError
+from repro.hardware.fpqa import FPQAConfig
+
+Operand = tuple[Literal["slm", "aod"], int]
+
+
+def slm(qubit: int) -> Operand:
+    """Operand referring to a fixed SLM data qubit."""
+    return ("slm", int(qubit))
+
+
+def aod(slot: int) -> Operand:
+    """Operand referring to a flying-ancilla AOD slot."""
+    return ("aod", int(slot))
+
+
+def _resolve(operand: Operand, num_data: int) -> int:
+    kind, index = operand
+    if kind == "slm":
+        return index
+    if kind == "aod":
+        return num_data + index
+    raise ScheduleError(f"unknown operand kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class ScheduledGate:
+    """A gate whose operands may be data qubits or ancilla slots."""
+
+    name: str
+    operands: tuple[Operand, ...]
+    params: tuple[float, ...] = ()
+
+    def to_gate(self, num_data: int) -> Gate:
+        """Concrete :class:`Gate` once ancilla slots are given qubit indices."""
+        return Gate(self.name, tuple(_resolve(op, num_data) for op in self.operands), self.params)
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return len(self.operands) == 2
+
+    @property
+    def data_qubits(self) -> tuple[int, ...]:
+        return tuple(index for kind, index in self.operands if kind == "slm")
+
+    @property
+    def ancilla_slots(self) -> tuple[int, ...]:
+        return tuple(index for kind, index in self.operands if kind == "aod")
+
+
+# ----------------------------------------------------------------------
+# stage types
+# ----------------------------------------------------------------------
+@dataclass
+class Stage:
+    """Base class for schedule stages."""
+
+    label: str = ""
+
+    # metric hooks -------------------------------------------------------
+    def num_two_qubit_gates(self) -> int:
+        return 0
+
+    def num_one_qubit_gates(self) -> int:
+        return 0
+
+    def two_qubit_layers(self) -> int:
+        """How many parallel 2-qubit layers this stage contributes to depth."""
+        return 0
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        """Plain gates implementing the stage (for verification)."""
+        return []
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        return 0.0
+
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class OneQubitStage(Stage):
+    """A Raman-laser stage of parallel 1-qubit gates on data qubits."""
+
+    gates: list[ScheduledGate] = field(default_factory=list)
+
+    def num_one_qubit_gates(self) -> int:
+        return len(self.gates)
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        return [g.to_gate(num_data) for g in self.gates]
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        return config.one_qubit_time_us if self.gates else 0.0
+
+
+@dataclass
+class AncillaCreationStage(Stage):
+    """Create flying ancillas: one parallel layer of fan-out CNOTs.
+
+    ``copies`` lists ``(source, ancilla_slot)`` pairs; the source may be a
+    data qubit or an already-live ancilla (the quantum-simulation router
+    fans out copies from copies).
+    """
+
+    copies: list[tuple[Operand, int]] = field(default_factory=list)
+    uses_atom_transfer: bool = True
+
+    def num_two_qubit_gates(self) -> int:
+        return len(self.copies)
+
+    def two_qubit_layers(self) -> int:
+        return 1 if self.copies else 0
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        return [
+            Gate("cx", (_resolve(source, num_data), num_data + slot))
+            for source, slot in self.copies
+        ]
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        transfer = config.atom_transfer_time_us if self.uses_atom_transfer else 0.0
+        return transfer + (config.two_qubit_time_us if self.copies else 0.0)
+
+    @property
+    def ancilla_slots(self) -> list[int]:
+        return [slot for _, slot in self.copies]
+
+
+@dataclass
+class MovementStage(Stage):
+    """AOD rows/columns slide to new positions (no gates)."""
+
+    step: MovementStep = field(default_factory=MovementStep)
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        return self.step.duration_us(
+            config.site_spacing_um, config.move_speed_um_per_s, config.t0_us
+        )
+
+    @property
+    def max_distance(self) -> float:
+        return self.step.max_distance
+
+
+@dataclass
+class RydbergStage(Stage):
+    """One global Rydberg pulse executing a parallel layer of 2-qubit gates."""
+
+    gates: list[ScheduledGate] = field(default_factory=list)
+
+    def num_two_qubit_gates(self) -> int:
+        return len(self.gates)
+
+    def two_qubit_layers(self) -> int:
+        return 1 if self.gates else 0
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        return [g.to_gate(num_data) for g in self.gates]
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        return config.two_qubit_time_us if self.gates else 0.0
+
+
+@dataclass
+class AncillaRecycleStage(Stage):
+    """Disentangle flying ancillas with the inverse fan-out CNOT layer."""
+
+    copies: list[tuple[Operand, int]] = field(default_factory=list)
+    uses_atom_transfer: bool = True
+
+    def num_two_qubit_gates(self) -> int:
+        return len(self.copies)
+
+    def two_qubit_layers(self) -> int:
+        return 1 if self.copies else 0
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        return [
+            Gate("cx", (_resolve(source, num_data), num_data + slot))
+            for source, slot in self.copies
+        ]
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        transfer = config.atom_transfer_time_us if self.uses_atom_transfer else 0.0
+        return transfer + (config.two_qubit_time_us if self.copies else 0.0)
+
+
+@dataclass
+class MeasurementStage(Stage):
+    """Terminal measurement of data qubits."""
+
+    qubits: list[int] = field(default_factory=list)
+
+    def expanded_gates(self, num_data: int) -> list[Gate]:
+        return [Gate("measure", (q,)) for q in self.qubits]
+
+    def duration_us(self, config: FPQAConfig) -> float:
+        return 0.0
+
+
+# ----------------------------------------------------------------------
+# the schedule container
+# ----------------------------------------------------------------------
+@dataclass
+class FPQASchedule:
+    """A compiled FPQA program: ordered stages plus the machine configuration."""
+
+    config: FPQAConfig
+    num_data_qubits: int
+    stages: list[Stage] = field(default_factory=list)
+    name: str = "fpqa_schedule"
+    metadata: dict = field(default_factory=dict)
+
+    # construction ---------------------------------------------------------
+    def append(self, stage: Stage) -> "FPQASchedule":
+        self.stages.append(stage)
+        return self
+
+    def extend(self, stages: Iterable[Stage]) -> "FPQASchedule":
+        for stage in stages:
+            self.append(stage)
+        return self
+
+    # metrics ---------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def two_qubit_depth(self) -> int:
+        """Number of parallel 2-qubit gate layers — the paper's circuit depth."""
+        return sum(stage.two_qubit_layers() for stage in self.stages)
+
+    def num_two_qubit_gates(self) -> int:
+        return sum(stage.num_two_qubit_gates() for stage in self.stages)
+
+    def num_one_qubit_gates(self) -> int:
+        return sum(stage.num_one_qubit_gates() for stage in self.stages)
+
+    def num_rydberg_stages(self) -> int:
+        return sum(1 for s in self.stages if isinstance(s, RydbergStage) and s.gates)
+
+    def movement_steps(self) -> list[MovementStep]:
+        return [s.step for s in self.stages if isinstance(s, MovementStage)]
+
+    def total_movement_distance(self) -> float:
+        """Sum over movement stages of the maximum displacement (grid units)."""
+        return sum(step.max_distance for step in self.movement_steps())
+
+    def movement_distances(self) -> list[float]:
+        """Per-movement-stage maximum displacement (grid units)."""
+        return [step.max_distance for step in self.movement_steps()]
+
+    def max_ancillas_used(self) -> int:
+        """Highest ancilla slot index used plus one (0 if no ancillas)."""
+        highest = -1
+        for stage in self.stages:
+            if isinstance(stage, (AncillaCreationStage, AncillaRecycleStage)):
+                for _, slot in stage.copies:
+                    highest = max(highest, slot)
+            elif isinstance(stage, RydbergStage):
+                for gate in stage.gates:
+                    for slot in gate.ancilla_slots:
+                        highest = max(highest, slot)
+        return highest + 1
+
+    def max_concurrent_ancillas(self) -> int:
+        """Peak number of simultaneously live flying ancillas."""
+        live: set[int] = set()
+        peak = 0
+        for stage in self.stages:
+            if isinstance(stage, AncillaCreationStage):
+                live.update(slot for _, slot in stage.copies)
+                peak = max(peak, len(live))
+            elif isinstance(stage, AncillaRecycleStage):
+                live.difference_update(slot for _, slot in stage.copies)
+        return peak
+
+    def total_qubits_used(self) -> int:
+        """Data qubits plus peak live ancillas (the ``N`` of the Eq. 5 model)."""
+        return self.num_data_qubits + self.max_concurrent_ancillas()
+
+    def execution_time_us(self) -> float:
+        """Wall-clock execution estimate summing every stage's duration."""
+        return sum(stage.duration_us(self.config) for stage in self.stages)
+
+    def time_breakdown_us(self) -> dict[str, float]:
+        """Execution time split into movement / 2Q / 1Q / transfer buckets (Fig. 10)."""
+        breakdown = {"movement": 0.0, "2q_gate": 0.0, "1q_gate": 0.0, "atom_transfer": 0.0}
+        for stage in self.stages:
+            duration = stage.duration_us(self.config)
+            if isinstance(stage, MovementStage):
+                breakdown["movement"] += duration
+            elif isinstance(stage, OneQubitStage):
+                breakdown["1q_gate"] += duration
+            elif isinstance(stage, (AncillaCreationStage, AncillaRecycleStage)):
+                transfer = self.config.atom_transfer_time_us if stage.uses_atom_transfer else 0.0
+                breakdown["atom_transfer"] += transfer
+                breakdown["2q_gate"] += max(0.0, duration - transfer)
+            elif isinstance(stage, RydbergStage):
+                breakdown["2q_gate"] += duration
+        return breakdown
+
+    def parallelism_histogram(self) -> dict[int, int]:
+        """Histogram of 2-qubit gates per Rydberg stage (Fig. 15b)."""
+        histogram: dict[int, int] = {}
+        for stage in self.stages:
+            if isinstance(stage, RydbergStage) and stage.gates:
+                count = len(stage.gates)
+                histogram[count] = histogram.get(count, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def average_parallelism(self) -> float:
+        """Mean number of 2-qubit gates per Rydberg stage."""
+        counts = [len(s.gates) for s in self.stages if isinstance(s, RydbergStage) and s.gates]
+        return sum(counts) / len(counts) if counts else 0.0
+
+    # verification helpers ---------------------------------------------------
+    def validate(self) -> None:
+        """Structural sanity checks.
+
+        * Ancilla slots must be created before they are used in a Rydberg
+          stage and recycled before being re-created.
+        * Every Rydberg-stage gate must touch at most one data qubit per
+          operand and reference only live ancillas.
+
+        Raises
+        ------
+        ScheduleError
+            If any invariant is violated.
+        """
+        live: set[int] = set()
+        for position, stage in enumerate(self.stages):
+            if isinstance(stage, AncillaCreationStage):
+                for source, slot in stage.copies:
+                    if slot in live:
+                        raise ScheduleError(
+                            f"stage {position}: ancilla slot {slot} created twice without recycle"
+                        )
+                    if source[0] == "aod" and source[1] not in live:
+                        raise ScheduleError(
+                            f"stage {position}: ancilla {slot} copies dead ancilla {source[1]}"
+                        )
+                    live.add(slot)
+            elif isinstance(stage, AncillaRecycleStage):
+                for _, slot in stage.copies:
+                    if slot not in live:
+                        raise ScheduleError(
+                            f"stage {position}: recycling ancilla slot {slot} that is not live"
+                        )
+                    live.discard(slot)
+            elif isinstance(stage, RydbergStage):
+                used_operands: set[Operand] = set()
+                for gate in stage.gates:
+                    for operand in gate.operands:
+                        if operand in used_operands:
+                            raise ScheduleError(
+                                f"stage {position}: operand {operand} used twice in one Rydberg pulse"
+                            )
+                        used_operands.add(operand)
+                    for slot in gate.ancilla_slots:
+                        if slot not in live:
+                            raise ScheduleError(
+                                f"stage {position}: gate uses dead ancilla slot {slot}"
+                            )
+                    for qubit in gate.data_qubits:
+                        if not 0 <= qubit < self.num_data_qubits:
+                            raise ScheduleError(
+                                f"stage {position}: data qubit {qubit} out of range"
+                            )
+
+    def summary(self) -> dict:
+        """Plain-dict metric summary used by the benchmark harness."""
+        return {
+            "name": self.name,
+            "qubits": self.num_data_qubits,
+            "depth": self.two_qubit_depth(),
+            "2q_gates": self.num_two_qubit_gates(),
+            "1q_gates": self.num_one_qubit_gates(),
+            "rydberg_stages": self.num_rydberg_stages(),
+            "movement_distance": round(self.total_movement_distance(), 3),
+            "max_ancillas": self.max_concurrent_ancillas(),
+            "execution_time_us": round(self.execution_time_us(), 3),
+        }
+
+
+def movement_stage_from_moves(moves: Sequence[AtomMove], label: str = "") -> MovementStage:
+    """Convenience constructor for a movement stage."""
+    step = MovementStep(moves=list(moves))
+    return MovementStage(label=label, step=step)

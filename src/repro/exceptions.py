@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Q-Pilot reproduction library.
+
+All library-specific errors derive from :class:`QPilotError` so that callers
+can catch a single base class when they want to distinguish library failures
+from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class QPilotError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CircuitError(QPilotError):
+    """Raised for malformed circuits or invalid gate constructions."""
+
+
+class DecompositionError(CircuitError):
+    """Raised when a gate cannot be decomposed into the requested basis."""
+
+
+class HardwareError(QPilotError):
+    """Raised for invalid hardware configurations (devices, FPQA arrays)."""
+
+
+class RoutingError(QPilotError):
+    """Raised when a router cannot produce a legal schedule."""
+
+
+class ScheduleError(QPilotError):
+    """Raised for inconsistent or illegal FPQA schedules."""
+
+
+class WorkloadError(QPilotError):
+    """Raised for invalid benchmark workload specifications."""
+
+
+class SolverTimeoutError(QPilotError):
+    """Raised (or recorded) when the exact solver baseline exceeds its budget."""
+
+
+class VerificationError(QPilotError):
+    """Raised when a compiled schedule fails semantic verification."""

@@ -1,0 +1,51 @@
+"""Hardware models: fixed-coupling baseline devices and the FPQA machine."""
+
+from repro.hardware.constraints import (
+    GatePlacement,
+    assign_aod_crosses,
+    check_no_unintended_interactions,
+    greedy_legal_subset,
+    pair_is_compatible,
+    placement_for_gate,
+    subset_is_legal,
+    violating_pairs,
+)
+from repro.hardware.coupling import CouplingGraph
+from repro.hardware.devices import (
+    device_catalogue,
+    grid_device,
+    heavy_hex_device,
+    ibm_washington_device,
+    linear_device,
+    ring_device,
+    smallest_device_for,
+    square_fixed_atom_array,
+    triangular_device,
+    triangular_fixed_atom_array,
+)
+from repro.hardware.fpqa import AODGrid, FPQAConfig, SLMArray
+
+__all__ = [
+    "CouplingGraph",
+    "device_catalogue",
+    "grid_device",
+    "triangular_device",
+    "linear_device",
+    "ring_device",
+    "heavy_hex_device",
+    "ibm_washington_device",
+    "square_fixed_atom_array",
+    "triangular_fixed_atom_array",
+    "smallest_device_for",
+    "FPQAConfig",
+    "SLMArray",
+    "AODGrid",
+    "GatePlacement",
+    "placement_for_gate",
+    "pair_is_compatible",
+    "subset_is_legal",
+    "violating_pairs",
+    "greedy_legal_subset",
+    "assign_aod_crosses",
+    "check_no_unintended_interactions",
+]

@@ -1,0 +1,169 @@
+"""AOD movement legality checks.
+
+The central hardware constraint exploited by every Q-Pilot router is that
+AOD rows and columns move as rigid lines and may never cross each other.
+Consequently, a set of 2-qubit gates can only be executed in the same
+Rydberg stage if their ancillas can be placed on AOD crosses whose
+row/column ordering is consistent with both the ancilla *creation*
+positions and the gate *execution* positions.
+
+The functions here implement the order-preservation test used by the
+generic router (Alg. 1) and the per-stage interaction audit used by the
+QAOA router (Alg. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.exceptions import RoutingError
+from repro.hardware.fpqa import SLMArray
+
+
+@dataclass(frozen=True)
+class GatePlacement:
+    """Grid coordinates of the two endpoints of a candidate 2-qubit gate.
+
+    ``source`` is where the flying ancilla is created (next to the first
+    operand); ``target`` is where it must fly to (next to the second
+    operand).
+    """
+
+    gate_index: int
+    source: tuple[int, int]
+    target: tuple[int, int]
+
+    @property
+    def source_row(self) -> int:
+        return self.source[0]
+
+    @property
+    def source_col(self) -> int:
+        return self.source[1]
+
+    @property
+    def target_row(self) -> int:
+        return self.target[0]
+
+    @property
+    def target_col(self) -> int:
+        return self.target[1]
+
+
+def placement_for_gate(array: SLMArray, gate_index: int, qubit_a: int, qubit_b: int) -> GatePlacement:
+    """Build a :class:`GatePlacement` for a gate on two data qubits."""
+    return GatePlacement(gate_index, array.position(qubit_a), array.position(qubit_b))
+
+
+def _orders_compatible(a_first: int, b_first: int, a_second: int, b_second: int) -> bool:
+    """True unless the relative order flips between creation and execution."""
+    if a_first < b_first and a_second > b_second:
+        return False
+    if a_first > b_first and a_second < b_second:
+        return False
+    return True
+
+
+def pair_is_compatible(a: GatePlacement, b: GatePlacement) -> bool:
+    """Check the AOD order-preservation constraint for two candidate gates.
+
+    Two gates can share a Rydberg stage when neither their row order nor
+    their column order reverses between the ancilla creation sites and the
+    execution sites.  (Equal coordinates are always fine: the two ancillas
+    can share an AOD row/column or sit at fractionally offset positions.)
+    """
+    rows_ok = _orders_compatible(a.source_row, b.source_row, a.target_row, b.target_row)
+    cols_ok = _orders_compatible(a.source_col, b.source_col, a.target_col, b.target_col)
+    return rows_ok and cols_ok
+
+
+def subset_is_legal(placements: Sequence[GatePlacement]) -> bool:
+    """True if every pair of candidate gates is order-compatible."""
+    for i in range(len(placements)):
+        for j in range(i + 1, len(placements)):
+            if not pair_is_compatible(placements[i], placements[j]):
+                return False
+    return True
+
+
+def violating_pairs(placements: Sequence[GatePlacement]) -> list[tuple[int, int]]:
+    """Return the (gate_index, gate_index) pairs that violate the order rule."""
+    bad: list[tuple[int, int]] = []
+    for i in range(len(placements)):
+        for j in range(i + 1, len(placements)):
+            if not pair_is_compatible(placements[i], placements[j]):
+                bad.append((placements[i].gate_index, placements[j].gate_index))
+    return bad
+
+
+def assign_aod_crosses(placements: Sequence[GatePlacement]) -> dict[int, tuple[int, int]]:
+    """Assign each legal candidate gate an AOD cross (row index, column index).
+
+    The assignment follows the paper's convention: gates are ranked by the
+    creation coordinates of their ancilla, and the k-th distinct row
+    (column) in that ranking becomes AOD row (column) k.  Gates whose
+    creation coordinates tie share the AOD line whenever their execution
+    coordinates also tie, and are otherwise ranked by execution coordinates.
+
+    Raises
+    ------
+    RoutingError
+        If the placements are not a legal subset.
+    """
+    if not subset_is_legal(placements):
+        raise RoutingError("cannot assign AOD crosses to an illegal gate subset")
+
+    def rank(keys: list[tuple[int, int]]) -> dict[tuple[int, int], int]:
+        order = sorted(set(keys))
+        return {key: index for index, key in enumerate(order)}
+
+    row_keys = [(p.source_row, p.target_row) for p in placements]
+    col_keys = [(p.source_col, p.target_col) for p in placements]
+    row_rank = rank(row_keys)
+    col_rank = rank(col_keys)
+    return {
+        p.gate_index: (row_rank[(p.source_row, p.target_row)], col_rank[(p.source_col, p.target_col)])
+        for p in placements
+    }
+
+
+def greedy_legal_subset(placements: Sequence[GatePlacement]) -> list[GatePlacement]:
+    """Greedily grow a legal subset in the given candidate order (Alg. 1).
+
+    Candidates are considered one at a time; a candidate is kept only if it
+    is pairwise compatible with everything already accepted.
+    """
+    accepted: list[GatePlacement] = []
+    for candidate in placements:
+        if all(pair_is_compatible(candidate, existing) for existing in accepted):
+            accepted.append(candidate)
+    return accepted
+
+
+def check_no_unintended_interactions(
+    active_crosses: Iterable[tuple[float, float]],
+    intended_sites: set[tuple[int, int]],
+    array: SLMArray,
+    *,
+    tolerance: float = 0.45,
+) -> bool:
+    """Audit a stage: every AOD atom near an SLM site must be intended.
+
+    ``active_crosses`` holds the physical (row, col) positions (in SLM grid
+    units) of every live AOD atom during the Rydberg pulse.  An atom within
+    ``tolerance`` grid units of an occupied SLM site interacts with it; the
+    stage is legal only if that (row, col) site is listed in
+    ``intended_sites``.
+    """
+    for row_pos, col_pos in active_crosses:
+        nearest_row = round(row_pos)
+        nearest_col = round(col_pos)
+        if abs(row_pos - nearest_row) > tolerance or abs(col_pos - nearest_col) > tolerance:
+            continue  # parked between sites: no interaction
+        site_qubit = array.qubit_at(int(nearest_row), int(nearest_col))
+        if site_qubit is None:
+            continue  # empty SLM site
+        if (int(nearest_row), int(nearest_col)) not in intended_sites:
+            return False
+    return True

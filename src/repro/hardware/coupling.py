@@ -1,0 +1,150 @@
+"""Coupling graphs for fixed-connectivity quantum devices.
+
+The baseline devices in the paper (IBM Washington, square and triangular
+fixed-atom arrays) all expose a static coupling graph: 2-qubit gates may
+only act on adjacent physical qubits, and the router must insert SWAPs for
+everything else.  :class:`CouplingGraph` wraps the adjacency structure and
+pre-computes all-pairs shortest-path distances, which both the SABRE router
+and its heuristic cost function need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import HardwareError
+
+
+class CouplingGraph:
+    """Undirected coupling graph over ``num_qubits`` physical qubits."""
+
+    def __init__(self, num_qubits: int, edges: Iterable[tuple[int, int]], name: str = "device"):
+        if num_qubits < 1:
+            raise HardwareError("a device needs at least one qubit")
+        self.num_qubits = int(num_qubits)
+        self.name = name
+        self._adjacency: list[set[int]] = [set() for _ in range(self.num_qubits)]
+        self._edges: set[tuple[int, int]] = set()
+        for a, b in edges:
+            self.add_edge(int(a), int(b))
+        self._distance: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(self, a: int, b: int) -> None:
+        """Add an undirected edge (idempotent)."""
+        if a == b:
+            raise HardwareError(f"self-loop ({a}, {b}) is not a coupling edge")
+        if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+            raise HardwareError(f"edge ({a}, {b}) out of range for {self.num_qubits} qubits")
+        edge = (min(a, b), max(a, b))
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._distance = None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def edges(self) -> tuple[tuple[int, int], ...]:
+        """Sorted tuple of undirected edges (min, max)."""
+        return tuple(sorted(self._edges))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def neighbors(self, qubit: int) -> frozenset[int]:
+        """Physical neighbours of a qubit."""
+        return frozenset(self._adjacency[qubit])
+
+    def degree(self, qubit: int) -> int:
+        return len(self._adjacency[qubit])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """True if a CZ/CX can act directly on (a, b)."""
+        return b in self._adjacency[a]
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return self.are_adjacent(a, b)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self.edges)
+
+    def __contains__(self, edge: tuple[int, int]) -> bool:
+        a, b = edge
+        return self.are_adjacent(a, b)
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs shortest path distance (hops); unreachable pairs get a large value."""
+        if self._distance is None:
+            n = self.num_qubits
+            dist = np.full((n, n), n + 1, dtype=np.int32)
+            for source in range(n):
+                dist[source, source] = 0
+                queue = deque([source])
+                while queue:
+                    node = queue.popleft()
+                    for nbr in self._adjacency[node]:
+                        if dist[source, nbr] > dist[source, node] + 1:
+                            dist[source, nbr] = dist[source, node] + 1
+                            queue.append(nbr)
+            self._distance = dist
+        return self._distance
+
+    def distance(self, a: int, b: int) -> int:
+        """Shortest-path hop count between two physical qubits."""
+        return int(self.distance_matrix()[a, b])
+
+    def shortest_path(self, a: int, b: int) -> list[int]:
+        """One shortest path from ``a`` to ``b`` (inclusive)."""
+        if a == b:
+            return [a]
+        prev: dict[int, int] = {a: a}
+        queue = deque([a])
+        while queue:
+            node = queue.popleft()
+            for nbr in sorted(self._adjacency[node]):
+                if nbr not in prev:
+                    prev[nbr] = node
+                    if nbr == b:
+                        queue.clear()
+                        break
+                    queue.append(nbr)
+        if b not in prev:
+            raise HardwareError(f"qubits {a} and {b} are not connected")
+        path = [b]
+        while path[-1] != a:
+            path.append(prev[path[-1]])
+        return list(reversed(path))
+
+    def is_connected(self) -> bool:
+        """True if every qubit can reach every other qubit."""
+        dist = self.distance_matrix()
+        return bool((dist <= self.num_qubits).all())
+
+    def average_degree(self) -> float:
+        return 2.0 * self.num_edges / self.num_qubits
+
+    def subgraph(self, qubits: Sequence[int]) -> "CouplingGraph":
+        """Induced subgraph on a subset of qubits, relabelled to 0..k-1."""
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self._edges
+            if a in index and b in index
+        ]
+        return CouplingGraph(len(qubits), edges, name=f"{self.name}_sub{len(qubits)}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CouplingGraph(name={self.name!r}, qubits={self.num_qubits}, edges={self.num_edges})"

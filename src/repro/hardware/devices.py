@@ -1,0 +1,187 @@
+"""Baseline device models.
+
+The paper compares Q-Pilot against three fixed-connectivity devices:
+
+* the 127-qubit IBM Washington machine (heavy-hexagon coupling graph),
+* a 16x16 square lattice of fixed neutral atoms (4 nearest neighbours), and
+* a 16x16 triangular lattice of fixed neutral atoms (6 nearest neighbours).
+
+These generators produce the corresponding :class:`CouplingGraph` objects.
+The heavy-hex generator follows IBM's published Eagle r1 layout scheme
+(rows of 15 qubits joined by 4 bridge qubits every other column).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import HardwareError
+from repro.hardware.coupling import CouplingGraph
+
+
+def linear_device(num_qubits: int) -> CouplingGraph:
+    """A 1-D chain of qubits (useful for tests and small examples)."""
+    edges = [(i, i + 1) for i in range(num_qubits - 1)]
+    return CouplingGraph(num_qubits, edges, name=f"line_{num_qubits}")
+
+
+def ring_device(num_qubits: int) -> CouplingGraph:
+    """A ring of qubits."""
+    if num_qubits < 3:
+        raise HardwareError("a ring needs at least 3 qubits")
+    edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    return CouplingGraph(num_qubits, edges, name=f"ring_{num_qubits}")
+
+
+def grid_device(rows: int, cols: int, *, name: str | None = None) -> CouplingGraph:
+    """Square-lattice device: each atom couples to its 4 nearest neighbours."""
+    if rows < 1 or cols < 1:
+        raise HardwareError("grid dimensions must be positive")
+    num_qubits = rows * cols
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+    return CouplingGraph(num_qubits, edges, name=name or f"square_{rows}x{cols}")
+
+
+def triangular_device(rows: int, cols: int, *, name: str | None = None) -> CouplingGraph:
+    """Triangular-lattice device: square lattice plus one diagonal per cell.
+
+    Interior atoms couple to 6 neighbours (up, down, left, right and the two
+    diagonals of one orientation), matching the paper's description of the
+    triangular fixed-atom array.
+    """
+    if rows < 1 or cols < 1:
+        raise HardwareError("grid dimensions must be positive")
+    num_qubits = rows * cols
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            q = r * cols + c
+            if c + 1 < cols:
+                edges.append((q, q + 1))
+            if r + 1 < rows:
+                edges.append((q, q + cols))
+            if r + 1 < rows and c + 1 < cols:
+                edges.append((q, q + cols + 1))
+    return CouplingGraph(num_qubits, edges, name=name or f"triangular_{rows}x{cols}")
+
+
+def square_fixed_atom_array(size: int = 16) -> CouplingGraph:
+    """The paper's 16x16 square fixed-atom-array baseline."""
+    return grid_device(size, size, name=f"faa_square_{size}x{size}")
+
+
+def triangular_fixed_atom_array(size: int = 16) -> CouplingGraph:
+    """The paper's 16x16 triangular fixed-atom-array baseline."""
+    return triangular_device(size, size, name=f"faa_triangular_{size}x{size}")
+
+
+def heavy_hex_device(distance: int = 7, *, name: str = "ibm_washington") -> CouplingGraph:
+    """Heavy-hexagon coupling graph in the style of IBM's Eagle processors.
+
+    The layout alternates full rows of qubits with sparse rows of bridge
+    qubits.  ``distance=7`` yields the 127-qubit IBM Washington topology:
+    7 rows of 15 (with the first and last rows shortened to 14) plus 6 rows
+    of 4 bridge qubits.
+
+    Returns
+    -------
+    CouplingGraph
+        A connected graph with max degree 3 (heavy-hex signature).
+    """
+    if distance < 2:
+        raise HardwareError("heavy-hex distance must be >= 2")
+    row_length = 2 * distance + 1  # 15 for distance 7
+    num_rows = distance  # 7 full rows
+    qubit_index = 0
+    row_qubits: list[list[int]] = []
+    bridge_rows: list[dict[int, int]] = []
+    edges: list[tuple[int, int]] = []
+
+    # Full rows.  IBM's 127-qubit chip drops one qubit at the end of the
+    # first row and one at the start of the last row.
+    for r in range(num_rows):
+        if r == 0:
+            length = row_length - 1
+            offset = 0
+        elif r == num_rows - 1:
+            length = row_length - 1
+            offset = 1
+        else:
+            length = row_length
+            offset = 0
+        qubits = [qubit_index + i for i in range(length)]
+        qubit_index += length
+        row_qubits.append(qubits)
+        for a, b in zip(qubits[:-1], qubits[1:]):
+            edges.append((a, b))
+        # remember column offset for bridge alignment (-1 marks a missing site)
+        row_qubits[-1] = [
+            qubits[i - offset] if offset <= i < offset + length else -1
+            for i in range(row_length)
+        ]
+
+    # Bridge rows: one bridge qubit every 4 columns, alternating phase.
+    for r in range(num_rows - 1):
+        phase = 0 if r % 2 == 0 else 2
+        bridges: dict[int, int] = {}
+        for col in range(phase, row_length, 4):
+            top = row_qubits[r][col]
+            bottom = row_qubits[r + 1][col]
+            if top < 0 or bottom < 0:
+                continue
+            bridge = qubit_index
+            qubit_index += 1
+            bridges[col] = bridge
+            edges.append((top, bridge))
+            edges.append((bridge, bottom))
+        bridge_rows.append(bridges)
+
+    graph = CouplingGraph(qubit_index, edges, name=name)
+    return graph
+
+
+def ibm_washington_device() -> CouplingGraph:
+    """The 127-qubit heavy-hex device used as the superconducting baseline."""
+    return heavy_hex_device(7, name="ibm_washington")
+
+
+def device_catalogue() -> dict[str, CouplingGraph]:
+    """All baseline devices used in the paper's evaluation, by name."""
+    return {
+        "superconducting": ibm_washington_device(),
+        "faa_square": square_fixed_atom_array(16),
+        "faa_triangular": triangular_fixed_atom_array(16),
+    }
+
+
+def smallest_device_for(num_qubits: int, kind: str) -> CouplingGraph:
+    """Return a baseline device of the requested kind large enough for a circuit.
+
+    The paper always uses the full-size devices (127-qubit heavy-hex,
+    16x16 lattices); this helper additionally supports generating larger
+    lattices when a circuit needs more qubits than the stock devices offer
+    (e.g. the 500-2000 qubit scalability study).
+    """
+    if kind == "superconducting":
+        device = ibm_washington_device()
+        if num_qubits > device.num_qubits:
+            raise HardwareError(
+                f"circuit needs {num_qubits} qubits, IBM Washington has {device.num_qubits}"
+            )
+        return device
+    if kind in {"faa_square", "square"}:
+        size = 16
+        while size * size < num_qubits:
+            size += 1
+        return square_fixed_atom_array(size)
+    if kind in {"faa_triangular", "triangular"}:
+        size = 16
+        while size * size < num_qubits:
+            size += 1
+        return triangular_fixed_atom_array(size)
+    raise HardwareError(f"unknown device kind {kind!r}")

@@ -1,0 +1,25 @@
+"""Small dense statevector simulator and schedule verification helpers."""
+
+from repro.sim.statevector import (
+    Statevector,
+    circuit_unitary,
+    circuits_equivalent,
+    unitaries_equivalent,
+)
+from repro.sim.verification import (
+    ancilla_routed_cz_gates,
+    expand_schedule_to_circuit,
+    verify_cz_routing_theorem,
+    verify_schedule_equivalence,
+)
+
+__all__ = [
+    "Statevector",
+    "circuit_unitary",
+    "circuits_equivalent",
+    "unitaries_equivalent",
+    "verify_cz_routing_theorem",
+    "ancilla_routed_cz_gates",
+    "expand_schedule_to_circuit",
+    "verify_schedule_equivalence",
+]

@@ -1,0 +1,238 @@
+"""Dense statevector simulator for correctness checks.
+
+This simulator exists solely to *verify* the compiler: decompositions must
+preserve unitaries, and flying-ancilla schedules must act on the data
+qubits exactly like the original circuit.  It is intentionally simple
+(dense numpy, little-endian qubit ordering, no noise) and is only used on
+small registers (≤ ~14 qubits) inside the test-suite and examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import QPilotError
+from repro.utils.rng import ensure_rng
+
+_MAX_SIM_QUBITS = 22
+
+
+class Statevector:
+    """A dense statevector over ``num_qubits`` qubits (little-endian).
+
+    Basis state ``|x>`` has qubit ``q`` equal to bit ``q`` of ``x``.
+    """
+
+    def __init__(self, num_qubits: int, data: np.ndarray | None = None):
+        if num_qubits < 1:
+            raise QPilotError("statevector needs at least one qubit")
+        if num_qubits > _MAX_SIM_QUBITS:
+            raise QPilotError(
+                f"refusing to simulate {num_qubits} qubits (limit {_MAX_SIM_QUBITS})"
+            )
+        self.num_qubits = num_qubits
+        dim = 1 << num_qubits
+        if data is None:
+            self.data = np.zeros(dim, dtype=complex)
+            self.data[0] = 1.0
+        else:
+            data = np.asarray(data, dtype=complex).reshape(-1)
+            if data.shape[0] != dim:
+                raise QPilotError(f"statevector data has dimension {data.shape[0]}, expected {dim}")
+            self.data = data.copy()
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, num_qubits: int, seed: int | np.random.Generator | None = None) -> "Statevector":
+        """Haar-ish random state (normalised complex Gaussian vector)."""
+        rng = ensure_rng(seed)
+        dim = 1 << num_qubits
+        vec = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        vec /= np.linalg.norm(vec)
+        return cls(num_qubits, vec)
+
+    @classmethod
+    def from_label(cls, label: str) -> "Statevector":
+        """Computational basis state from a bit-string label.
+
+        ``label[0]`` is qubit 0 (little-endian label, e.g. ``"10"`` means
+        qubit 0 = 1, qubit 1 = 0).
+        """
+        num_qubits = len(label)
+        index = 0
+        for qubit, char in enumerate(label):
+            if char not in "01":
+                raise QPilotError(f"invalid basis label {label!r}")
+            if char == "1":
+                index |= 1 << qubit
+        state = cls(num_qubits)
+        state.data[:] = 0
+        state.data[index] = 1.0
+        return state
+
+    def copy(self) -> "Statevector":
+        return Statevector(self.num_qubits, self.data)
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def apply_matrix(self, matrix: np.ndarray, qubits: Sequence[int]) -> "Statevector":
+        """Apply a k-qubit unitary to the listed qubits (in place).
+
+        ``qubits[0]`` is the least-significant operand of ``matrix``.
+        """
+        k = len(qubits)
+        if matrix.shape != (1 << k, 1 << k):
+            raise QPilotError(f"matrix shape {matrix.shape} does not match {k} qubits")
+        if len(set(qubits)) != k:
+            raise QPilotError("duplicate qubits in apply_matrix")
+        if any(q >= self.num_qubits or q < 0 for q in qubits):
+            raise QPilotError(f"qubits {qubits} out of range for {self.num_qubits}-qubit state")
+        n = self.num_qubits
+        psi = self.data.reshape([2] * n)
+        # numpy axis p corresponds to qubit (n - 1 - p) in little-endian order.
+        # The matrix treats qubits[0] as its least-significant operand, so its
+        # tensor input axes (k..2k-1) run over qubits[k-1], ..., qubits[0].
+        axes = [n - 1 - q for q in reversed(qubits)]
+        tensor = matrix.reshape([2] * (2 * k))
+        # tensordot contracts matrix's input indices (last k) with the state axes
+        psi = np.tensordot(tensor, psi, axes=(list(range(k, 2 * k)), axes))
+        # result has the k output indices first (same qubit order as `axes`),
+        # followed by the remaining axes in their original relative order
+        remaining = [ax for ax in range(n) if ax not in set(axes)]
+        current_order = axes + remaining
+        inverse = np.argsort(current_order)
+        psi = np.transpose(psi, inverse)
+        self.data = psi.reshape(-1)
+        return self
+
+    def apply_gate(self, gate: Gate) -> "Statevector":
+        """Apply a :class:`Gate` (measure/reset/barrier are ignored)."""
+        if gate.is_directive:
+            return self
+        matrix = gate.matrix()
+        # gate.matrix() uses qubits[0] as the least-significant operand
+        return self.apply_matrix(matrix, list(gate.qubits))
+
+    def apply_circuit(self, circuit: QuantumCircuit) -> "Statevector":
+        """Apply every gate of a circuit in order."""
+        if circuit.num_qubits > self.num_qubits:
+            raise QPilotError(
+                f"circuit has {circuit.num_qubits} qubits, state has {self.num_qubits}"
+            )
+        for gate in circuit.gates:
+            self.apply_gate(gate)
+        return self
+
+    def apply_gates(self, gates: Iterable[Gate]) -> "Statevector":
+        """Apply an iterable of gates in order."""
+        for gate in gates:
+            self.apply_gate(gate)
+        return self
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational basis state."""
+        return np.abs(self.data) ** 2
+
+    def probability_of(self, qubit: int, value: int) -> float:
+        """Marginal probability that ``qubit`` reads ``value``."""
+        probs = self.probabilities()
+        indices = np.arange(probs.shape[0])
+        mask = ((indices >> qubit) & 1) == value
+        return float(probs[mask].sum())
+
+    def expectation_z(self, qubit: int) -> float:
+        """<Z> on one qubit."""
+        return self.probability_of(qubit, 0) - self.probability_of(qubit, 1)
+
+    def fidelity(self, other: "Statevector") -> float:
+        """|<self|other>|^2."""
+        if other.num_qubits != self.num_qubits:
+            raise QPilotError("fidelity requires equal qubit counts")
+        return float(abs(np.vdot(self.data, other.data)) ** 2)
+
+    def equiv(self, other: "Statevector", *, atol: float = 1e-9) -> bool:
+        """True if the states are equal up to a global phase."""
+        if other.num_qubits != self.num_qubits:
+            return False
+        inner = np.vdot(self.data, other.data)
+        return bool(abs(abs(inner) - 1.0) < atol)
+
+    def partial_trace_is_pure(self, keep: Sequence[int], *, atol: float = 1e-9) -> bool:
+        """Check that tracing out the complement of ``keep`` leaves a pure state."""
+        rho = self.reduced_density_matrix(keep)
+        purity = float(np.real(np.trace(rho @ rho)))
+        return abs(purity - 1.0) < atol
+
+    def reduced_density_matrix(self, keep: Sequence[int]) -> np.ndarray:
+        """Reduced density matrix on the ``keep`` qubits (little-endian)."""
+        keep = list(keep)
+        n = self.num_qubits
+        others = [q for q in range(n) if q not in keep]
+        psi = self.data.reshape([2] * n)
+        # order axes so that kept qubits come first (axis index = n-1-q)
+        perm = [n - 1 - q for q in keep] + [n - 1 - q for q in others]
+        psi = np.transpose(psi, perm)
+        psi = psi.reshape(1 << len(keep), 1 << len(others))
+        return psi @ psi.conj().T
+
+    def extended(self, extra_qubits: int) -> "Statevector":
+        """Return ``self ⊗ |0...0>`` with ``extra_qubits`` fresh qubits appended."""
+        if extra_qubits == 0:
+            return self.copy()
+        new = Statevector(self.num_qubits + extra_qubits)
+        new.data[:] = 0
+        new.data[: self.data.shape[0]] = 0
+        # the fresh qubits are the most significant ones and start in |0>,
+        # so the amplitudes simply occupy the low-index block.
+        new.data[: 1 << self.num_qubits] = self.data
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Statevector(num_qubits={self.num_qubits})"
+
+
+def circuit_unitary(circuit: QuantumCircuit) -> np.ndarray:
+    """Dense unitary of a (small) circuit, little-endian convention."""
+    n = circuit.num_qubits
+    if n > 12:
+        raise QPilotError(f"refusing to build a unitary on {n} qubits")
+    dim = 1 << n
+    unitary = np.zeros((dim, dim), dtype=complex)
+    for column in range(dim):
+        state = Statevector(n)
+        state.data[:] = 0
+        state.data[column] = 1.0
+        state.apply_circuit(circuit)
+        unitary[:, column] = state.data
+    return unitary
+
+
+def unitaries_equivalent(a: np.ndarray, b: np.ndarray, *, atol: float = 1e-8) -> bool:
+    """True if two unitaries are equal up to a global phase."""
+    if a.shape != b.shape:
+        return False
+    # find the first non-negligible entry of a to fix the phase
+    flat_index = int(np.argmax(np.abs(a)))
+    ref_a = a.reshape(-1)[flat_index]
+    ref_b = b.reshape(-1)[flat_index]
+    if abs(ref_b) < 1e-12:
+        return False
+    phase = ref_a / ref_b
+    return bool(np.allclose(a, phase * b, atol=atol))
+
+
+def circuits_equivalent(a: QuantumCircuit, b: QuantumCircuit, *, atol: float = 1e-8) -> bool:
+    """True if two circuits implement the same unitary up to global phase."""
+    if a.num_qubits != b.num_qubits:
+        return False
+    return unitaries_equivalent(circuit_unitary(a), circuit_unitary(b), atol=atol)

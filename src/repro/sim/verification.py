@@ -1,0 +1,167 @@
+"""Semantic verification of flying-ancilla constructions and schedules.
+
+Two levels of verification are provided:
+
+1. :func:`verify_cz_routing_theorem` checks the paper's Section 2.2 result
+   directly: routing an arbitrary set of CZ gates through fresh ancillas
+   (transversal CNOT fan-out, CZs on ancilla copies, transversal CNOT
+   recycle) acts on the data qubits exactly like applying the original CZs,
+   and returns every ancilla to |0>.
+
+2. :func:`expand_schedule_to_circuit` + :func:`verify_schedule_equivalence`
+   flatten an FPQA schedule produced by the routers back into an ordinary
+   gate sequence over data + ancilla qubits and check statevector
+   equivalence against the original circuit on the data qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gate import Gate
+from repro.exceptions import VerificationError
+from repro.sim.statevector import Statevector
+from repro.utils.rng import ensure_rng
+
+
+def apply_cz_set(state: Statevector, pairs: Iterable[tuple[int, int]]) -> Statevector:
+    """Apply CZ on every pair (order irrelevant — CZs commute)."""
+    for a, b in pairs:
+        state.apply_gate(Gate("cz", (a, b)))
+    return state
+
+
+def ancilla_routed_cz_gates(
+    num_data: int,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    variant: str = "first",
+) -> list[Gate]:
+    """Gate sequence for the Sec. 2.2 ancilla-routing construction.
+
+    Data qubits are ``0..num_data-1``; ancilla ``i`` (a fresh |0> qubit) is
+    qubit ``num_data + i`` and fan-outs data qubit ``i``.
+
+    Parameters
+    ----------
+    num_data:
+        Number of data qubits ``n``.
+    pairs:
+        The CZ pairs ``C`` (over data qubit indices).
+    variant:
+        Which of the four equivalent CZ placements to use for each pair:
+        ``"first"`` applies CZ(ancilla_j, j'), ``"second"`` applies
+        CZ(j, ancilla_j'), ``"both"`` applies CZ(ancilla_j, ancilla_j'),
+        ``"none"`` applies the original CZ(j, j').
+    """
+    if variant not in {"first", "second", "both", "none"}:
+        raise VerificationError(f"unknown ancilla variant {variant!r}")
+    gates: list[Gate] = []
+    # transversal fan-out
+    for i in range(num_data):
+        gates.append(Gate("cx", (i, num_data + i)))
+    for j, jp in pairs:
+        if variant == "first":
+            operands = (num_data + j, jp)
+        elif variant == "second":
+            operands = (j, num_data + jp)
+        elif variant == "both":
+            operands = (num_data + j, num_data + jp)
+        else:
+            operands = (j, jp)
+        gates.append(Gate("cz", operands))
+    # transversal recycle
+    for i in range(num_data):
+        gates.append(Gate("cx", (i, num_data + i)))
+    return gates
+
+
+def verify_cz_routing_theorem(
+    num_data: int,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    variant: str = "first",
+    seed: int | np.random.Generator | None = None,
+    atol: float = 1e-9,
+) -> bool:
+    """Check the flying-ancilla CZ-routing theorem on a random input state.
+
+    Returns True when (i) the construction acts on the data qubits exactly
+    like the direct CZ set, and (ii) every ancilla ends in |0>.
+    """
+    rng = ensure_rng(seed)
+    data_state = Statevector.random(num_data, seed=rng)
+
+    expected = data_state.copy()
+    apply_cz_set(expected, pairs)
+
+    full = data_state.extended(num_data)  # ancillas start in |0>
+    full.apply_gates(ancilla_routed_cz_gates(num_data, pairs, variant=variant))
+
+    # ancillas must all be back to |0>
+    for ancilla in range(num_data, 2 * num_data):
+        if abs(full.probability_of(ancilla, 1)) > atol:
+            return False
+    # the data-qubit block (ancillas = 0) must equal the expected state
+    data_block = full.data[: 1 << num_data]
+    overlap = np.vdot(expected.data, data_block)
+    return bool(abs(abs(overlap) - 1.0) < atol)
+
+
+def expand_schedule_to_circuit(schedule, num_data: int, num_ancilla: int) -> QuantumCircuit:
+    """Flatten an :class:`~repro.core.schedule.FPQASchedule` into plain gates.
+
+    Ancilla slot ``k`` used by the schedule is mapped to qubit
+    ``num_data + k``.  The expansion covers creation CNOTs, Rydberg-stage
+    2-qubit gates, recycle CNOTs, and 1-qubit stages.
+    """
+    circuit = QuantumCircuit(num_data + max(num_ancilla, 1), name="expanded_schedule")
+    for stage in schedule.stages:
+        for gate in stage.expanded_gates(num_data):
+            circuit.append(gate)
+    return circuit
+
+
+def verify_schedule_equivalence(
+    original: QuantumCircuit,
+    schedule,
+    *,
+    num_ancilla: int | None = None,
+    seed: int | np.random.Generator | None = None,
+    atol: float = 1e-7,
+) -> bool:
+    """Check that an FPQA schedule implements the original circuit.
+
+    The schedule is expanded to a gate list over data + ancilla qubits,
+    applied to a random data state with ancillas in |0>, and compared to the
+    original circuit's action on the data qubits.  All ancillas must return
+    to |0> (disentangled) at the end.
+    """
+    num_data = original.num_qubits
+    ancillas = num_ancilla if num_ancilla is not None else schedule.max_ancillas_used()
+    ancillas = max(int(ancillas), 1)
+    rng = ensure_rng(seed)
+
+    data_state = Statevector.random(num_data, seed=rng)
+    expected = data_state.copy()
+    expected.apply_circuit(original.without_directives())
+
+    full = data_state.extended(ancillas)
+    expanded = expand_schedule_to_circuit(schedule, num_data, ancillas)
+    full.apply_circuit(expanded)
+
+    for ancilla in range(num_data, num_data + ancillas):
+        if full.probability_of(ancilla, 1) > atol:
+            raise VerificationError(
+                f"ancilla qubit {ancilla} not returned to |0> "
+                f"(p1={full.probability_of(ancilla, 1):.3e})"
+            )
+    data_block = full.data[: 1 << num_data]
+    norm = np.linalg.norm(data_block)
+    if norm < 1 - 1e-6:
+        raise VerificationError(f"data block lost norm: {norm}")
+    overlap = abs(np.vdot(expected.data, data_block))
+    return bool(abs(overlap - 1.0) < atol)

@@ -1,0 +1,10 @@
+"""Shared utilities: RNG handling, reporting, and schedule serialisation."""
+
+from repro.utils.rng import ensure_rng, spawn
+
+__all__ = ["ensure_rng", "spawn"]
+
+# Note: repro.utils.reporting and repro.utils.serialization are imported
+# directly by their users; serialization is not re-exported here to avoid a
+# circular import with repro.core.
+

@@ -1,0 +1,78 @@
+"""Plain-text reporting helpers for benchmarks and examples.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report.  These helpers render lists of dict rows as aligned ASCII
+tables and simple CSV, with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], *, columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    header = [str(c) for c in columns]
+    body = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(header[i]), max((len(r[i]) for r in body), default=0)) for i in range(len(header))]
+    out = io.StringIO()
+    if title:
+        out.write(f"{title}\n")
+    out.write("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip() + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in body:
+        out.write("  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip() + "\n")
+    return out.getvalue()
+
+
+def format_csv(rows: Sequence[Mapping], *, columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as CSV text."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(str(c) for c in columns)]
+    for row in rows:
+        lines.append(",".join(_fmt(row.get(c, "")) for c in columns))
+    return "\n".join(lines) + "\n"
+
+
+def format_series(series: Iterable[tuple], *, header: tuple[str, ...] = ("x", "y"), title: str | None = None) -> str:
+    """Render an (x, y[, ...]) series as a small table (for figure data)."""
+    rows = [dict(zip(header, point)) for point in series]
+    return format_table(rows, columns=list(header), title=title)
+
+
+def ratio(baseline: float, ours: float) -> float:
+    """Improvement ratio baseline/ours, guarding against zero."""
+    if ours <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / ours
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used to aggregate ratios)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,23 @@
+"""Random-number helper utilities.
+
+All stochastic code in the library accepts either an integer seed, a numpy
+``Generator`` or ``None`` and funnels it through :func:`ensure_rng` so that
+benchmarks are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy random Generator from a seed, Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``."""
+    seeds = rng.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(s)) for s in seeds]

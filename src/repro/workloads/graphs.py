@@ -1,0 +1,117 @@
+"""Graph workload generators for QAOA benchmarks.
+
+The paper evaluates QAOA on two graph families: Erdős–Rényi random graphs
+with edge probability p in {0.1 ... 0.5} and random k-regular graphs
+(k = 3, 4).  Both are generated here with reproducible seeds.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import ensure_rng
+
+
+def random_graph_edges(
+    num_vertices: int,
+    edge_probability: float,
+    *,
+    seed: int | np.random.Generator | None = None,
+    ensure_nonempty: bool = True,
+) -> list[tuple[int, int]]:
+    """Erdős–Rényi G(n, p) edge list, sorted canonically."""
+    if num_vertices < 2:
+        raise WorkloadError("need at least two vertices")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise WorkloadError("edge probability must be in [0, 1]")
+    rng = ensure_rng(seed)
+    edges: list[tuple[int, int]] = []
+    for a in range(num_vertices):
+        for b in range(a + 1, num_vertices):
+            if rng.random() < edge_probability:
+                edges.append((a, b))
+    if ensure_nonempty and not edges:
+        a, b = sorted(rng.choice(num_vertices, size=2, replace=False).tolist())
+        edges.append((int(a), int(b)))
+    return edges
+
+
+def regular_graph_edges(
+    num_vertices: int,
+    degree: int,
+    *,
+    seed: int | np.random.Generator | None = None,
+    max_attempts: int = 50,
+) -> list[tuple[int, int]]:
+    """Random d-regular graph edge list (3-/4-regular in the paper).
+
+    ``num_vertices * degree`` must be even.  Uses networkx's configuration
+    model sampler with rejection until a simple connected graph is found.
+    """
+    if degree < 1 or degree >= num_vertices:
+        raise WorkloadError("degree must satisfy 1 <= degree < num_vertices")
+    if (num_vertices * degree) % 2 != 0:
+        raise WorkloadError("num_vertices * degree must be even for a regular graph")
+    rng = ensure_rng(seed)
+    for _ in range(max_attempts):
+        graph_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(degree, num_vertices, seed=graph_seed)
+        if nx.is_connected(graph):
+            return sorted((min(a, b), max(a, b)) for a, b in graph.edges())
+    raise WorkloadError(
+        f"failed to sample a connected {degree}-regular graph on {num_vertices} vertices"
+    )
+
+
+def ring_graph_edges(num_vertices: int) -> list[tuple[int, int]]:
+    """Cycle graph (useful as a deterministic small QAOA instance)."""
+    if num_vertices < 3:
+        raise WorkloadError("a ring needs at least 3 vertices")
+    return sorted(
+        (min(i, (i + 1) % num_vertices), max(i, (i + 1) % num_vertices))
+        for i in range(num_vertices)
+    )
+
+
+def complete_graph_edges(num_vertices: int) -> list[tuple[int, int]]:
+    """All-to-all graph (stress test for the QAOA router)."""
+    if num_vertices < 2:
+        raise WorkloadError("need at least two vertices")
+    return [(a, b) for a in range(num_vertices) for b in range(a + 1, num_vertices)]
+
+
+def graph_degree_histogram(num_vertices: int, edges: list[tuple[int, int]]) -> dict[int, int]:
+    """Histogram of vertex degrees (workload characterisation helper)."""
+    degrees = {v: 0 for v in range(num_vertices)}
+    for a, b in edges:
+        degrees[a] += 1
+        degrees[b] += 1
+    histogram: dict[int, int] = {}
+    for degree in degrees.values():
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
+def qaoa_benchmark_suite(
+    sizes: tuple[int, ...] = (6, 10, 20, 50, 100),
+    *,
+    edge_probability: float = 0.3,
+    regular_degrees: tuple[int, ...] = (3, 4),
+    seed: int = 7,
+) -> dict[str, list[tuple[int, int]]]:
+    """The QAOA benchmark grid of Fig. 13 / Table 2.
+
+    Returns a dict keyed by ``"er_p{p}_{n}q"`` and ``"{k}reg_{n}q"``.
+    """
+    rng = ensure_rng(seed)
+    suite: dict[str, list[tuple[int, int]]] = {}
+    for n in sizes:
+        suite[f"er_p{edge_probability}_{n}q"] = random_graph_edges(
+            n, edge_probability, seed=rng
+        )
+        for degree in regular_degrees:
+            if (n * degree) % 2 == 0 and degree < n:
+                suite[f"{degree}reg_{n}q"] = regular_graph_edges(n, degree, seed=rng)
+    return suite

@@ -1,0 +1,187 @@
+"""Quantum-error-correction workloads (the paper's future-work direction).
+
+The paper's outlook names syndrome-extraction circuits for QEC codes as a
+natural next target for FPQA compilation: stabilizer measurements are
+highly parallel, repeat every round, and involve long-range ancilla/data
+interactions — exactly the structure flying ancillas serve well.  This
+module provides the workload side of that study:
+
+* :func:`repetition_code_stabilizers` and :func:`surface_code_stabilizers`
+  build the stabilizer lists of the two standard benchmark codes (the
+  distance-d rotated surface code has ``d^2`` data qubits and ``d^2 - 1``
+  stabilizers);
+* :func:`syndrome_extraction_circuit` lowers a stabilizer list to the usual
+  ancilla-per-stabilizer measurement circuit (H + CNOT fan-in + H +
+  measure), which the generic Q-Pilot router can compile directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class Stabilizer:
+    """One stabilizer generator: a Pauli type acting on a set of data qubits."""
+
+    pauli: str  # "X" or "Z"
+    data_qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        pauli = self.pauli.upper()
+        if pauli not in {"X", "Z"}:
+            raise WorkloadError(f"stabilizer type must be X or Z, got {self.pauli!r}")
+        object.__setattr__(self, "pauli", pauli)
+        qubits = tuple(int(q) for q in self.data_qubits)
+        if len(set(qubits)) != len(qubits) or not qubits:
+            raise WorkloadError(f"invalid stabilizer support {self.data_qubits!r}")
+        object.__setattr__(self, "data_qubits", qubits)
+
+    @property
+    def weight(self) -> int:
+        return len(self.data_qubits)
+
+
+def repetition_code_stabilizers(num_data: int) -> list[Stabilizer]:
+    """Z-type parity checks of the length-``num_data`` repetition code."""
+    if num_data < 2:
+        raise WorkloadError("a repetition code needs at least 2 data qubits")
+    return [Stabilizer("Z", (i, i + 1)) for i in range(num_data - 1)]
+
+
+def surface_code_stabilizers(distance: int) -> list[Stabilizer]:
+    """Stabilizers of the distance-``d`` rotated surface code.
+
+    Data qubits live on a ``d x d`` grid (qubit ``r*d + c``).  Plaquette
+    ancila sites live on the dual ``(d+1) x (d+1)`` grid; bulk plaquettes are
+    weight-4 and alternate X/Z in a checkerboard, and weight-2 boundary
+    plaquettes appear on alternating positions of each boundary (X on the
+    top/bottom rows, Z on the left/right columns), giving the standard
+    ``d^2 - 1`` generators.
+    """
+    if distance < 2:
+        raise WorkloadError("surface code distance must be >= 2")
+    d = distance
+
+    def data_index(row: int, col: int) -> int | None:
+        if 0 <= row < d and 0 <= col < d:
+            return row * d + col
+        return None
+
+    stabilizers: list[Stabilizer] = []
+    for r in range(d + 1):
+        for c in range(d + 1):
+            covered = [
+                q
+                for q in (
+                    data_index(r - 1, c - 1),
+                    data_index(r - 1, c),
+                    data_index(r, c - 1),
+                    data_index(r, c),
+                )
+                if q is not None
+            ]
+            pauli = "Z" if (r + c) % 2 == 0 else "X"
+            if len(covered) == 4:
+                stabilizers.append(Stabilizer(pauli, tuple(sorted(covered))))
+            elif len(covered) == 2:
+                # boundary plaquettes: keep X checks on the top/bottom rows and
+                # Z checks on the left/right columns (alternating positions)
+                on_top_or_bottom = r == 0 or r == d
+                if on_top_or_bottom and pauli == "X":
+                    stabilizers.append(Stabilizer("X", tuple(sorted(covered))))
+                elif not on_top_or_bottom and pauli == "Z":
+                    stabilizers.append(Stabilizer("Z", tuple(sorted(covered))))
+    expected = d * d - 1
+    if len(stabilizers) != expected:  # pragma: no cover - sanity guard
+        raise WorkloadError(
+            f"rotated surface code construction produced {len(stabilizers)} "
+            f"stabilizers, expected {expected}"
+        )
+    return stabilizers
+
+
+def stabilizers_commute(stabilizers: Sequence[Stabilizer]) -> bool:
+    """True if every pair of stabilizers commutes.
+
+    An X-type and a Z-type stabilizer commute exactly when their supports
+    overlap on an even number of qubits; same-type stabilizers always
+    commute.
+    """
+    for i in range(len(stabilizers)):
+        for j in range(i + 1, len(stabilizers)):
+            a, b = stabilizers[i], stabilizers[j]
+            if a.pauli == b.pauli:
+                continue
+            overlap = len(set(a.data_qubits) & set(b.data_qubits))
+            if overlap % 2 == 1:
+                return False
+    return True
+
+
+def syndrome_extraction_circuit(
+    stabilizers: Iterable[Stabilizer],
+    num_data: int,
+    *,
+    rounds: int = 1,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Standard ancilla-per-stabilizer syndrome-extraction circuit.
+
+    Ancilla ``k`` (qubit ``num_data + k``) measures stabilizer ``k``:
+    Z checks fan data-qubit parity into the ancilla with CNOTs, X checks
+    sandwich CNOTs from the ancilla between Hadamards.  With ``rounds > 1``
+    the extraction repeats (ancillas are reset between rounds).
+    """
+    stabilizer_list = list(stabilizers)
+    if not stabilizer_list:
+        raise WorkloadError("need at least one stabilizer")
+    if rounds < 1:
+        raise WorkloadError("rounds must be >= 1")
+    for stabilizer in stabilizer_list:
+        if max(stabilizer.data_qubits) >= num_data:
+            raise WorkloadError(
+                f"stabilizer {stabilizer} references a qubit outside {num_data} data qubits"
+            )
+    total = num_data + len(stabilizer_list)
+    circuit = QuantumCircuit(total, name=f"syndrome_{num_data}d_{len(stabilizer_list)}s_r{rounds}")
+    for round_index in range(rounds):
+        for k, stabilizer in enumerate(stabilizer_list):
+            ancilla = num_data + k
+            if round_index > 0:
+                circuit.add("reset", [ancilla])
+            if stabilizer.pauli == "X":
+                circuit.h(ancilla)
+                for data in stabilizer.data_qubits:
+                    circuit.cx(ancilla, data)
+                circuit.h(ancilla)
+            else:
+                for data in stabilizer.data_qubits:
+                    circuit.cx(data, ancilla)
+            if measure:
+                circuit.measure(ancilla)
+    return circuit
+
+
+def surface_code_syndrome_circuit(distance: int, *, rounds: int = 1) -> QuantumCircuit:
+    """Syndrome extraction circuit of the distance-``d`` rotated surface code."""
+    stabilizers = surface_code_stabilizers(distance)
+    return syndrome_extraction_circuit(stabilizers, distance * distance, rounds=rounds)
+
+
+def qec_workload_summary(distance: int) -> dict:
+    """Size summary of one surface-code syndrome-extraction workload."""
+    stabilizers = surface_code_stabilizers(distance)
+    circuit = surface_code_syndrome_circuit(distance)
+    return {
+        "distance": distance,
+        "data_qubits": distance * distance,
+        "stabilizers": len(stabilizers),
+        "total_qubits": circuit.num_qubits,
+        "2q_gates": circuit.num_two_qubit_gates(),
+        "logical_depth": circuit.two_qubit_depth(),
+    }

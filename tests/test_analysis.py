@@ -1,0 +1,131 @@
+"""Unit tests for the analysis modules (fidelity curves, parallelism, movement, timeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    compare_parallelism,
+    compare_timelines,
+    default_error_sweep,
+    error_curve,
+    error_threshold,
+    execution_timeline,
+    fidelity_report,
+    movement_report,
+    parallelism_profile,
+    stage_sizes,
+)
+from repro.core import route_circuit, route_pauli_strings, route_qaoa
+from repro.circuit import random_cx_circuit, random_pauli_strings
+from repro.workloads import regular_graph_edges, ring_graph_edges
+
+
+@pytest.fixture(scope="module")
+def qaoa_schedule():
+    return route_qaoa(12, regular_graph_edges(12, 3, seed=3))
+
+
+@pytest.fixture(scope="module")
+def generic_schedule():
+    return route_circuit(random_cx_circuit(8, 16, seed=3))
+
+
+class TestErrorCurves:
+    def test_curve_is_monotone(self, qaoa_schedule):
+        curve = error_curve(qaoa_schedule, "qaoa12")
+        assert curve.circuit_error_rates == sorted(curve.circuit_error_rates)
+        assert len(curve.as_pairs()) == len(default_error_sweep())
+
+    def test_error_threshold(self, qaoa_schedule):
+        curve = error_curve(qaoa_schedule, "qaoa12")
+        threshold = error_threshold(curve, target_error=0.99)
+        assert threshold is None or threshold > 0
+
+    def test_interpolation(self, qaoa_schedule):
+        curve = error_curve(qaoa_schedule, "qaoa12", two_qubit_error_rates=[1e-4, 1e-2])
+        mid = curve.error_at(1e-3)
+        assert curve.circuit_error_rates[0] <= mid <= curve.circuit_error_rates[-1]
+
+    def test_fidelity_report_keys(self, generic_schedule):
+        report = fidelity_report(generic_schedule)
+        assert 0 <= report["error_rate"] <= 1
+        assert report["depth"] == generic_schedule.two_qubit_depth()
+
+
+class TestParallelism:
+    def test_profile_consistency(self, qaoa_schedule):
+        profile = parallelism_profile(qaoa_schedule)
+        assert profile.num_stages == len(stage_sizes(qaoa_schedule))
+        assert profile.total_gates == sum(stage_sizes(qaoa_schedule))
+        assert profile.average_parallelism == pytest.approx(qaoa_schedule.average_parallelism())
+        assert abs(sum(profile.ratios().values()) - 1.0) < 1e-9
+
+    def test_stage_ratio(self, qaoa_schedule):
+        profile = parallelism_profile(qaoa_schedule)
+        top = max(profile.histogram, key=profile.histogram.get)
+        assert profile.stage_ratio(top) > 0
+        assert profile.stage_ratio(10**6) == 0.0
+
+    def test_compare_rows(self, qaoa_schedule, generic_schedule):
+        rows = compare_parallelism([parallelism_profile(qaoa_schedule), parallelism_profile(generic_schedule)])
+        assert len(rows) == 2
+        assert all("avg_parallelism" in row for row in rows)
+
+
+class TestMovementReport:
+    def test_report_tracks_all_moves(self, qaoa_schedule):
+        report = movement_report(qaoa_schedule)
+        assert report.summary()["movement_steps"] == len(qaoa_schedule.movement_steps())
+        assert report.trajectories
+        histogram = report.movements_histogram()
+        assert sum(histogram.values()) == len(report.trajectories)
+
+    def test_trajectory_distances_positive(self, qaoa_schedule):
+        report = movement_report(qaoa_schedule)
+        assert any(t.total_distance > 0 for t in report.trajectories.values())
+        for trajectory in report.trajectories.values():
+            assert trajectory.num_movements <= len(trajectory.segments)
+
+    def test_speed_histogram_reasonable(self, qaoa_schedule):
+        report = movement_report(qaoa_schedule)
+        speeds = report.speed_histogram()
+        assert all(speed >= 0 for speed in speeds)
+        assert report.mean_speed_m_per_s() >= 0
+
+    def test_generic_schedule_movement(self, generic_schedule):
+        report = movement_report(generic_schedule)
+        assert len(report.step_max_distances) == len(generic_schedule.movement_steps())
+
+
+class TestTimeline:
+    def test_timeline_covers_execution_time(self, qaoa_schedule):
+        timeline = execution_timeline(qaoa_schedule)
+        assert timeline.total_time_us == pytest.approx(qaoa_schedule.execution_time_us(), rel=1e-6)
+        totals = timeline.category_totals()
+        assert set(totals) <= {"movement", "2q_gate", "1q_gate", "atom_transfer"}
+
+    def test_segments_are_contiguous(self, qaoa_schedule):
+        timeline = execution_timeline(qaoa_schedule)
+        clock = 0.0
+        for segment in timeline.segments:
+            assert segment.start_us == pytest.approx(clock)
+            clock = segment.end_us
+
+    def test_fractions_sum_to_one(self, qaoa_schedule):
+        fractions = execution_timeline(qaoa_schedule).category_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_movement_dominates_qaoa(self, qaoa_schedule):
+        """Fig. 10's headline: movement is the largest part of execution time."""
+        timeline = execution_timeline(qaoa_schedule)
+        assert timeline.dominant_category() in {"movement", "atom_transfer"}
+
+    def test_compare_timelines_rows(self, qaoa_schedule, generic_schedule):
+        strings = random_pauli_strings(6, 5, 0.4, seed=2)
+        qsim_schedule = route_pauli_strings(strings)
+        rows = compare_timelines(
+            [execution_timeline(s) for s in (qaoa_schedule, generic_schedule, qsim_schedule)]
+        )
+        assert len(rows) == 3
+        assert all(row["total_us"] > 0 for row in rows)

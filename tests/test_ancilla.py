@@ -1,0 +1,111 @@
+"""Unit tests for the flying-ancilla theory helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.core import (
+    ancilla_depth_overhead,
+    ancilla_routed_cz_cost,
+    breakeven_distance,
+    is_ancilla_compatible,
+    routed_cz_sequence,
+    substitute_with_copy,
+    swap_depth_overhead,
+    swap_routed_cz_cost,
+)
+from repro.exceptions import RoutingError
+from repro.sim import circuits_equivalent
+
+
+class TestCompatibility:
+    def test_diagonal_two_qubit_gates_are_compatible(self):
+        assert is_ancilla_compatible(Gate("cz", (0, 1)))
+        assert is_ancilla_compatible(Gate("rzz", (0, 1), (0.4,)))
+        assert is_ancilla_compatible(Gate("cp", (0, 1), (0.2,)))
+
+    def test_non_diagonal_gates_are_not(self):
+        assert not is_ancilla_compatible(Gate("cx", (0, 1)))
+        assert not is_ancilla_compatible(Gate("swap", (0, 1)))
+        assert not is_ancilla_compatible(Gate("h", (0,)))
+
+    def test_substitute_with_copy(self):
+        gate = Gate("cz", (2, 5))
+        redirected = substitute_with_copy(gate, 2, 9)
+        assert redirected.qubits == (9, 5)
+        redirected = substitute_with_copy(gate, 5, 9)
+        assert redirected.qubits == (2, 9)
+
+    def test_substitute_rejects_incompatible_gate(self):
+        with pytest.raises(RoutingError):
+            substitute_with_copy(Gate("cx", (0, 1)), 0, 5)
+
+    def test_substitute_rejects_wrong_qubit(self):
+        with pytest.raises(RoutingError):
+            substitute_with_copy(Gate("cz", (0, 1)), 7, 5)
+
+    def test_substitution_preserves_semantics(self):
+        """CZ on a Z-basis copy equals CZ on the original qubit (ancilla starts in |0>)."""
+        from repro.sim import Statevector
+        import numpy as np
+
+        copied = QuantumCircuit(3)
+        copied.cx(0, 2)  # qubit 2 becomes a copy of qubit 0
+        copied.append(substitute_with_copy(Gate("cz", (0, 1)), 0, 2))
+        copied.cx(0, 2)  # recycle
+
+        data = Statevector.random(2, seed=21)
+        expected = data.copy()
+        expected.apply_gate(Gate("cz", (0, 1)))
+        full = data.extended(1)
+        full.apply_circuit(copied)
+        assert full.probability_of(2, 1) < 1e-9
+        overlap = abs(np.vdot(expected.data, full.data[:4]))
+        assert abs(overlap - 1.0) < 1e-9
+
+
+class TestRoutedSequence:
+    def test_sequence_equivalence(self):
+        """With ancillas starting in |0>, the routed sequence equals the direct CZs."""
+        from repro.sim import Statevector
+        import numpy as np
+
+        pairs = [(0, 1), (1, 2)]
+        data = Statevector.random(3, seed=17)
+        expected = data.copy()
+        for a, b in pairs:
+            expected.apply_gate(Gate("cz", (a, b)))
+        full = data.extended(3)
+        full.apply_gates(routed_cz_sequence(3, pairs))
+        for ancilla in (3, 4, 5):
+            assert full.probability_of(ancilla, 1) < 1e-9
+        overlap = abs(np.vdot(expected.data, full.data[:8]))
+        assert abs(overlap - 1.0) < 1e-9
+
+    def test_invalid_pairs_rejected(self):
+        with pytest.raises(RoutingError):
+            routed_cz_sequence(3, [(0, 3)])
+        with pytest.raises(RoutingError):
+            routed_cz_sequence(3, [(1, 1)])
+
+
+class TestCostModel:
+    def test_ancilla_cost_is_distance_independent(self):
+        assert ancilla_routed_cz_cost() == (3, 3)
+        assert ancilla_depth_overhead() == 2
+
+    def test_swap_cost_grows_with_distance(self):
+        assert swap_routed_cz_cost(1) == (1, 1)
+        assert swap_routed_cz_cost(2) == (4, 4)
+        assert swap_routed_cz_cost(5) == (13, 13)
+        assert swap_depth_overhead(2) == 3
+
+    def test_invalid_distance(self):
+        with pytest.raises(RoutingError):
+            swap_routed_cz_cost(0)
+
+    def test_breakeven_at_distance_two(self):
+        """Beyond nearest neighbours the flying ancilla already wins on depth."""
+        assert breakeven_distance() == 2
+        assert swap_routed_cz_cost(3)[1] > ancilla_routed_cz_cost()[1]

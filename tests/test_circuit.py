@@ -1,0 +1,142 @@
+"""Unit tests for the QuantumCircuit container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import Gate, QuantumCircuit
+from repro.exceptions import CircuitError
+from repro.sim import circuits_equivalent
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+        assert circuit.depth() == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(0)
+
+    def test_append_validates_range(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(0, 5)
+
+    def test_builder_methods_chain(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).rz(0.1, 2).cz(1, 2)
+        assert len(circuit) == 4
+        assert circuit.gates[0].name == "h"
+        assert circuit.gates[-1].name == "cz"
+
+    def test_initial_gates_are_copied(self):
+        gates = [Gate("h", (0,)), Gate("cx", (0, 1))]
+        circuit = QuantumCircuit(2, gates)
+        assert len(circuit) == 2
+        gates.append(Gate("x", (0,)))
+        assert len(circuit) == 2
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        c = QuantumCircuit(2).h(0)
+        assert a == b
+        assert a != c
+
+
+class TestCounting:
+    def test_gate_counts(self, small_circuit):
+        counts = small_circuit.gate_counts()
+        assert counts["cx"] == 2
+        assert counts["cz"] == 2
+        assert small_circuit.num_two_qubit_gates() == 4
+        assert small_circuit.num_one_qubit_gates() == 3
+
+    def test_two_qubit_pairs(self, small_circuit):
+        pairs = small_circuit.two_qubit_pairs()
+        assert pairs == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+    def test_active_qubits(self):
+        circuit = QuantumCircuit(5).h(0).cx(0, 3)
+        assert circuit.active_qubits() == {0, 3}
+
+    def test_measure_not_counted_as_1q_gate(self):
+        circuit = QuantumCircuit(2).h(0).measure(0).measure(1)
+        assert circuit.num_one_qubit_gates() == 1
+
+
+class TestDepth:
+    def test_depth_serial_chain(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        assert circuit.depth() == 3
+        assert circuit.two_qubit_depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        assert circuit.two_qubit_depth() == 1
+
+    def test_two_qubit_depth_ignores_1q_layers(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1).rz(0.1, 0).rz(0.2, 1).cx(0, 1)
+        assert circuit.two_qubit_depth() == 2
+        assert circuit.depth() > 2
+
+    def test_barrier_does_not_add_depth(self):
+        circuit = QuantumCircuit(2).cx(0, 1).barrier().cx(0, 1)
+        assert circuit.two_qubit_depth() == 2
+
+    def test_layers_partition_all_two_qubit_gates(self, random_small_circuit):
+        layers = random_small_circuit.layers(two_qubit_only=True)
+        total = sum(len(layer) for layer in layers)
+        assert total == random_small_circuit.num_two_qubit_gates()
+        assert len(layers) == random_small_circuit.two_qubit_depth()
+
+    def test_layers_have_disjoint_qubits(self, random_small_circuit):
+        for layer in random_small_circuit.layers():
+            seen = set()
+            for gate in layer:
+                assert not (set(gate.qubits) & seen)
+                seen.update(gate.qubits)
+
+
+class TestTransformations:
+    def test_copy_is_independent(self, small_circuit):
+        copy = small_circuit.copy()
+        copy.x(0)
+        assert len(copy) == len(small_circuit) + 1
+
+    def test_compose(self):
+        a = QuantumCircuit(3).h(0)
+        b = QuantumCircuit(2).cx(0, 1)
+        combined = a.compose(b)
+        assert len(combined) == 2
+        assert combined.num_qubits == 3
+
+    def test_compose_too_wide_rejected(self):
+        a = QuantumCircuit(2)
+        b = QuantumCircuit(3).h(2)
+        with pytest.raises(CircuitError):
+            a.compose(b)
+
+    def test_inverse_is_unitary_inverse(self, small_circuit):
+        identity = small_circuit.compose(small_circuit.inverse())
+        blank = QuantumCircuit(small_circuit.num_qubits)
+        assert circuits_equivalent(identity, blank)
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(3).cx(0, 1).h(2)
+        remapped = circuit.remap_qubits({0: 2, 1: 0, 2: 1})
+        assert remapped.gates[0].qubits == (2, 0)
+        assert remapped.gates[1].qubits == (1,)
+
+    def test_without_directives(self):
+        circuit = QuantumCircuit(2).h(0).measure(0).barrier().cx(0, 1)
+        cleaned = circuit.without_directives()
+        assert all(not g.is_directive for g in cleaned.gates)
+        assert len(cleaned) == 2
+
+    def test_text_diagram_mentions_counts(self, small_circuit):
+        text = small_circuit.to_text_diagram()
+        assert "4 qubits" in text
+        assert "7 gates" in text

@@ -1,0 +1,68 @@
+"""Unit tests for the QPilotCompiler facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QPilotCompiler
+from repro.circuit import PauliString, random_cx_circuit
+from repro.core import CompilationResult
+from repro.exceptions import RoutingError
+from repro.hardware import FPQAConfig
+
+
+class TestDispatch:
+    def test_circuit_goes_to_generic_router(self, random_small_circuit):
+        result = QPilotCompiler().compile(random_small_circuit)
+        assert isinstance(result, CompilationResult)
+        assert result.router == "generic"
+        assert result.metadata["router"] == "generic"
+
+    def test_pauli_strings_go_to_qsim_router(self, small_pauli_strings):
+        result = QPilotCompiler().compile(small_pauli_strings)
+        assert result.router == "qsim"
+
+    def test_single_pauli_string(self):
+        result = QPilotCompiler().compile(PauliString("ZZXI", 0.3))
+        assert result.router == "qsim"
+
+    def test_graph_tuple_goes_to_qaoa_router(self, ring_edges):
+        result = QPilotCompiler().compile((6, ring_edges))
+        assert result.router == "qaoa"
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(RoutingError):
+            QPilotCompiler().compile({"not": "a workload"})
+
+    def test_explicit_methods(self, random_small_circuit, small_pauli_strings, ring_edges):
+        compiler = QPilotCompiler()
+        assert compiler.compile_circuit(random_small_circuit).router == "generic"
+        assert compiler.compile_pauli_strings(small_pauli_strings).router == "qsim"
+        assert compiler.compile_qaoa(6, ring_edges).router == "qaoa"
+
+
+class TestResults:
+    def test_result_exposes_key_metrics(self, random_small_circuit):
+        result = QPilotCompiler().compile_circuit(random_small_circuit)
+        assert result.depth == result.schedule.two_qubit_depth()
+        assert result.num_two_qubit_gates == result.schedule.num_two_qubit_gates()
+        assert result.compile_time_s is not None and result.compile_time_s > 0
+        summary = result.summary()
+        assert summary["router"] == "generic"
+        assert summary["depth"] == result.depth
+
+    def test_schedule_is_validated(self, random_small_circuit):
+        # _package calls validate(); a successful compile implies a legal schedule
+        result = QPilotCompiler().compile_circuit(random_small_circuit)
+        result.schedule.validate()
+
+    def test_custom_config_is_used(self, ring_edges):
+        config = FPQAConfig(slm_rows=2, slm_cols=3)
+        result = QPilotCompiler(config).compile_qaoa(6, ring_edges)
+        assert result.schedule.config.slm_cols == 3
+
+    def test_config_grows_for_large_circuits(self):
+        config = FPQAConfig(slm_rows=2, slm_cols=2)
+        circuit = random_cx_circuit(9, 9, seed=1)
+        result = QPilotCompiler(config).compile_circuit(circuit)
+        assert result.schedule.config.num_slm_sites >= 9

@@ -1,0 +1,138 @@
+"""Unit tests for the AOD order-preservation constraints.
+
+Includes the worked example of Fig. 5 in the paper: on a 3x4 SLM array with
+front-layer gates g0=(q0,q2), g1=(q5,q10), g2=(q6,q8), g3=(q9,q11), the
+legal subset is {g0, g1, g3} and g2 is excluded because its column order
+reverses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.hardware import (
+    FPQAConfig,
+    GatePlacement,
+    SLMArray,
+    assign_aod_crosses,
+    check_no_unintended_interactions,
+    greedy_legal_subset,
+    pair_is_compatible,
+    placement_for_gate,
+    subset_is_legal,
+    violating_pairs,
+)
+
+
+@pytest.fixture
+def fig5_array() -> SLMArray:
+    return SLMArray(FPQAConfig(slm_rows=3, slm_cols=4), 12)
+
+
+@pytest.fixture
+def fig5_placements(fig5_array) -> dict[str, GatePlacement]:
+    return {
+        "g0": placement_for_gate(fig5_array, 0, 0, 2),
+        "g1": placement_for_gate(fig5_array, 1, 5, 10),
+        "g2": placement_for_gate(fig5_array, 2, 6, 8),
+        "g3": placement_for_gate(fig5_array, 3, 9, 11),
+    }
+
+
+class TestPairCompatibility:
+    def test_paper_example_pairs(self, fig5_placements):
+        g0, g1, g2, g3 = (fig5_placements[k] for k in ("g0", "g1", "g2", "g3"))
+        assert pair_is_compatible(g0, g1)
+        assert pair_is_compatible(g0, g3)
+        assert pair_is_compatible(g1, g3)
+        # g2 conflicts with g0 and g1 in the column dimension
+        assert not pair_is_compatible(g0, g2)
+        assert not pair_is_compatible(g1, g2)
+
+    def test_symmetry(self, fig5_placements):
+        g0, g2 = fig5_placements["g0"], fig5_placements["g2"]
+        assert pair_is_compatible(g0, g2) == pair_is_compatible(g2, g0)
+
+    def test_equal_coordinates_are_compatible(self):
+        a = GatePlacement(0, (0, 0), (0, 2))
+        b = GatePlacement(1, (0, 1), (0, 3))
+        assert pair_is_compatible(a, b)
+
+    def test_row_reversal_detected(self):
+        a = GatePlacement(0, (0, 0), (2, 0))
+        b = GatePlacement(1, (1, 0), (2, 1))
+        c = GatePlacement(2, (2, 0), (0, 0))
+        assert pair_is_compatible(a, b)  # rows 0<1 then 2<=2: no reversal
+        assert not pair_is_compatible(a, c)  # rows 0<2 then 2>0: reversal
+        # b starts below a but would need to finish above it
+        assert not pair_is_compatible(GatePlacement(3, (0, 0), (2, 0)), GatePlacement(4, (1, 0), (1, 1)))
+
+
+class TestSubsets:
+    def test_paper_example_greedy_subset(self, fig5_placements):
+        ordered = [fig5_placements[k] for k in ("g0", "g1", "g2", "g3")]
+        accepted = greedy_legal_subset(ordered)
+        assert [p.gate_index for p in accepted] == [0, 1, 3]
+
+    def test_subset_is_legal(self, fig5_placements):
+        good = [fig5_placements[k] for k in ("g0", "g1", "g3")]
+        bad = [fig5_placements[k] for k in ("g0", "g1", "g2")]
+        assert subset_is_legal(good)
+        assert not subset_is_legal(bad)
+
+    def test_violating_pairs_reported(self, fig5_placements):
+        bad = [fig5_placements[k] for k in ("g0", "g2")]
+        assert violating_pairs(bad) == [(0, 2)]
+
+    def test_single_gate_always_legal(self, fig5_placements):
+        assert subset_is_legal([fig5_placements["g2"]])
+
+    def test_greedy_respects_candidate_order(self, fig5_placements):
+        # if g2 comes first, g0 and g1 are the ones excluded
+        ordered = [fig5_placements[k] for k in ("g2", "g0", "g1", "g3")]
+        accepted = greedy_legal_subset(ordered)
+        assert accepted[0].gate_index == 2
+        assert 0 not in {p.gate_index for p in accepted}
+
+
+class TestCrossAssignment:
+    def test_paper_example_crosses(self, fig5_placements):
+        subset = [fig5_placements[k] for k in ("g0", "g1", "g3")]
+        crosses = assign_aod_crosses(subset)
+        assert crosses[0] == (0, 0)
+        assert crosses[1] == (1, 1)
+        assert crosses[3] == (2, 2)
+
+    def test_crosses_preserve_order(self, fig5_array):
+        placements = [
+            placement_for_gate(fig5_array, 0, 0, 1),
+            placement_for_gate(fig5_array, 1, 6, 7),
+        ]
+        crosses = assign_aod_crosses(placements)
+        assert crosses[0][0] <= crosses[1][0]
+        assert crosses[0][1] <= crosses[1][1]
+
+    def test_illegal_subset_rejected(self, fig5_placements):
+        with pytest.raises(RoutingError):
+            assign_aod_crosses([fig5_placements["g0"], fig5_placements["g2"]])
+
+
+class TestInteractionAudit:
+    def test_intended_sites_pass(self, fig5_array):
+        crosses = [(0.0, 2.0), (1.95, 2.02)]
+        intended = {(0, 2), (2, 2)}
+        assert check_no_unintended_interactions(crosses, intended, fig5_array)
+
+    def test_unintended_interaction_detected(self, fig5_array):
+        crosses = [(1.0, 1.0)]
+        assert not check_no_unintended_interactions(crosses, set(), fig5_array)
+
+    def test_parked_atoms_do_not_interact(self, fig5_array):
+        crosses = [(0.5, 1.5), (2.5, 0.5)]
+        assert check_no_unintended_interactions(crosses, set(), fig5_array)
+
+    def test_empty_sites_do_not_interact(self):
+        array = SLMArray(FPQAConfig(slm_rows=3, slm_cols=4), 10)
+        # site (2, 3) exists in the grid but holds no qubit (only 10 qubits)
+        assert check_no_unintended_interactions([(2.0, 3.0)], set(), array)

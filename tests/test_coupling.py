@@ -1,0 +1,91 @@
+"""Unit tests for coupling graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import CouplingGraph, linear_device, ring_device
+
+
+class TestConstruction:
+    def test_basic(self):
+        graph = CouplingGraph(3, [(0, 1), (1, 2)])
+        assert graph.num_qubits == 3
+        assert graph.num_edges == 2
+        assert graph.are_adjacent(0, 1)
+        assert not graph.are_adjacent(0, 2)
+
+    def test_edges_are_canonical_and_deduplicated(self):
+        graph = CouplingGraph(3, [(1, 0), (0, 1), (2, 1)])
+        assert graph.edges == ((0, 1), (1, 2))
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingGraph(2, [(0, 0)])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingGraph(2, [(0, 5)])
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(HardwareError):
+            CouplingGraph(0, [])
+
+    def test_contains_and_iteration(self):
+        graph = ring_device(4)
+        assert (0, 1) in graph
+        assert (1, 0) in graph
+        assert (0, 2) not in graph
+        assert len(list(graph)) == 4
+
+
+class TestDistances:
+    def test_line_distances(self):
+        line = linear_device(5)
+        assert line.distance(0, 4) == 4
+        assert line.distance(2, 2) == 0
+        assert line.distance(1, 3) == 2
+
+    def test_ring_distances_wrap(self):
+        ring = ring_device(6)
+        assert ring.distance(0, 3) == 3
+        assert ring.distance(0, 5) == 1
+
+    def test_shortest_path_endpoints_and_adjacency(self):
+        line = linear_device(6)
+        path = line.shortest_path(1, 5)
+        assert path[0] == 1 and path[-1] == 5
+        assert len(path) == line.distance(1, 5) + 1
+        for a, b in zip(path[:-1], path[1:]):
+            assert line.are_adjacent(a, b)
+
+    def test_disconnected_distance_is_large(self):
+        graph = CouplingGraph(4, [(0, 1), (2, 3)])
+        assert graph.distance(0, 2) > graph.num_qubits
+        assert not graph.is_connected()
+        with pytest.raises(HardwareError):
+            graph.shortest_path(0, 3)
+
+    def test_connected(self):
+        assert linear_device(7).is_connected()
+
+
+class TestQueries:
+    def test_degrees(self):
+        ring = ring_device(5)
+        assert all(ring.degree(q) == 2 for q in range(5))
+        assert ring.average_degree() == pytest.approx(2.0)
+
+    def test_neighbors(self):
+        line = linear_device(4)
+        assert line.neighbors(0) == {1}
+        assert line.neighbors(2) == {1, 3}
+
+    def test_subgraph_relabels(self):
+        line = linear_device(5)
+        sub = line.subgraph([2, 3, 4])
+        assert sub.num_qubits == 3
+        assert sub.are_adjacent(0, 1)
+        assert sub.are_adjacent(1, 2)
+        assert sub.num_edges == 2

@@ -1,0 +1,117 @@
+"""Unit tests for the dependency DAG and front-layer extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import DependencyDAG, QuantumCircuit
+from repro.exceptions import CircuitError
+
+
+def chain_circuit() -> QuantumCircuit:
+    return QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+
+
+class TestFrontLayer:
+    def test_initial_front_layer(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        dag = DependencyDAG(circuit)
+        assert dag.front_layer() == [0, 1]
+
+    def test_front_layer_advances_after_execute(self):
+        dag = DependencyDAG(chain_circuit())
+        assert dag.front_layer() == [0]
+        dag.execute(0)
+        assert dag.front_layer() == [1]
+        dag.execute(1)
+        assert dag.front_layer() == [2]
+        dag.execute(2)
+        assert dag.is_done()
+
+    def test_one_qubit_gates_create_dependencies(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        dag = DependencyDAG(circuit)
+        assert dag.front_layer() == [0]
+
+    def test_exclude_one_qubit_gates(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).h(1)
+        dag = DependencyDAG(circuit, include_one_qubit=False)
+        assert dag.num_gates == 1
+        assert dag.front_layer() == [1]
+
+    def test_barriers_are_skipped(self):
+        circuit = QuantumCircuit(2).cx(0, 1).barrier().cx(0, 1)
+        dag = DependencyDAG(circuit)
+        assert dag.num_gates == 2
+
+
+class TestExecution:
+    def test_cannot_execute_blocked_gate(self):
+        dag = DependencyDAG(chain_circuit())
+        with pytest.raises(CircuitError):
+            dag.execute(1)
+
+    def test_cannot_execute_twice(self):
+        dag = DependencyDAG(chain_circuit())
+        dag.execute(0)
+        with pytest.raises(CircuitError):
+            dag.execute(0)
+
+    def test_unknown_index_rejected(self):
+        dag = DependencyDAG(chain_circuit())
+        with pytest.raises(CircuitError):
+            dag.execute(99)
+
+    def test_execute_many_in_any_order(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        dag = DependencyDAG(circuit)
+        dag.execute_many([1, 0])
+        assert dag.is_done()
+
+    def test_reset(self):
+        dag = DependencyDAG(chain_circuit())
+        dag.execute(0)
+        dag.reset()
+        assert dag.num_remaining == 3
+        assert dag.front_layer() == [0]
+
+
+class TestStructure:
+    def test_predecessors_and_successors(self):
+        dag = DependencyDAG(chain_circuit())
+        assert dag.predecessors(0) == frozenset()
+        assert dag.predecessors(1) == {0}
+        # gate 2 reuses qubit 0 (last touched by gate 0) and qubit 1 (gate 1)
+        assert dag.successors(0) == {1, 2}
+        assert 2 in dag.successors(1)
+
+    def test_longest_path_length(self):
+        dag = DependencyDAG(chain_circuit())
+        assert dag.longest_path_length() == 3
+        wide = QuantumCircuit(6).cx(0, 1).cx(2, 3).cx(4, 5)
+        assert DependencyDAG(wide).longest_path_length() == 1
+
+    def test_lookahead_returns_future_gates(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2).cx(0, 2).cx(0, 1)
+        dag = DependencyDAG(circuit)
+        future = dag.lookahead(10)
+        assert 0 not in future  # front layer not included
+        assert set(future) <= {1, 2, 3}
+
+    def test_executed_order_validation(self):
+        dag = DependencyDAG(chain_circuit())
+        assert dag.executed_order_is_valid([0, 1, 2])
+        assert not dag.executed_order_is_valid([1, 0, 2])
+        assert not dag.executed_order_is_valid([0, 1])
+
+    def test_full_execution_by_front_layers(self, random_small_circuit):
+        dag = DependencyDAG(random_small_circuit)
+        order = []
+        while not dag.is_done():
+            front = dag.front_layer()
+            assert front, "front layer must be non-empty while gates remain"
+            for index in front:
+                dag.execute(index)
+                order.append(index)
+        dag_check = DependencyDAG(random_small_circuit)
+        assert dag_check.executed_order_is_valid(order)

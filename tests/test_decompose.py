@@ -1,0 +1,124 @@
+"""Unit tests for gate decomposition passes (verified against statevectors)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, basis_check, count_basis_gates, decompose_to_cx, decompose_to_cz
+from repro.circuit.decompose import cancel_adjacent_inverses
+from repro.circuit.gate import Gate
+from repro.sim import circuits_equivalent
+
+
+def _single_gate_circuit(name: str, qubits: tuple[int, ...], params=()) -> QuantumCircuit:
+    width = max(qubits) + 1
+    return QuantumCircuit(width, [Gate(name, qubits, params)], name=f"single_{name}")
+
+
+TWO_QUBIT_CASES = [
+    ("cx", ()),
+    ("cz", ()),
+    ("cy", ()),
+    ("ch", ()),
+    ("swap", ()),
+    ("iswap", ()),
+    ("cp", (0.37,)),
+    ("crz", (1.2,)),
+    ("crx", (0.6,)),
+    ("cry", (-0.8,)),
+    ("rzz", (0.9,)),
+    ("rxx", (0.5,)),
+    ("ryy", (1.3,)),
+]
+
+
+class TestCxDecomposition:
+    @pytest.mark.parametrize("name,params", TWO_QUBIT_CASES)
+    def test_two_qubit_gates_equivalent(self, name, params):
+        circuit = _single_gate_circuit(name, (0, 1), params)
+        decomposed = decompose_to_cx(circuit)
+        assert basis_check(decomposed, "cx")
+        assert circuits_equivalent(circuit, decomposed)
+
+    @pytest.mark.parametrize("name,params", TWO_QUBIT_CASES)
+    def test_reversed_operands_equivalent(self, name, params):
+        circuit = _single_gate_circuit(name, (1, 0), params)
+        decomposed = decompose_to_cx(circuit)
+        assert circuits_equivalent(circuit, decomposed)
+
+    @pytest.mark.parametrize("name", ["ccx", "ccz", "cswap"])
+    def test_three_qubit_gates_equivalent(self, name):
+        circuit = _single_gate_circuit(name, (0, 1, 2))
+        decomposed = decompose_to_cx(circuit)
+        assert basis_check(decomposed, "cx")
+        assert circuits_equivalent(circuit, decomposed)
+
+    def test_one_qubit_gates_pass_through(self):
+        circuit = QuantumCircuit(1).h(0).rz(0.3, 0)
+        decomposed = decompose_to_cx(circuit)
+        assert decomposed.gates == circuit.gates
+
+    def test_directives_dropped_by_default(self):
+        circuit = QuantumCircuit(2).cx(0, 1).measure(0)
+        assert all(not g.is_directive for g in decompose_to_cx(circuit).gates)
+        kept = decompose_to_cx(circuit, keep_directives=True)
+        assert any(g.name == "measure" for g in kept.gates)
+
+
+class TestCzDecomposition:
+    def test_mixed_circuit_equivalent(self, small_circuit):
+        decomposed = decompose_to_cz(small_circuit)
+        assert basis_check(decomposed, "cz")
+        assert circuits_equivalent(small_circuit, decomposed)
+
+    @pytest.mark.parametrize("name,params", TWO_QUBIT_CASES)
+    def test_each_gate_to_cz(self, name, params):
+        circuit = _single_gate_circuit(name, (0, 1), params)
+        decomposed = decompose_to_cz(circuit)
+        assert basis_check(decomposed, "cz")
+        assert circuits_equivalent(circuit, decomposed)
+
+    def test_cx_becomes_one_cz(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        decomposed = decompose_to_cz(circuit)
+        assert decomposed.gate_counts()["cz"] == 1
+
+    def test_counts(self):
+        circuit = QuantumCircuit(3).h(0).cx(0, 1).ccx(0, 1, 2)
+        counts = count_basis_gates(decompose_to_cz(circuit))
+        assert counts["other"] == 0
+        assert counts["2q"] >= 7  # 1 + 6 from the Toffoli
+
+
+class TestCancellation:
+    def test_adjacent_h_pairs_cancel(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_s_sdg_cancel(self):
+        circuit = QuantumCircuit(1).s(0).sdg(0)
+        assert len(cancel_adjacent_inverses(circuit)) == 0
+
+    def test_non_adjacent_on_other_qubits_still_cancel(self):
+        circuit = QuantumCircuit(2).h(0).x(1).h(0)
+        cleaned = cancel_adjacent_inverses(circuit)
+        assert cleaned.gate_counts().get("h", 0) == 0
+        assert cleaned.gate_counts()["x"] == 1
+
+    def test_blocked_by_intervening_gate_on_same_qubit(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0)
+        cleaned = cancel_adjacent_inverses(circuit)
+        assert cleaned.gate_counts()["h"] == 2
+
+    def test_cancellation_preserves_semantics(self, small_circuit):
+        noisy = small_circuit.copy()
+        noisy.h(2)
+        noisy.h(2)
+        cleaned = cancel_adjacent_inverses(noisy)
+        assert circuits_equivalent(cleaned, small_circuit)
+
+    def test_rz_pairs_not_cancelled(self):
+        circuit = QuantumCircuit(1).rz(0.5, 0).rz(-0.5, 0)
+        assert len(cancel_adjacent_inverses(circuit)) == 2

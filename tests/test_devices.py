@@ -1,0 +1,106 @@
+"""Unit tests for the baseline device generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import (
+    device_catalogue,
+    grid_device,
+    heavy_hex_device,
+    ibm_washington_device,
+    smallest_device_for,
+    square_fixed_atom_array,
+    triangular_device,
+    triangular_fixed_atom_array,
+)
+
+
+class TestLattices:
+    def test_square_lattice_size_and_degree(self):
+        device = square_fixed_atom_array(16)
+        assert device.num_qubits == 256
+        # interior atoms have 4 neighbours, corners 2
+        degrees = [device.degree(q) for q in range(device.num_qubits)]
+        assert max(degrees) == 4
+        assert min(degrees) == 2
+        assert device.is_connected()
+
+    def test_square_lattice_edge_count(self):
+        device = grid_device(4, 5)
+        # horizontal: 4*4, vertical: 3*5
+        assert device.num_edges == 4 * 4 + 3 * 5
+
+    def test_triangular_lattice_degree(self):
+        device = triangular_fixed_atom_array(16)
+        assert device.num_qubits == 256
+        degrees = [device.degree(q) for q in range(device.num_qubits)]
+        assert max(degrees) == 6
+        assert device.is_connected()
+
+    def test_triangular_has_more_edges_than_square(self):
+        square = grid_device(8, 8)
+        triangular = triangular_device(8, 8)
+        assert triangular.num_edges > square.num_edges
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(HardwareError):
+            grid_device(0, 4)
+        with pytest.raises(HardwareError):
+            triangular_device(3, 0)
+
+    def test_grid_adjacency_structure(self):
+        device = grid_device(3, 3)
+        assert device.are_adjacent(0, 1)
+        assert device.are_adjacent(0, 3)
+        assert not device.are_adjacent(0, 4)
+        triangular = triangular_device(3, 3)
+        assert triangular.are_adjacent(0, 4)  # diagonal
+
+
+class TestHeavyHex:
+    def test_washington_has_127_qubits(self, washington):
+        assert washington.num_qubits == 127
+
+    def test_max_degree_three(self, washington):
+        degrees = [washington.degree(q) for q in range(washington.num_qubits)]
+        assert max(degrees) == 3
+        assert min(degrees) >= 1
+
+    def test_connected(self, washington):
+        assert washington.is_connected()
+
+    def test_sparser_than_square_lattice(self, washington):
+        assert washington.average_degree() < grid_device(12, 11).average_degree()
+
+    def test_smaller_distance_parameter(self):
+        small = heavy_hex_device(3)
+        assert small.num_qubits < 127
+        assert small.is_connected()
+        assert max(small.degree(q) for q in range(small.num_qubits)) <= 3
+
+    def test_invalid_distance(self):
+        with pytest.raises(HardwareError):
+            heavy_hex_device(1)
+
+
+class TestCatalogue:
+    def test_catalogue_contents(self):
+        catalogue = device_catalogue()
+        assert set(catalogue) == {"superconducting", "faa_square", "faa_triangular"}
+        assert catalogue["superconducting"].num_qubits == 127
+        assert catalogue["faa_square"].num_qubits == 256
+
+    def test_smallest_device_for_grows_lattices(self):
+        device = smallest_device_for(300, "faa_square")
+        assert device.num_qubits >= 300
+
+    def test_smallest_device_for_superconducting_limit(self):
+        with pytest.raises(HardwareError):
+            smallest_device_for(200, "superconducting")
+        assert smallest_device_for(100, "superconducting").num_qubits == 127
+
+    def test_unknown_kind(self):
+        with pytest.raises(HardwareError):
+            smallest_device_for(10, "trapped_ion")

@@ -1,0 +1,102 @@
+"""Unit tests for the performance evaluator and the Eq. 5 fidelity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FidelityModel, PerformanceEvaluator, route_circuit, route_qaoa
+from repro.circuit import random_cx_circuit
+from repro.hardware import FPQAConfig
+from repro.workloads import ring_graph_edges
+
+
+class TestFidelityModel:
+    def test_perfect_gates_no_movement(self):
+        model = FidelityModel(one_qubit_fidelity=1.0, two_qubit_fidelity=1.0)
+        assert model.success_probability(
+            num_atoms=10, depth=50, num_one_qubit_gates=100, movement_distances=[]
+        ) == pytest.approx(1.0)
+
+    def test_monotone_in_two_qubit_fidelity(self):
+        low = FidelityModel(two_qubit_fidelity=0.99)
+        high = FidelityModel(two_qubit_fidelity=0.999)
+        kwargs = dict(num_atoms=8, depth=20, num_one_qubit_gates=30, movement_distances=[1.0] * 10)
+        assert high.success_probability(**kwargs) > low.success_probability(**kwargs)
+
+    def test_monotone_in_depth_and_atoms(self):
+        model = FidelityModel()
+        shallow = model.success_probability(
+            num_atoms=8, depth=5, num_one_qubit_gates=0, movement_distances=[]
+        )
+        deep = model.success_probability(
+            num_atoms=8, depth=50, num_one_qubit_gates=0, movement_distances=[]
+        )
+        assert shallow > deep
+        small = model.success_probability(
+            num_atoms=4, depth=20, num_one_qubit_gates=0, movement_distances=[]
+        )
+        big = model.success_probability(
+            num_atoms=40, depth=20, num_one_qubit_gates=0, movement_distances=[]
+        )
+        assert small > big
+
+    def test_movement_reduces_fidelity(self):
+        model = FidelityModel()
+        still = model.success_probability(
+            num_atoms=10, depth=10, num_one_qubit_gates=0, movement_distances=[]
+        )
+        moving = model.success_probability(
+            num_atoms=10, depth=10, num_one_qubit_gates=0, movement_distances=[4.0] * 100
+        )
+        assert moving < still
+
+    def test_error_rate_complement(self):
+        model = FidelityModel()
+        kwargs = dict(num_atoms=6, depth=10, num_one_qubit_gates=5, movement_distances=[1.0])
+        assert model.error_rate(**kwargs) == pytest.approx(1 - model.success_probability(**kwargs))
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            FidelityModel().success_probability(
+                num_atoms=-1, depth=1, num_one_qubit_gates=0, movement_distances=[]
+            )
+
+    def test_from_config(self):
+        config = FPQAConfig(slm_rows=2, slm_cols=2, two_qubit_fidelity=0.98, t2_s=2.0)
+        model = FidelityModel.from_config(config)
+        assert model.two_qubit_fidelity == pytest.approx(0.98)
+        assert model.t2_s == pytest.approx(2.0)
+        override = FidelityModel.from_config(config, two_qubit_fidelity=0.5)
+        assert override.two_qubit_fidelity == pytest.approx(0.5)
+
+
+class TestPerformanceEvaluator:
+    def test_evaluation_matches_schedule_metrics(self, random_small_circuit):
+        schedule = route_circuit(random_small_circuit)
+        result = PerformanceEvaluator().evaluate(schedule)
+        assert result.depth == schedule.two_qubit_depth()
+        assert result.num_two_qubit_gates == schedule.num_two_qubit_gates()
+        assert result.num_atoms == schedule.total_qubits_used()
+        assert 0.0 <= result.success_probability <= 1.0
+        assert result.error_rate == pytest.approx(1 - result.success_probability)
+        assert result.compile_time_s is not None
+
+    def test_summary_round_trip(self, random_small_circuit):
+        schedule = route_circuit(random_small_circuit)
+        summary = PerformanceEvaluator().evaluate(schedule).summary()
+        assert summary["depth"] == schedule.two_qubit_depth()
+        assert summary["qubits"] == random_small_circuit.num_qubits
+
+    def test_error_rate_sweep_is_monotone(self):
+        schedule = route_qaoa(6, ring_graph_edges(6))
+        sweep = [1e-6, 1e-4, 1e-2, 1e-1]
+        points = PerformanceEvaluator().error_rate_vs_two_qubit_error(schedule, sweep)
+        errors = [overall for _, overall in points]
+        assert errors == sorted(errors)
+        assert errors[0] < errors[-1]
+
+    def test_bigger_circuit_has_higher_error(self):
+        small = route_circuit(random_cx_circuit(4, 6, seed=1))
+        large = route_circuit(random_cx_circuit(8, 40, seed=1))
+        evaluator = PerformanceEvaluator()
+        assert evaluator.evaluate(large).error_rate >= evaluator.evaluate(small).error_rate

@@ -1,0 +1,136 @@
+"""Unit tests for the FPQA architecture model (config, SLM array, AOD grid)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import HardwareError
+from repro.hardware import AODGrid, FPQAConfig, SLMArray
+
+
+class TestFPQAConfig:
+    def test_defaults_fill_aod_shape(self):
+        config = FPQAConfig(slm_rows=4, slm_cols=6)
+        assert config.aod_rows == 4
+        assert config.aod_cols == 6
+        assert config.num_slm_sites == 24
+        assert config.num_aod_sites == 24
+
+    def test_spacing_constraint(self):
+        with pytest.raises(HardwareError):
+            FPQAConfig(slm_rows=2, slm_cols=2, rydberg_radius_um=4.0, site_spacing_um=5.0)
+
+    def test_interaction_offset_constraint(self):
+        with pytest.raises(HardwareError):
+            FPQAConfig(slm_rows=2, slm_cols=2, interaction_offset_um=10.0)
+
+    def test_fidelity_bounds(self):
+        with pytest.raises(HardwareError):
+            FPQAConfig(slm_rows=2, slm_cols=2, two_qubit_fidelity=1.5)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(HardwareError):
+            FPQAConfig(slm_rows=0, slm_cols=3)
+
+    def test_square_for(self):
+        config = FPQAConfig.square_for(10)
+        assert config.num_slm_sites >= 10
+        assert abs(config.slm_rows - config.slm_cols) <= 1
+
+    def test_with_width(self):
+        config = FPQAConfig.with_width(100, 8)
+        assert config.slm_cols == 8
+        assert config.slm_rows == 13
+        assert config.num_slm_sites >= 100
+
+    def test_for_qubits_keeps_width(self):
+        config = FPQAConfig(slm_rows=2, slm_cols=16)
+        grown = config.for_qubits(100)
+        assert grown.slm_cols == 16
+        assert grown.num_slm_sites >= 100
+
+
+class TestSLMArray:
+    def test_reading_order_mapping(self, small_fpqa_config):
+        array = SLMArray(small_fpqa_config, 12)
+        assert array.position(0) == (0, 0)
+        assert array.position(3) == (0, 3)
+        assert array.position(4) == (1, 0)
+        assert array.position(11) == (2, 3)
+
+    def test_qubit_at_inverse(self, small_fpqa_config):
+        array = SLMArray(small_fpqa_config, 10)
+        for qubit in range(10):
+            row, col = array.position(qubit)
+            assert array.qubit_at(row, col) == qubit
+        assert array.qubit_at(2, 3) is None  # site beyond qubit 9
+        assert array.qubit_at(5, 0) is None  # outside the array
+
+    def test_out_of_range_qubit(self, small_fpqa_config):
+        array = SLMArray(small_fpqa_config, 12)
+        with pytest.raises(HardwareError):
+            array.position(12)
+
+    def test_too_many_qubits(self, small_fpqa_config):
+        with pytest.raises(HardwareError):
+            SLMArray(small_fpqa_config, 13)
+
+    def test_physical_coordinates_and_distance(self, small_fpqa_config):
+        array = SLMArray(small_fpqa_config, 12)
+        spacing = small_fpqa_config.site_spacing_um
+        assert array.physical_xy(0) == (0.0, 0.0)
+        assert array.physical_xy(5) == (1 * spacing, 1 * spacing)
+        assert array.euclidean_distance(0, 5) == pytest.approx(math.hypot(spacing, spacing))
+        assert array.grid_distance(0, 5) == 2
+
+    def test_occupied_rows(self, small_fpqa_config):
+        assert SLMArray(small_fpqa_config, 9).occupied_rows() == 3
+        assert SLMArray(small_fpqa_config, 8).occupied_rows() == 2
+
+
+class TestAODGrid:
+    def test_load_unload(self):
+        grid = AODGrid(rows=2, cols=3)
+        grid.load(0, 1, ancilla_id=7)
+        assert grid.num_live_atoms == 1
+        assert grid.unload(0, 1) == 7
+        assert grid.num_live_atoms == 0
+
+    def test_double_load_rejected(self):
+        grid = AODGrid(rows=2, cols=2)
+        grid.load(0, 0, 1)
+        with pytest.raises(HardwareError):
+            grid.load(0, 0, 2)
+
+    def test_unload_empty_rejected(self):
+        grid = AODGrid(rows=1, cols=1)
+        with pytest.raises(HardwareError):
+            grid.unload(0, 0)
+
+    def test_row_moves_cannot_cross(self):
+        grid = AODGrid(rows=3, cols=2)
+        displacement = grid.move_rows([0.0, 2.0, 4.0])
+        assert displacement == pytest.approx(2.0)
+        with pytest.raises(HardwareError):
+            grid.move_rows([2.0, 1.0, 4.0])
+
+    def test_col_moves_cannot_cross(self):
+        grid = AODGrid(rows=2, cols=3)
+        grid.move_cols([0.5, 1.5, 2.5])
+        with pytest.raises(HardwareError):
+            grid.move_cols([3.0, 1.5, 2.5])
+
+    def test_atom_positions_follow_grid(self):
+        grid = AODGrid(rows=2, cols=2)
+        grid.load(1, 0, ancilla_id=3)
+        grid.move_rows([0.0, 5.0])
+        grid.move_cols([1.0, 2.0])
+        assert grid.atom_positions()[3] == (5.0, 1.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(HardwareError):
+            AODGrid(rows=0, cols=2)
+        with pytest.raises(HardwareError):
+            AODGrid(rows=2, cols=2, row_positions=[0.0])

@@ -1,0 +1,193 @@
+"""Unit tests for the gate model."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.gate import (
+    DIAGONAL_GATES,
+    Gate,
+    gate_matrix,
+    one_qubit_gate_names,
+    parameter_count,
+    two_qubit_gate_names,
+    validate_gates,
+)
+from repro.exceptions import CircuitError
+
+
+class TestGateConstruction:
+    def test_basic_two_qubit_gate(self):
+        gate = Gate("cz", (0, 1))
+        assert gate.num_qubits == 2
+        assert gate.is_two_qubit
+        assert not gate.is_one_qubit
+        assert gate.params == ()
+
+    def test_name_is_lowercased(self):
+        assert Gate("CX", (0, 1)).name == "cx"
+
+    def test_parameterised_gate(self):
+        gate = Gate("rz", (2,), (0.5,))
+        assert gate.params == (0.5,)
+        assert gate.is_one_qubit
+
+    def test_repeated_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (1, 1))
+
+    def test_negative_qubit_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("x", (-1,))
+
+    def test_wrong_parameter_count_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("rz", (0,))
+        with pytest.raises(CircuitError):
+            Gate("h", (0,), (1.0,))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("cx", (0,))
+        with pytest.raises(CircuitError):
+            Gate("h", (0, 1))
+
+    def test_on_and_remap(self):
+        gate = Gate("cx", (0, 1))
+        assert gate.on(3, 4).qubits == (3, 4)
+        assert gate.remap({0: 5, 1: 2}).qubits == (5, 2)
+
+    def test_validate_gates_range(self):
+        validate_gates([Gate("cx", (0, 1))], 2)
+        with pytest.raises(CircuitError):
+            validate_gates([Gate("cx", (0, 5))], 2)
+
+
+class TestGateClassification:
+    def test_diagonal_gates(self):
+        assert Gate("cz", (0, 1)).is_diagonal
+        assert Gate("rzz", (0, 1), (0.3,)).is_diagonal
+        assert Gate("rz", (0,), (0.3,)).is_diagonal
+        assert not Gate("cx", (0, 1)).is_diagonal
+        assert not Gate("h", (0,)).is_diagonal
+
+    def test_directives(self):
+        assert Gate("measure", (0,)).is_directive
+        assert Gate("barrier", (0, 1, 2)).is_barrier
+        assert not Gate("x", (0,)).is_directive
+
+    def test_diagonal_set_is_actually_diagonal(self):
+        for name in DIAGONAL_GATES:
+            if name in {"ccz"}:
+                params = ()
+            elif parameter_count(name):
+                params = tuple([0.37] * parameter_count(name))
+            else:
+                params = ()
+            matrix = gate_matrix(name, params)
+            off_diagonal = matrix - np.diag(np.diag(matrix))
+            assert np.allclose(off_diagonal, 0), name
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", [n for n in one_qubit_gate_names() if n not in {"measure", "reset"}])
+    def test_one_qubit_matrices_unitary(self, name):
+        params = tuple([0.41] * parameter_count(name))
+        matrix = gate_matrix(name, params)
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(2), atol=1e-12)
+
+    @pytest.mark.parametrize("name", list(two_qubit_gate_names()))
+    def test_two_qubit_matrices_unitary(self, name):
+        params = tuple([0.41] * parameter_count(name))
+        matrix = gate_matrix(name, params)
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix @ matrix.conj().T, np.eye(4), atol=1e-12)
+
+    def test_cx_matrix_action(self):
+        cx = gate_matrix("cx")
+        # control = qubit 0 (least significant). |01> (q0=1,q1=0) -> |11>
+        state = np.zeros(4)
+        state[0b01] = 1.0
+        out = cx @ state
+        assert out[0b11] == pytest.approx(1.0)
+
+    def test_cz_matrix(self):
+        cz = gate_matrix("cz")
+        assert np.allclose(np.diag(cz), [1, 1, 1, -1])
+
+    def test_rzz_matrix_phases(self):
+        theta = 0.8
+        rzz = gate_matrix("rzz", (theta,))
+        expected = np.diag(
+            [
+                np.exp(-1j * theta / 2),
+                np.exp(1j * theta / 2),
+                np.exp(1j * theta / 2),
+                np.exp(-1j * theta / 2),
+            ]
+        )
+        assert np.allclose(rzz, expected)
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("measure")
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("frobnicate")
+
+    def test_ccx_flips_target_when_controls_set(self):
+        ccx = gate_matrix("ccx")
+        state = np.zeros(8)
+        state[0b011] = 1.0  # controls q0,q1 set; target q2 = 0
+        out = ccx @ state
+        assert out[0b111] == pytest.approx(1.0)
+
+
+class TestGateInverse:
+    @pytest.mark.parametrize(
+        "name,params",
+        [
+            ("h", ()),
+            ("x", ()),
+            ("s", ()),
+            ("t", ()),
+            ("sx", ()),
+            ("rz", (0.7,)),
+            ("rx", (1.1,)),
+            ("ry", (-0.4,)),
+            ("u", (0.3, 0.5, 0.7)),
+            ("cx", ()),
+            ("cz", ()),
+            ("swap", ()),
+            ("cp", (0.9,)),
+            ("rzz", (0.33,)),
+        ],
+    )
+    def test_inverse_matrix(self, name, params):
+        qubits = (0,) if parameter_count(name) == len(params) and name in one_qubit_gate_names() else (0, 1)
+        if name in one_qubit_gate_names():
+            qubits = (0,)
+        gate = Gate(name, qubits, params)
+        inverse = gate.inverse()
+        product = gate.matrix() @ inverse.matrix()
+        dim = product.shape[0]
+        assert np.allclose(product, np.eye(dim), atol=1e-12)
+
+    def test_measure_has_no_inverse(self):
+        with pytest.raises(CircuitError):
+            Gate("measure", (0,)).inverse()
+
+    def test_u2_inverse(self):
+        gate = Gate("u2", (0,), (0.2, 0.9))
+        product = gate.matrix() @ gate.inverse().matrix()
+        assert np.allclose(product, np.eye(2) * product[0, 0], atol=1e-12)
+        assert abs(abs(product[0, 0]) - 1) < 1e-12
+
+    def test_str_contains_name(self):
+        assert "cz" in str(Gate("cz", (0, 1)))
+        assert "rz" in str(Gate("rz", (0,), (math.pi,)))

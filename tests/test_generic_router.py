@@ -1,0 +1,177 @@
+"""Unit tests for the generic flying-ancilla router (Alg. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit, decompose_to_cz, ghz_circuit, qft_circuit, random_cx_circuit
+from repro.core import GenericRouter, GenericRouterOptions, route_circuit
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    MeasurementStage,
+    MovementStage,
+    OneQubitStage,
+    RydbergStage,
+)
+from repro.hardware import FPQAConfig, SLMArray, subset_is_legal
+from repro.hardware.constraints import GatePlacement
+from repro.sim import verify_schedule_equivalence
+
+
+class TestStructure:
+    def test_schedule_validates(self, random_small_circuit):
+        schedule = route_circuit(random_small_circuit)
+        schedule.validate()
+
+    def test_gate_and_depth_accounting(self, random_small_circuit):
+        schedule = route_circuit(random_small_circuit)
+        native = decompose_to_cz(random_small_circuit)
+        routed_cz = native.num_two_qubit_gates()
+        # every routed CZ costs 3 2-qubit gates (create, execute, recycle)
+        assert schedule.num_two_qubit_gates() == 3 * routed_cz
+        # every macro stage contributes exactly 3 2-qubit layers
+        macros = schedule.metadata["num_macro_stages"]
+        assert schedule.two_qubit_depth() == 3 * macros
+        assert macros <= routed_cz
+
+    def test_all_one_qubit_gates_scheduled(self, random_small_circuit):
+        schedule = route_circuit(random_small_circuit)
+        native = decompose_to_cz(random_small_circuit)
+        assert schedule.num_one_qubit_gates() == native.num_one_qubit_gates()
+
+    def test_macro_stage_layout(self):
+        circuit = QuantumCircuit(4).cz(0, 1).cz(2, 3)
+        schedule = route_circuit(circuit)
+        kinds = [type(stage).__name__ for stage in schedule.stages]
+        assert kinds == [
+            "AncillaCreationStage",
+            "MovementStage",
+            "RydbergStage",
+            "MovementStage",
+            "AncillaRecycleStage",
+        ]
+
+    def test_parallel_gates_share_one_macro(self):
+        circuit = QuantumCircuit(4).cz(0, 1).cz(2, 3)
+        schedule = route_circuit(circuit)
+        assert schedule.metadata["num_macro_stages"] == 1
+        rydberg = [s for s in schedule.stages if isinstance(s, RydbergStage)]
+        assert len(rydberg) == 1
+        assert len(rydberg[0].gates) == 2
+
+    def test_dependent_gates_need_two_macros(self):
+        circuit = QuantumCircuit(3).cz(0, 1).cz(1, 2)
+        schedule = route_circuit(circuit)
+        assert schedule.metadata["num_macro_stages"] == 2
+
+    def test_measurement_stage_emitted(self):
+        circuit = QuantumCircuit(2).cz(0, 1).measure(0).measure(1)
+        schedule = route_circuit(circuit)
+        assert isinstance(schedule.stages[-1], MeasurementStage)
+
+    def test_measurement_stage_optional(self):
+        circuit = QuantumCircuit(2).cz(0, 1).measure(0)
+        options = GenericRouterOptions(include_measurement=False)
+        schedule = route_circuit(circuit, options=options)
+        assert not any(isinstance(s, MeasurementStage) for s in schedule.stages)
+
+    def test_pure_one_qubit_circuit(self):
+        circuit = QuantumCircuit(3).h(0).rz(0.3, 1).x(2)
+        schedule = route_circuit(circuit)
+        assert schedule.num_two_qubit_gates() == 0
+        assert schedule.two_qubit_depth() == 0
+        assert schedule.num_one_qubit_gates() == 3
+
+    def test_max_gates_per_stage_option(self):
+        circuit = QuantumCircuit(8)
+        for i in range(0, 8, 2):
+            circuit.cz(i, i + 1)
+        limited = route_circuit(circuit, options=GenericRouterOptions(max_gates_per_stage=1))
+        unlimited = route_circuit(circuit)
+        assert limited.metadata["num_macro_stages"] > unlimited.metadata["num_macro_stages"]
+
+
+class TestLegality:
+    def test_every_rydberg_stage_is_a_legal_subset(self):
+        circuit = random_cx_circuit(12, 40, seed=21)
+        config = FPQAConfig.square_for(12)
+        schedule = GenericRouter(config).compile(circuit)
+        array = SLMArray(config, 12)
+        for stage in schedule.stages:
+            if not isinstance(stage, RydbergStage) or not stage.gates:
+                continue
+            placements = []
+            for index, gate in enumerate(stage.gates):
+                # find the ancilla's source qubit from the creation stage label
+                (slot,) = gate.ancilla_slots
+                (target,) = gate.data_qubits
+                placements.append((index, slot, target))
+            # reconstruct the placement from the paired creation stage
+            creation = _creation_before(schedule, stage)
+            source_of = {slot: source[1] for source, slot in creation.copies}
+            gate_placements = [
+                GatePlacement(i, array.position(source_of[slot]), array.position(target))
+                for i, slot, target in placements
+            ]
+            assert subset_is_legal(gate_placements)
+
+    def test_each_atom_used_once_per_pulse(self):
+        circuit = random_cx_circuit(10, 30, seed=13)
+        schedule = route_circuit(circuit)
+        for stage in schedule.stages:
+            if isinstance(stage, RydbergStage):
+                operands = [op for gate in stage.gates for op in gate.operands]
+                assert len(operands) == len(set(operands))
+
+    def test_creation_and_recycle_match(self):
+        circuit = random_cx_circuit(8, 20, seed=17)
+        schedule = route_circuit(circuit)
+        creations = [s for s in schedule.stages if isinstance(s, AncillaCreationStage)]
+        recycles = [s for s in schedule.stages if isinstance(s, AncillaRecycleStage)]
+        assert len(creations) == len(recycles)
+        for create, recycle in zip(creations, recycles):
+            assert create.copies == recycle.copies
+
+    def test_movement_stages_bracket_every_rydberg_stage(self):
+        circuit = random_cx_circuit(6, 10, seed=19)
+        schedule = route_circuit(circuit)
+        stages = schedule.stages
+        for position, stage in enumerate(stages):
+            if isinstance(stage, RydbergStage):
+                assert isinstance(stages[position - 1], MovementStage)
+                assert isinstance(stages[position + 1], MovementStage)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_random_circuits_verified(self, seed):
+        circuit = random_cx_circuit(4, 7, seed=seed)
+        schedule = route_circuit(circuit)
+        assert verify_schedule_equivalence(circuit, schedule, seed=seed)
+
+    def test_ghz_circuit_verified(self):
+        circuit = ghz_circuit(4)
+        schedule = route_circuit(circuit)
+        assert verify_schedule_equivalence(circuit, schedule, seed=31)
+
+    def test_qft_circuit_verified(self):
+        circuit = qft_circuit(3)
+        schedule = route_circuit(circuit)
+        assert verify_schedule_equivalence(circuit, schedule, seed=37)
+
+    def test_explicit_config_respected(self):
+        circuit = random_cx_circuit(6, 10, seed=5)
+        config = FPQAConfig(slm_rows=2, slm_cols=3)
+        schedule = GenericRouter(config).compile(circuit)
+        assert schedule.config.slm_cols == 3
+        assert verify_schedule_equivalence(circuit, schedule, seed=41)
+
+
+def _creation_before(schedule, rydberg_stage):
+    """The creation stage belonging to the same macro as a Rydberg stage."""
+    index = schedule.stages.index(rydberg_stage)
+    for stage in reversed(schedule.stages[:index]):
+        if isinstance(stage, AncillaCreationStage):
+            return stage
+    raise AssertionError("no creation stage before a Rydberg stage")

@@ -1,0 +1,135 @@
+"""End-to-end integration tests: Q-Pilot vs the baseline flow on shared workloads.
+
+These tests exercise the same pipelines the benchmark harness runs, at small
+sizes, and assert the qualitative findings of the paper: the FPQA flying-
+ancilla schedules achieve (much) lower 2-qubit depth than SWAP routing on
+fixed-coupling devices, the application-specific routers beat the generic
+router on their domains, and Q-Pilot's compile time stays tiny while the
+exact solver's explodes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import QPilotCompiler
+from repro.baselines import (
+    BaselineTranspiler,
+    ExactStageSolver,
+    IterativePeelingSolver,
+    SabreOptions,
+)
+from repro.circuit import qaoa_cost_layer, random_cx_circuit, trotter_circuit
+from repro.core import GenericRouter, QAOARouter, QSimRouter
+from repro.hardware import FPQAConfig, ibm_washington_device, square_fixed_atom_array
+from repro.workloads import qsim_workload, random_circuit_workload, regular_graph_edges
+
+
+SABRE_FAST = SabreOptions(layout_trials=1)
+
+
+class TestQPilotVsBaselines:
+    def test_random_circuit_depth_advantage(self):
+        """Fig. 11 in miniature: Q-Pilot beats the square fixed-atom array on depth."""
+        circuit = random_circuit_workload(20, 5, seed=1)
+        qpilot = QPilotCompiler().compile_circuit(circuit)
+        baseline = BaselineTranspiler(square_fixed_atom_array(16), SABRE_FAST).compile(circuit)
+        assert qpilot.depth < baseline.two_qubit_depth
+
+    def test_qsim_depth_advantage_is_large(self):
+        """Fig. 12 in miniature: large depth reduction for Pauli-string workloads."""
+        strings = qsim_workload(20, 0.5, num_strings=10, seed=2)
+        qpilot = QPilotCompiler().compile_pauli_strings(strings)
+        reference = trotter_circuit(strings, 20)
+        baseline = BaselineTranspiler(square_fixed_atom_array(16), SABRE_FAST).compile(reference)
+        # the advantage grows with qubit count (Fig. 12 reports 27.7x at 100
+        # qubits); at this miniature size we only require a clear win
+        assert qpilot.depth * 1.3 < baseline.two_qubit_depth
+
+    def test_qaoa_depth_advantage(self):
+        """Fig. 13 in miniature: QAOA cost layers compile to far fewer 2Q layers."""
+        edges = regular_graph_edges(20, 4, seed=3)
+        qpilot = QPilotCompiler().compile_qaoa(20, edges)
+        reference = qaoa_cost_layer(20, edges)
+        baseline = BaselineTranspiler(square_fixed_atom_array(16), SABRE_FAST).compile(reference)
+        assert qpilot.depth < baseline.two_qubit_depth
+
+    def test_superconducting_baseline_is_worst_on_dense_workloads(self):
+        """The heavy-hex device (sparsest coupling) pays the largest SWAP overhead."""
+        circuit = random_circuit_workload(20, 2, seed=4)
+        heavy_hex = BaselineTranspiler(ibm_washington_device(), SABRE_FAST).compile(circuit)
+        square = BaselineTranspiler(square_fixed_atom_array(16), SABRE_FAST).compile(circuit)
+        assert heavy_hex.num_two_qubit_gates >= square.num_two_qubit_gates
+
+
+class TestApplicationSpecificAdvantage:
+    def test_qsim_router_beats_generic_router(self):
+        """Fig. 16 (left): the quantum-simulation router reduces depth and gates."""
+        strings = qsim_workload(16, 0.4, num_strings=8, seed=5)
+        config = FPQAConfig.square_for(16)
+        specialised = QSimRouter(config).compile(strings)
+        generic = GenericRouter(config).compile(trotter_circuit(strings, 16))
+        assert specialised.two_qubit_depth() < generic.two_qubit_depth()
+        assert specialised.num_two_qubit_gates() <= generic.num_two_qubit_gates()
+
+    def test_qaoa_router_beats_generic_router(self):
+        """Fig. 16 (right): the QAOA router reduces depth and gates."""
+        edges = regular_graph_edges(16, 3, seed=6)
+        config = FPQAConfig.square_for(16)
+        specialised = QAOARouter(config).compile(16, edges)
+        generic = GenericRouter(config).compile(qaoa_cost_layer(16, edges))
+        assert specialised.two_qubit_depth() < generic.two_qubit_depth()
+        assert specialised.num_two_qubit_gates() < generic.num_two_qubit_gates()
+
+
+class TestSolverComparison:
+    def test_qpilot_much_faster_than_exact_solver(self):
+        """Table 2 in miniature: similar-quality schedules, orders of magnitude faster."""
+        edges = regular_graph_edges(20, 3, seed=7)
+        start = time.perf_counter()
+        qpilot = QPilotCompiler().compile_qaoa(20, edges)
+        qpilot_time = time.perf_counter() - start
+        solver = ExactStageSolver(timeout_s=30).compile(20, edges)
+        assert qpilot_time < 2.0
+        assert not solver.timed_out
+        # the solver is depth-optimal; Q-Pilot's greedy stays within a small
+        # constant factor (the paper reports <= 4x, our greedy is ~7x here)
+        qpilot_stages = qpilot.schedule.metadata["stages_per_layer"][0]
+        assert qpilot_stages <= 8 * solver.depth
+
+    def test_iterative_solver_depth_between_optimal_and_qpilot(self):
+        edges = regular_graph_edges(16, 3, seed=8)
+        exact = ExactStageSolver(timeout_s=30).compile(16, edges)
+        iterative = IterativePeelingSolver().compile(16, edges)
+        assert exact.depth <= iterative.depth <= exact.depth + 3
+
+
+class TestScalabilitySmoke:
+    @pytest.mark.parametrize("num_qubits", [100, 200])
+    def test_qaoa_router_scales(self, num_qubits):
+        """Sec. 4.3: compile time stays small as the problem grows."""
+        edges = regular_graph_edges(num_qubits, 3, seed=9)
+        start = time.perf_counter()
+        schedule = QAOARouter().compile(num_qubits, edges)
+        elapsed = time.perf_counter() - start
+        schedule.validate()
+        assert elapsed < 20.0
+        assert schedule.metadata["stages_per_layer"][0] < len(edges)
+
+    def test_qsim_router_scales(self):
+        strings = qsim_workload(100, 0.1, num_strings=20, seed=10)
+        start = time.perf_counter()
+        schedule = QSimRouter().compile(strings)
+        elapsed = time.perf_counter() - start
+        schedule.validate()
+        assert elapsed < 20.0
+
+    def test_generic_router_scales(self):
+        circuit = random_cx_circuit(100, 200, seed=11)
+        start = time.perf_counter()
+        schedule = GenericRouter().compile(circuit)
+        elapsed = time.perf_counter() - start
+        schedule.validate()
+        assert elapsed < 30.0

@@ -1,0 +1,83 @@
+"""Unit tests for initial layout strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import Layout, degree_aware_layout, random_layout, trivial_layout
+from repro.circuit import QuantumCircuit, random_cx_circuit
+from repro.exceptions import RoutingError
+from repro.hardware import grid_device, linear_device
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = Layout.trivial(3)
+        assert layout.physical(0) == 0
+        assert layout.logical(2) == 2
+        assert layout.num_logical == 3
+
+    def test_from_permutation(self):
+        layout = Layout.from_permutation([5, 2, 9])
+        assert layout.physical(1) == 2
+        assert layout.logical(9) == 2
+        assert layout.logical(0) is None
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(RoutingError):
+            Layout({0: 1, 1: 1})
+
+    def test_swap_physical(self):
+        layout = Layout({0: 0, 1: 1})
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.physical(1) == 0
+
+    def test_swap_with_empty_site(self):
+        layout = Layout({0: 0})
+        layout.swap_physical(0, 3)
+        assert layout.physical(0) == 3
+        assert layout.logical(0) is None
+        assert layout.logical(3) == 0
+
+    def test_copy_is_independent(self):
+        layout = Layout({0: 0, 1: 1})
+        copy = layout.copy()
+        copy.swap_physical(0, 1)
+        assert layout.physical(0) == 0
+
+    def test_equality(self):
+        assert Layout({0: 1}) == Layout({0: 1})
+        assert Layout({0: 1}) != Layout({0: 2})
+
+
+class TestLayoutStrategies:
+    def test_trivial_layout_requires_fit(self):
+        circuit = QuantumCircuit(10)
+        with pytest.raises(RoutingError):
+            trivial_layout(circuit, linear_device(5))
+
+    def test_random_layout_is_valid(self):
+        circuit = random_cx_circuit(6, 10, seed=1)
+        device = grid_device(3, 3)
+        layout = random_layout(circuit, device, seed=4)
+        physicals = {layout.physical(q) for q in range(6)}
+        assert len(physicals) == 6
+        assert all(0 <= p < device.num_qubits for p in physicals)
+
+    def test_degree_aware_layout_places_busy_qubits_centrally(self):
+        device = grid_device(3, 3)
+        circuit = QuantumCircuit(5)
+        # qubit 0 interacts with everyone -> should land on a high-degree site
+        for other in range(1, 5):
+            circuit.cx(0, other)
+        layout = degree_aware_layout(circuit, device)
+        assert device.degree(layout.physical(0)) == max(
+            device.degree(q) for q in range(device.num_qubits)
+        )
+
+    def test_degree_aware_layout_is_injective(self):
+        circuit = random_cx_circuit(8, 20, seed=3)
+        device = grid_device(3, 3)
+        layout = degree_aware_layout(circuit, device)
+        assert len({layout.physical(q) for q in range(8)}) == 8

@@ -1,0 +1,69 @@
+"""Unit tests for atom movement records and statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import AtomMove, MovementStep, movement_statistics
+from repro.core.movement import total_movement_distance
+
+
+class TestAtomMove:
+    def test_distance(self):
+        move = AtomMove(0, (0.0, 0.0), (3.0, 4.0))
+        assert move.distance == pytest.approx(5.0)
+        assert move.distance_um(2.0) == pytest.approx(10.0)
+
+    def test_zero_move(self):
+        move = AtomMove(1, (2.0, 2.0), (2.0, 2.0))
+        assert move.distance == pytest.approx(0.0)
+
+
+class TestMovementStep:
+    def test_max_and_total_distance(self):
+        step = MovementStep()
+        step.add(AtomMove(0, (0, 0), (0, 1)))
+        step.add(AtomMove(1, (0, 0), (0, 3)))
+        assert step.max_distance == pytest.approx(3.0)
+        assert step.total_distance == pytest.approx(4.0)
+        assert step.num_moving_atoms == 2
+
+    def test_empty_step(self):
+        step = MovementStep()
+        assert step.max_distance == 0.0
+        assert step.duration_us(5.0, 1e5) == 0.0
+
+    def test_duration_includes_settling_time(self):
+        step = MovementStep(moves=[AtomMove(0, (0, 0), (0, 2))])
+        duration = step.duration_us(site_spacing_um=10.0, speed_um_per_s=1e6, t0_us=100.0)
+        travel = 2 * 10.0 / 1e6 * 1e6
+        assert duration == pytest.approx(100.0 + travel)
+
+    def test_stationary_atoms_not_counted_as_moving(self):
+        step = MovementStep(moves=[AtomMove(0, (1, 1), (1, 1)), AtomMove(1, (0, 0), (1, 0))])
+        assert step.num_moving_atoms == 1
+
+
+class TestStatistics:
+    def _steps(self):
+        return [
+            MovementStep(moves=[AtomMove(0, (0, 0), (0, 2))]),
+            MovementStep(moves=[AtomMove(0, (0, 2), (1, 2)), AtomMove(1, (0, 0), (2, 0))]),
+        ]
+
+    def test_total_movement_distance(self):
+        assert total_movement_distance(self._steps()) == pytest.approx(2.0 + 2.0)
+
+    def test_statistics_keys_and_values(self):
+        stats = movement_statistics(self._steps())
+        assert stats["num_steps"] == 2
+        assert stats["total_max_distance"] == pytest.approx(4.0)
+        assert stats["max_step_distance"] == pytest.approx(2.0)
+        assert stats["mean_moving_atoms"] == pytest.approx(1.5)
+
+    def test_statistics_empty(self):
+        stats = movement_statistics([])
+        assert stats["num_steps"] == 0
+        assert stats["mean_step_distance"] == 0.0

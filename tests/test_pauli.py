@@ -1,0 +1,144 @@
+"""Unit tests for Pauli strings and evolution circuits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.linalg import expm
+
+from repro.circuit import PauliString, pauli_evolution_circuit, random_pauli_strings, trotter_circuit
+from repro.circuit.pauli import iter_support_pairs, pauli_weight_histogram, random_pauli_string
+from repro.exceptions import WorkloadError
+from repro.sim import circuit_unitary, unitaries_equivalent
+
+_PAULI_MATRICES = {
+    "I": np.eye(2, dtype=complex),
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
+
+
+def pauli_operator(label: str) -> np.ndarray:
+    """Dense operator of a Pauli string (little-endian: qubit 0 least significant)."""
+    op = np.array([[1.0]], dtype=complex)
+    for char in label:  # qubit 0 first => kron from the left accumulates to MSB-last
+        op = np.kron(_PAULI_MATRICES[char], op)
+    return op
+
+
+class TestPauliString:
+    def test_basic_properties(self):
+        string = PauliString("XIZY")
+        assert string.num_qubits == 4
+        assert string.support == (0, 2, 3)
+        assert string.weight == 3
+        assert string.pauli_on(1) == "I"
+        assert not string.is_identity()
+
+    def test_lowercase_accepted(self):
+        assert PauliString("xyzi").label == "XYZI"
+
+    def test_invalid_label(self):
+        with pytest.raises(WorkloadError):
+            PauliString("XQ")
+        with pytest.raises(WorkloadError):
+            PauliString("")
+
+    def test_identity_detection(self):
+        assert PauliString("III").is_identity()
+
+    def test_restricted(self):
+        string = PauliString("XIZY")
+        assert string.restricted([0, 3]).label == "XY"
+
+    def test_support_pairs(self):
+        string = PauliString("ZIXZ")
+        assert list(iter_support_pairs(string)) == [(0, 2), (0, 3)]
+
+    def test_weight_histogram(self):
+        strings = [PauliString("XX"), PauliString("XI"), PauliString("ZZ")]
+        assert pauli_weight_histogram(strings) == {1: 1, 2: 2}
+
+
+class TestRandomStrings:
+    def test_probability_bounds(self):
+        with pytest.raises(WorkloadError):
+            random_pauli_string(4, 1.5)
+
+    def test_minimum_weight_respected(self):
+        for seed in range(10):
+            string = random_pauli_string(6, 0.1, seed=seed, min_weight=2)
+            assert string.weight >= 2
+
+    def test_deterministic_with_seed(self):
+        a = random_pauli_strings(8, 5, 0.4, seed=9)
+        b = random_pauli_strings(8, 5, 0.4, seed=9)
+        assert [s.label for s in a] == [s.label for s in b]
+
+    def test_probability_controls_weight(self):
+        low = random_pauli_strings(30, 40, 0.1, seed=3)
+        high = random_pauli_strings(30, 40, 0.5, seed=3)
+        mean_low = np.mean([s.weight for s in low])
+        mean_high = np.mean([s.weight for s in high])
+        assert mean_high > mean_low
+
+
+class TestEvolutionCircuits:
+    @pytest.mark.parametrize("label", ["ZZ", "XX", "XY", "ZIZ", "XYZ", "IZX", "YIIY"])
+    @pytest.mark.parametrize("ladder", ["star", "chain"])
+    def test_matches_matrix_exponential(self, label, ladder):
+        theta = 0.713
+        string = PauliString(label, coefficient=theta)
+        circuit = pauli_evolution_circuit(string, ladder=ladder)
+        expected = expm(-1j * theta / 2 * pauli_operator(label))
+        assert unitaries_equivalent(circuit_unitary(circuit), expected)
+
+    def test_single_qubit_string(self):
+        string = PauliString("IZ", coefficient=0.4)
+        circuit = pauli_evolution_circuit(string)
+        expected = expm(-1j * 0.2 * pauli_operator("IZ"))
+        assert unitaries_equivalent(circuit_unitary(circuit), expected)
+
+    def test_identity_string_rejected(self):
+        with pytest.raises(WorkloadError):
+            pauli_evolution_circuit(PauliString("II"))
+
+    def test_explicit_theta_overrides_coefficient(self):
+        string = PauliString("ZZ", coefficient=0.1)
+        circuit = pauli_evolution_circuit(string, theta=0.9)
+        expected = expm(-1j * 0.45 * pauli_operator("ZZ"))
+        assert unitaries_equivalent(circuit_unitary(circuit), expected)
+
+    def test_invalid_ladder(self):
+        with pytest.raises(WorkloadError):
+            pauli_evolution_circuit(PauliString("ZZ"), ladder="tree")
+
+
+class TestTrotterCircuit:
+    def test_concatenates_terms(self):
+        strings = [PauliString("ZZI", 0.3), PauliString("IXX", 0.2)]
+        circuit = trotter_circuit(strings)
+        assert circuit.num_qubits == 3
+        assert circuit.num_two_qubit_gates() == 4
+
+    def test_matches_sequential_exponentials(self):
+        strings = [PauliString("ZZ", 0.3), PauliString("XI", 0.5), PauliString("YZ", 0.25)]
+        circuit = trotter_circuit(strings)
+        expected = np.eye(4, dtype=complex)
+        for string in strings:
+            term = expm(-1j * string.coefficient / 2 * pauli_operator(string.label))
+            expected = term @ expected
+        assert unitaries_equivalent(circuit_unitary(circuit), expected)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            trotter_circuit([PauliString("ZZ"), PauliString("ZZZ")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            trotter_circuit([])
+
+    def test_identity_terms_skipped(self):
+        circuit = trotter_circuit([PauliString("II"), PauliString("ZZ", 0.4)], 2)
+        assert circuit.num_two_qubit_gates() == 2

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) of the library's core invariants.
+
+These cover the invariants the rest of the system relies on:
+
+* decompositions never change the number of logical 2-qubit interactions'
+  semantics (verified exactly on small registers);
+* the flying-ancilla routers never drop or duplicate gates and always emit
+  schedules that satisfy the AOD ordering constraints;
+* SABRE-routed circuits only ever use coupling-graph edges;
+* depth / gate-count metrics are internally consistent;
+* the fidelity model behaves monotonically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import SabreOptions, SabreRouter
+from repro.circuit import QuantumCircuit, decompose_to_cx, decompose_to_cz, random_cx_circuit
+from repro.circuit.pauli import PauliString
+from repro.core import FidelityModel, fanout_layer_sizes, route_circuit, route_pauli_strings, route_qaoa
+from repro.core.schedule import RydbergStage
+from repro.hardware import GatePlacement, grid_device, pair_is_compatible, subset_is_legal
+from repro.hardware.constraints import greedy_legal_subset
+from repro.sim import circuits_equivalent
+from repro.workloads import random_graph_edges
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------
+# circuit / decomposition properties
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), num_gates=st.integers(1, 12))
+def test_cz_decomposition_preserves_semantics(seed, num_gates):
+    circuit = random_cx_circuit(3, num_gates, seed=seed)
+    assert circuits_equivalent(circuit, decompose_to_cz(circuit))
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000), num_qubits=st.integers(2, 12), gates=st.integers(0, 60))
+def test_two_qubit_depth_bounds(seed, num_qubits, gates):
+    circuit = random_cx_circuit(num_qubits, gates, seed=seed)
+    depth = circuit.two_qubit_depth()
+    assert depth <= gates
+    if gates:
+        # at most floor(n/2) two-qubit gates fit in one layer
+        assert depth >= math.ceil(gates / max(1, num_qubits // 2))
+    else:
+        assert depth == 0
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 10_000))
+def test_inverse_composition_is_identity(seed):
+    circuit = random_cx_circuit(3, 6, seed=seed)
+    assert circuits_equivalent(circuit.compose(circuit.inverse()), QuantumCircuit(3))
+
+
+# ----------------------------------------------------------------------
+# AOD constraint properties
+# ----------------------------------------------------------------------
+placements = st.builds(
+    GatePlacement,
+    gate_index=st.integers(0, 50),
+    source=st.tuples(st.integers(0, 6), st.integers(0, 6)),
+    target=st.tuples(st.integers(0, 6), st.integers(0, 6)),
+)
+
+
+@_SETTINGS
+@given(a=placements, b=placements)
+def test_pair_compatibility_is_symmetric(a, b):
+    assert pair_is_compatible(a, b) == pair_is_compatible(b, a)
+
+
+@_SETTINGS
+@given(candidates=st.lists(placements, min_size=1, max_size=12))
+def test_greedy_subset_is_always_legal_and_nonempty(candidates):
+    accepted = greedy_legal_subset(candidates)
+    assert accepted
+    assert subset_is_legal(accepted)
+    # greedy always keeps the first candidate
+    assert accepted[0] == candidates[0]
+
+
+# ----------------------------------------------------------------------
+# router properties
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 5_000), num_qubits=st.integers(2, 10), multiple=st.integers(1, 4))
+def test_generic_router_never_drops_gates(seed, num_qubits, multiple):
+    circuit = random_cx_circuit(num_qubits, multiple * num_qubits, seed=seed)
+    schedule = route_circuit(circuit)
+    schedule.validate()
+    native_cz = decompose_to_cz(circuit).num_two_qubit_gates()
+    routed = sum(
+        len(stage.gates) for stage in schedule.stages if isinstance(stage, RydbergStage)
+    )
+    assert routed == native_cz
+    assert schedule.num_two_qubit_gates() == 3 * native_cz
+    assert schedule.two_qubit_depth() % 3 == 0
+
+
+@_SETTINGS
+@given(
+    seed=st.integers(0, 5_000),
+    num_qubits=st.integers(2, 12),
+    probability=st.floats(0.2, 0.9),
+    num_strings=st.integers(1, 4),
+)
+def test_qsim_router_gate_accounting(seed, num_qubits, probability, num_strings):
+    from repro.circuit import random_pauli_strings
+
+    strings = random_pauli_strings(num_qubits, num_strings, probability, seed=seed)
+    schedule = route_pauli_strings(strings)
+    schedule.validate()
+
+    def per_string_cost(weight: int) -> int:
+        if weight <= 1:
+            return 0
+        if weight == 2:
+            return 3  # direct RZZ through one flying ancilla
+        return 6 * (weight - 1)  # two fan-out parity blocks
+
+    expected = sum(per_string_cost(s.weight) for s in strings)
+    assert schedule.num_two_qubit_gates() == expected
+
+
+@_SETTINGS
+@given(seed=st.integers(0, 5_000), num_qubits=st.integers(4, 16), probability=st.floats(0.1, 0.7))
+def test_qaoa_router_schedules_every_edge_once(seed, num_qubits, probability):
+    edges = random_graph_edges(num_qubits, probability, seed=seed)
+    schedule = route_qaoa(num_qubits, edges)
+    schedule.validate()
+    assert schedule.num_two_qubit_gates() == 2 * num_qubits + len(edges)
+    executed = []
+    for stage in schedule.stages:
+        if isinstance(stage, RydbergStage):
+            for gate in stage.gates:
+                (slot,) = gate.ancilla_slots
+                (target,) = gate.data_qubits
+                executed.append((min(slot, target), max(slot, target)))
+    assert sorted(executed) == sorted(edges)
+
+
+@_SETTINGS
+@given(copies=st.integers(0, 400))
+def test_fanout_layer_sizes_sum(copies):
+    sizes = fanout_layer_sizes(copies)
+    assert sum(sizes) == copies
+    assert all(size > 0 for size in sizes)
+    # O(sqrt(N)) depth
+    assert len(sizes) <= 2 * math.isqrt(copies) + 2
+
+
+# ----------------------------------------------------------------------
+# SABRE properties
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(seed=st.integers(0, 2_000), num_qubits=st.integers(2, 9), gates=st.integers(1, 25))
+def test_sabre_output_uses_only_coupled_pairs(seed, num_qubits, gates):
+    device = grid_device(3, 3)
+    circuit = random_cx_circuit(num_qubits, gates, seed=seed)
+    routed = SabreRouter(device, SabreOptions(layout_trials=1)).run(decompose_to_cx(circuit))
+    for gate in routed.circuit.gates:
+        if gate.is_two_qubit:
+            assert device.are_adjacent(*gate.qubits)
+    assert routed.num_two_qubit_gates == circuit.num_two_qubit_gates() + 3 * routed.num_swaps
+
+
+# ----------------------------------------------------------------------
+# fidelity model properties
+# ----------------------------------------------------------------------
+@_SETTINGS
+@given(
+    atoms=st.integers(1, 200),
+    depth=st.integers(0, 500),
+    one_q=st.integers(0, 500),
+    distances=st.lists(st.floats(0, 50), max_size=20),
+)
+def test_fidelity_model_bounded(atoms, depth, one_q, distances):
+    model = FidelityModel()
+    p = model.success_probability(
+        num_atoms=atoms, depth=depth, num_one_qubit_gates=one_q, movement_distances=distances
+    )
+    assert 0.0 <= p <= 1.0
+
+
+@_SETTINGS
+@given(atoms=st.integers(1, 100), depth=st.integers(1, 200))
+def test_fidelity_model_monotone_in_error(atoms, depth):
+    good = FidelityModel(two_qubit_fidelity=0.9999)
+    bad = FidelityModel(two_qubit_fidelity=0.99)
+    kwargs = dict(num_atoms=atoms, depth=depth, num_one_qubit_gates=0, movement_distances=[])
+    assert good.success_probability(**kwargs) >= bad.success_probability(**kwargs)

@@ -1,0 +1,69 @@
+"""Unit tests for QAOA circuit construction helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    edges_from_circuit,
+    maxcut_value,
+    normalise_edges,
+    qaoa_cost_layer,
+    qaoa_maxcut_circuit,
+)
+from repro.exceptions import WorkloadError
+
+
+class TestNormaliseEdges:
+    def test_orders_and_deduplicates(self):
+        assert normalise_edges([(3, 1), (1, 3), (0, 2)]) == [(0, 2), (1, 3)]
+
+    def test_self_loops_rejected(self):
+        with pytest.raises(WorkloadError):
+            normalise_edges([(2, 2)])
+
+
+class TestQaoaCircuit:
+    def test_single_layer_structure(self, ring_edges):
+        circuit = qaoa_maxcut_circuit(6, ring_edges, gamma=0.4, beta=0.2)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 6
+        assert counts["rzz"] == len(ring_edges)
+        assert counts["rx"] == 6
+
+    def test_multi_layer(self, ring_edges):
+        circuit = qaoa_maxcut_circuit(6, ring_edges, layers=3)
+        assert circuit.gate_counts()["rzz"] == 3 * len(ring_edges)
+        assert circuit.gate_counts()["rx"] == 18
+
+    def test_per_layer_angles(self, ring_edges):
+        circuit = qaoa_maxcut_circuit(6, ring_edges, gamma=[0.1, 0.2], beta=[0.3, 0.4], layers=2)
+        rzz_params = [g.params[0] for g in circuit.gates if g.name == "rzz"]
+        assert set(rzz_params) == {0.1, 0.2}
+
+    def test_angle_count_mismatch(self, ring_edges):
+        with pytest.raises(WorkloadError):
+            qaoa_maxcut_circuit(6, ring_edges, gamma=[0.1], layers=2)
+
+    def test_cost_layer_has_no_mixer(self, ring_edges):
+        circuit = qaoa_cost_layer(6, ring_edges)
+        counts = circuit.gate_counts()
+        assert "rx" not in counts
+        assert "h" not in counts
+        assert counts["rzz"] == len(ring_edges)
+
+    def test_edge_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            qaoa_maxcut_circuit(3, [(0, 5)])
+
+    def test_edges_from_circuit_roundtrip(self, ring_edges):
+        circuit = qaoa_cost_layer(6, ring_edges)
+        assert edges_from_circuit(circuit) == sorted(ring_edges)
+
+
+class TestMaxcut:
+    def test_maxcut_value(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        assert maxcut_value(edges, [0, 1, 0]) == 2
+        assert maxcut_value(edges, [0, 0, 0]) == 0
+        assert maxcut_value(edges, [1, 0, 1]) == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the QAOA router (Alg. 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import qaoa_cost_layer, qaoa_maxcut_circuit
+from repro.core import QAOARouter, QAOARouterOptions, route_qaoa
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    OneQubitStage,
+    RydbergStage,
+)
+from repro.exceptions import WorkloadError
+from repro.hardware import FPQAConfig
+from repro.sim import verify_schedule_equivalence
+from repro.workloads import random_graph_edges, regular_graph_edges, ring_graph_edges
+
+
+class TestStructure:
+    def test_schedule_validates(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges)
+        schedule.validate()
+
+    def test_every_edge_executed_exactly_once(self):
+        edges = random_graph_edges(10, 0.4, seed=3)
+        schedule = route_qaoa(10, edges)
+        executed = []
+        for stage in schedule.stages:
+            if isinstance(stage, RydbergStage):
+                for gate in stage.gates:
+                    (slot,) = gate.ancilla_slots
+                    (target,) = gate.data_qubits
+                    executed.append((min(slot, target), max(slot, target)))
+        assert sorted(executed) == sorted(edges)
+
+    def test_gate_count_formula(self, ring_edges):
+        num_qubits = 6
+        schedule = route_qaoa(num_qubits, ring_edges)
+        # one creation CNOT and one recycle CNOT per qubit, one RZZ per edge
+        assert schedule.num_two_qubit_gates() == 2 * num_qubits + len(ring_edges)
+
+    def test_depth_formula(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges)
+        stages = schedule.metadata["stages_per_layer"][0]
+        assert schedule.two_qubit_depth() == 2 + stages
+
+    def test_one_ancilla_per_qubit(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges)
+        assert schedule.max_concurrent_ancillas() == 6
+        creations = [s for s in schedule.stages if isinstance(s, AncillaCreationStage)]
+        assert len(creations) == 1
+        assert len(creations[0].copies) == 6
+
+    def test_each_atom_used_once_per_pulse(self):
+        edges = random_graph_edges(12, 0.5, seed=7)
+        schedule = route_qaoa(12, edges)
+        for stage in schedule.stages:
+            if isinstance(stage, RydbergStage):
+                operands = [op for gate in stage.gates for op in gate.operands]
+                assert len(operands) == len(set(operands))
+
+    def test_full_circuit_includes_preparation_and_mixer(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges, full_circuit=True)
+        one_qubit_stages = [s for s in schedule.stages if isinstance(s, OneQubitStage)]
+        assert len(one_qubit_stages) == 2  # |+> preparation and the mixer
+        assert one_qubit_stages[0].gates[0].name == "h"
+        assert one_qubit_stages[-1].gates[0].name == "rx"
+
+    def test_multiple_layers_repeat_creation(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges, layers=2)
+        creations = [s for s in schedule.stages if isinstance(s, AncillaCreationStage)]
+        recycles = [s for s in schedule.stages if isinstance(s, AncillaRecycleStage)]
+        assert len(creations) == 2
+        assert len(recycles) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(WorkloadError):
+            route_qaoa(0, [])
+        with pytest.raises(WorkloadError):
+            route_qaoa(4, [(0, 9)])
+
+    def test_gamma_propagates_to_gates(self, ring_edges):
+        options = QAOARouterOptions(gamma=1.23)
+        schedule = QAOARouter(options=options).compile(6, ring_edges)
+        for stage in schedule.stages:
+            if isinstance(stage, RydbergStage):
+                for gate in stage.gates:
+                    assert gate.params == (1.23,)
+
+
+class TestParallelism:
+    def test_parallelism_at_least_one(self):
+        edges = regular_graph_edges(20, 3, seed=5)
+        schedule = route_qaoa(20, edges)
+        assert schedule.average_parallelism() >= 1.0
+
+    def test_larger_problems_have_more_parallelism(self):
+        small = route_qaoa(10, regular_graph_edges(10, 3, seed=2))
+        large = route_qaoa(40, regular_graph_edges(40, 3, seed=2))
+        assert large.average_parallelism() >= small.average_parallelism()
+
+    def test_depth_far_below_edge_count_for_dense_graphs(self):
+        edges = random_graph_edges(30, 0.4, seed=9)
+        schedule = route_qaoa(30, edges)
+        assert schedule.metadata["stages_per_layer"][0] < len(edges)
+
+    def test_compile_time_recorded(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges)
+        assert schedule.metadata["compile_time_s"] > 0
+
+
+class TestEquivalence:
+    def test_ring_cost_layer_matches_reference(self, ring_edges):
+        schedule = route_qaoa(6, ring_edges)
+        reference = qaoa_cost_layer(6, ring_edges, gamma=0.7)
+        assert verify_schedule_equivalence(reference, schedule, seed=2)
+
+    def test_random_graph_cost_layer_matches_reference(self):
+        edges = random_graph_edges(5, 0.6, seed=13)
+        schedule = route_qaoa(5, edges)
+        reference = qaoa_cost_layer(5, edges, gamma=0.7)
+        assert verify_schedule_equivalence(reference, schedule, seed=4)
+
+    def test_full_circuit_matches_reference(self):
+        edges = ring_graph_edges(4)
+        options = QAOARouterOptions(gamma=0.9, beta=0.35)
+        schedule = QAOARouter(options=options).compile(4, edges, full_circuit=True)
+        reference = qaoa_maxcut_circuit(4, edges, gamma=0.9, beta=0.35)
+        assert verify_schedule_equivalence(reference, schedule, seed=6)
+
+    def test_two_layer_circuit_matches_reference(self):
+        edges = ring_graph_edges(4)
+        options = QAOARouterOptions(gamma=0.5, beta=0.2)
+        schedule = QAOARouter(options=options).compile(4, edges, layers=2, full_circuit=True)
+        reference = qaoa_maxcut_circuit(4, edges, gamma=0.5, beta=0.2, layers=2)
+        assert verify_schedule_equivalence(reference, schedule, seed=8)

@@ -1,0 +1,84 @@
+"""Unit tests for the OpenQASM 2 import/export round-trip."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, from_qasm, random_cx_circuit, to_qasm
+from repro.exceptions import CircuitError
+from repro.sim import circuits_equivalent
+
+
+class TestExport:
+    def test_header_and_register(self):
+        text = to_qasm(QuantumCircuit(3).h(0))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "h q[0];" in text
+
+    def test_measure_creates_creg(self):
+        text = to_qasm(QuantumCircuit(2).h(0).measure(0))
+        assert "creg c[2];" in text
+        assert "measure q[0] -> c[0];" in text
+
+    def test_parameter_formatting(self):
+        text = to_qasm(QuantumCircuit(1).rz(math.pi / 2, 0).rz(0.123, 0))
+        assert "rz(pi/2)" in text
+        assert "0.123" in text
+
+    def test_two_qubit_operands(self):
+        text = to_qasm(QuantumCircuit(3).cx(2, 0).rzz(0.5, 0, 1))
+        assert "cx q[2], q[0];" in text
+        assert "rzz(0.5) q[0], q[1];" in text
+
+
+class TestRoundTrip:
+    def test_simple_circuit(self, small_circuit):
+        restored = from_qasm(to_qasm(small_circuit))
+        assert restored.num_qubits == small_circuit.num_qubits
+        assert circuits_equivalent(restored, small_circuit)
+
+    def test_random_circuit(self):
+        circuit = random_cx_circuit(5, 10, seed=12)
+        restored = from_qasm(to_qasm(circuit))
+        assert restored.num_two_qubit_gates() == circuit.num_two_qubit_gates()
+        assert circuits_equivalent(restored, circuit)
+
+    def test_measurements_preserved(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).measure(0).measure(1)
+        restored = from_qasm(to_qasm(circuit))
+        assert sum(1 for g in restored.gates if g.name == "measure") == 2
+
+
+class TestImportErrors:
+    def test_missing_qreg(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nh q[0];")
+
+    def test_unknown_gate(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nfrobnicate q[0];")
+
+    def test_bad_parameter_count(self):
+        with pytest.raises(CircuitError):
+            from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz q[0];")
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        OPENQASM 2.0;
+        include "qelib1.inc";
+        // a comment
+        qreg q[2];
+
+        h q[0]; // trailing comment
+        cx q[0], q[1];
+        """
+        circuit = from_qasm(text)
+        assert len(circuit) == 2
+
+    def test_pi_expressions_parsed(self):
+        circuit = from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(-pi/4) q[0];\nrx(2*pi) q[0];\n")
+        assert circuit.gates[0].params[0] == pytest.approx(-math.pi / 4)
+        assert circuit.gates[1].params[0] == pytest.approx(2 * math.pi)

@@ -1,0 +1,122 @@
+"""Unit tests for the QEC syndrome-extraction workloads (future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import route_circuit
+from repro.exceptions import WorkloadError
+from repro.sim import verify_schedule_equivalence
+from repro.workloads import (
+    Stabilizer,
+    qec_workload_summary,
+    repetition_code_stabilizers,
+    stabilizers_commute,
+    surface_code_stabilizers,
+    surface_code_syndrome_circuit,
+    syndrome_extraction_circuit,
+)
+
+
+class TestStabilizer:
+    def test_valid_stabilizer(self):
+        stabilizer = Stabilizer("z", (0, 3, 5))
+        assert stabilizer.pauli == "Z"
+        assert stabilizer.weight == 3
+
+    def test_invalid_type(self):
+        with pytest.raises(WorkloadError):
+            Stabilizer("Y", (0, 1))
+
+    def test_invalid_support(self):
+        with pytest.raises(WorkloadError):
+            Stabilizer("X", (1, 1))
+        with pytest.raises(WorkloadError):
+            Stabilizer("X", ())
+
+
+class TestCodes:
+    def test_repetition_code(self):
+        stabilizers = repetition_code_stabilizers(5)
+        assert len(stabilizers) == 4
+        assert all(s.pauli == "Z" and s.weight == 2 for s in stabilizers)
+        with pytest.raises(WorkloadError):
+            repetition_code_stabilizers(1)
+
+    @pytest.mark.parametrize("distance", [2, 3, 5])
+    def test_surface_code_counts(self, distance):
+        stabilizers = surface_code_stabilizers(distance)
+        assert len(stabilizers) == distance * distance - 1
+        assert all(s.weight in (2, 4) for s in stabilizers)
+        # every data qubit participates in at least one stabilizer
+        covered = {q for s in stabilizers for q in s.data_qubits}
+        assert covered == set(range(distance * distance))
+
+    @pytest.mark.parametrize("distance", [2, 3, 5])
+    def test_surface_code_stabilizers_commute(self, distance):
+        assert stabilizers_commute(surface_code_stabilizers(distance))
+
+    def test_surface_code_has_both_types(self):
+        stabilizers = surface_code_stabilizers(3)
+        types = {s.pauli for s in stabilizers}
+        assert types == {"X", "Z"}
+
+    def test_invalid_distance(self):
+        with pytest.raises(WorkloadError):
+            surface_code_stabilizers(1)
+
+    def test_commutation_check_detects_anticommutation(self):
+        bad = [Stabilizer("X", (0, 1)), Stabilizer("Z", (1, 2))]
+        assert not stabilizers_commute(bad)
+
+
+class TestSyndromeCircuit:
+    def test_repetition_code_circuit_structure(self):
+        stabilizers = repetition_code_stabilizers(4)
+        circuit = syndrome_extraction_circuit(stabilizers, 4)
+        assert circuit.num_qubits == 4 + 3
+        assert circuit.num_two_qubit_gates() == sum(s.weight for s in stabilizers)
+        assert sum(1 for g in circuit.gates if g.name == "measure") == 3
+
+    def test_x_stabilizers_use_hadamards(self):
+        circuit = syndrome_extraction_circuit([Stabilizer("X", (0, 1))], 2)
+        names = [g.name for g in circuit.gates]
+        assert names.count("h") == 2
+        assert names.count("cx") == 2
+
+    def test_multiple_rounds(self):
+        stabilizers = repetition_code_stabilizers(3)
+        single = syndrome_extraction_circuit(stabilizers, 3, rounds=1)
+        double = syndrome_extraction_circuit(stabilizers, 3, rounds=2)
+        assert double.num_two_qubit_gates() == 2 * single.num_two_qubit_gates()
+        assert any(g.name == "reset" for g in double.gates)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(WorkloadError):
+            syndrome_extraction_circuit([], 3)
+        with pytest.raises(WorkloadError):
+            syndrome_extraction_circuit([Stabilizer("Z", (0, 9))], 3)
+        with pytest.raises(WorkloadError):
+            syndrome_extraction_circuit(repetition_code_stabilizers(3), 3, rounds=0)
+
+    def test_surface_code_circuit_summary(self):
+        summary = qec_workload_summary(3)
+        assert summary["data_qubits"] == 9
+        assert summary["stabilizers"] == 8
+        assert summary["2q_gates"] == sum(s.weight for s in surface_code_stabilizers(3))
+
+
+class TestCompilation:
+    def test_surface_code_round_compiles_on_fpqa(self):
+        circuit = surface_code_syndrome_circuit(3)
+        schedule = route_circuit(circuit)
+        schedule.validate()
+        assert schedule.num_two_qubit_gates() == 3 * circuit.num_two_qubit_gates()
+        assert schedule.two_qubit_depth() < 3 * circuit.num_two_qubit_gates()
+
+    def test_repetition_code_round_verified(self):
+        """The compiled schedule acts exactly like the syndrome circuit."""
+        stabilizers = repetition_code_stabilizers(3)
+        circuit = syndrome_extraction_circuit(stabilizers, 3, measure=False)
+        schedule = route_circuit(circuit)
+        assert verify_schedule_equivalence(circuit, schedule, seed=23)

@@ -1,0 +1,192 @@
+"""Unit tests for the quantum-simulation router (Alg. 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.circuit import PauliString, random_pauli_strings, trotter_circuit
+from repro.core import (
+    QSimRouter,
+    QSimRouterOptions,
+    fanout_depth,
+    fanout_layer_sizes,
+    longest_path_stages,
+    route_pauli_strings,
+)
+from repro.core.schedule import AncillaCreationStage, AncillaRecycleStage, RydbergStage
+from repro.exceptions import WorkloadError
+from repro.hardware import FPQAConfig, SLMArray
+from repro.sim import verify_schedule_equivalence
+
+
+class TestFanout:
+    def test_layer_sizes_follow_progression(self):
+        assert fanout_layer_sizes(1) == [1]
+        assert fanout_layer_sizes(3) == [1, 2]
+        assert fanout_layer_sizes(7) == [1, 2, 4]
+        assert fanout_layer_sizes(13) == [1, 2, 4, 6]
+        assert fanout_layer_sizes(21) == [1, 2, 4, 6, 8]
+
+    def test_partial_last_layer(self):
+        assert fanout_layer_sizes(5) == [1, 2, 2]
+        assert sum(fanout_layer_sizes(17)) == 17
+
+    def test_zero_copies(self):
+        assert fanout_layer_sizes(0) == []
+        assert fanout_depth(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(WorkloadError):
+            fanout_layer_sizes(-1)
+
+    def test_depth_scales_as_sqrt(self):
+        # cumulative copies after d layers grow quadratically, so the depth
+        # for N copies grows like sqrt(N)
+        for copies in (10, 40, 90, 160):
+            assert fanout_depth(copies) <= 2 * math.isqrt(copies) + 2
+
+    def test_progression_beyond_table(self):
+        sizes = fanout_layer_sizes(60)
+        assert sizes[:5] == [1, 2, 4, 6, 8]
+        assert sizes[5] == 10  # continues with +2 increments
+
+
+class TestLongestPathStages:
+    @pytest.fixture
+    def array(self) -> SLMArray:
+        return SLMArray(FPQAConfig(slm_rows=3, slm_cols=4), 12)
+
+    def test_monotone_chain_is_one_stage(self, array):
+        # qubits 0 (0,0), 5 (1,1), 10 (2,2) form a monotone chain
+        stages = longest_path_stages(array, [0, 5, 10])
+        assert stages == [[0, 5, 10]]
+
+    def test_anti_chain_needs_one_stage_each(self, array):
+        # qubits 3 (0,3) and 4 (1,0): neither is lower-right of the other
+        stages = longest_path_stages(array, [3, 4])
+        assert len(stages) == 2
+
+    def test_every_qubit_appears_exactly_once(self, array):
+        qubits = [1, 2, 4, 6, 7, 9, 11]
+        stages = longest_path_stages(array, qubits)
+        flat = [q for stage in stages for q in stage]
+        assert sorted(flat) == sorted(qubits)
+
+    def test_stages_are_monotone_paths(self, array):
+        qubits = [1, 2, 4, 6, 7, 9, 10, 11]
+        for stage in longest_path_stages(array, qubits):
+            positions = [array.position(q) for q in stage]
+            for (r1, c1), (r2, c2) in zip(positions[:-1], positions[1:]):
+                assert r2 >= r1 and c2 >= c1
+
+    def test_greedy_extracts_longest_first(self, array):
+        qubits = [1, 2, 4, 5, 10]
+        stages = longest_path_stages(array, qubits)
+        lengths = [len(stage) for stage in stages]
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_empty_input(self, array):
+        assert longest_path_stages(array, []) == []
+
+
+class TestQSimSchedules:
+    def test_schedule_validates(self, small_pauli_strings):
+        schedule = route_pauli_strings(small_pauli_strings)
+        schedule.validate()
+
+    def test_weight_one_string_needs_no_two_qubit_gates(self):
+        schedule = route_pauli_strings([PauliString("IZI", 0.4)])
+        assert schedule.num_two_qubit_gates() == 0
+        assert schedule.two_qubit_depth() == 0
+
+    def test_gate_count_per_string(self):
+        string = PauliString("ZZZZZ", 0.3)
+        schedule = route_pauli_strings([string])
+        targets = string.weight - 1
+        # two parity blocks, each: fan-out (targets) + CZs (targets) + recycle (targets)
+        assert schedule.num_two_qubit_gates() == 2 * 3 * targets
+
+    def test_weight_two_string_uses_direct_rzz(self):
+        """A weight-2 term is one diagonal ZZ rotation: 3 gates, 3 layers."""
+        schedule = route_pauli_strings([PauliString("ZIZ", 0.4)])
+        assert schedule.num_two_qubit_gates() == 3
+        assert schedule.two_qubit_depth() == 3
+        rydberg = [s for s in schedule.stages if isinstance(s, RydbergStage)]
+        assert len(rydberg) == 1
+        assert rydberg[0].gates[0].name == "rzz"
+        assert rydberg[0].gates[0].params == (0.4,)
+
+    def test_weight_two_string_with_basis_change_verified(self):
+        string = PauliString("XY", coefficient=0.62)
+        schedule = route_pauli_strings([string])
+        reference = trotter_circuit([string])
+        assert verify_schedule_equivalence(reference, schedule, seed=19)
+
+    def test_forward_only_option_halves_blocks(self):
+        string = PauliString("ZZZZ", 0.3)
+        full = route_pauli_strings([string])
+        forward = QSimRouter(options=QSimRouterOptions(full_evolution=False)).compile([string])
+        assert forward.num_two_qubit_gates() == full.num_two_qubit_gates() // 2
+
+    def test_depth_better_than_serial_for_wide_strings(self):
+        """For a full row of qubits the CZs parallelise into few stages."""
+        num_qubits = 16
+        label = "Z" * num_qubits
+        config = FPQAConfig(slm_rows=4, slm_cols=4)
+        schedule = QSimRouter(config).compile([PauliString(label, 0.2)])
+        serial_depth = 2 * (num_qubits - 1)  # CNOT ladder up and down
+        assert schedule.two_qubit_depth() < serial_depth
+
+    def test_identity_strings_rejected(self):
+        with pytest.raises(WorkloadError):
+            route_pauli_strings([PauliString("III")])
+
+    def test_mixed_widths_rejected(self):
+        with pytest.raises(WorkloadError):
+            route_pauli_strings([PauliString("ZZ"), PauliString("ZZZ")])
+
+    def test_num_strings_metadata(self, small_pauli_strings):
+        schedule = route_pauli_strings(small_pauli_strings)
+        assert schedule.metadata["num_strings"] == len(small_pauli_strings)
+        assert schedule.metadata["router"] == "qsim"
+
+    def test_fanout_layers_recorded_in_schedule(self):
+        string = PauliString("Z" * 9, 0.1)
+        schedule = route_pauli_strings([string])
+        creations = [s for s in schedule.stages if isinstance(s, AncillaCreationStage)]
+        recycles = [s for s in schedule.stages if isinstance(s, AncillaRecycleStage)]
+        expected_layers = fanout_depth(8)
+        # two parity blocks per string
+        assert len(creations) == 2 * expected_layers
+        assert len(recycles) == 2 * expected_layers
+
+    def test_ancillas_reused_across_stages_within_block(self):
+        """The CZ stages of one block reuse the same live ancillas (no re-creation)."""
+        string = PauliString("ZIZIZIZ", 0.2)
+        config = FPQAConfig(slm_rows=7, slm_cols=1)  # a column: every CZ is its own stage
+        schedule = QSimRouter(config).compile([string])
+        rydberg_stages = [s for s in schedule.stages if isinstance(s, RydbergStage) and s.gates]
+        assert len(rydberg_stages) >= 2
+
+
+class TestQSimEquivalence:
+    @pytest.mark.parametrize("label", ["ZZ", "XZX", "ZYZI", "XXXX", "ZIIZ"])
+    def test_single_string_matches_reference(self, label):
+        string = PauliString(label, coefficient=0.437)
+        schedule = route_pauli_strings([string])
+        reference = trotter_circuit([string])
+        assert verify_schedule_equivalence(reference, schedule, seed=3)
+
+    def test_multiple_strings_match_reference(self):
+        strings = random_pauli_strings(4, 3, 0.6, seed=11)
+        schedule = route_pauli_strings(strings)
+        reference = trotter_circuit(strings, 4)
+        assert verify_schedule_equivalence(reference, schedule, seed=5)
+
+    def test_wide_string_matches_reference(self):
+        string = PauliString("ZZZZZZ", coefficient=0.81)
+        schedule = route_pauli_strings([string])
+        reference = trotter_circuit([string])
+        assert verify_schedule_equivalence(reference, schedule, seed=7)

@@ -1,0 +1,110 @@
+"""Unit tests for the random-circuit and named-workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import (
+    bernstein_vazirani_circuit,
+    ghz_circuit,
+    qft_circuit,
+    random_circuit,
+    random_cx_circuit,
+    standard_random_suite,
+)
+from repro.exceptions import WorkloadError
+from repro.sim import Statevector
+
+
+class TestRandomCircuit:
+    def test_shape_and_determinism(self):
+        a = random_circuit(6, 10, seed=3)
+        b = random_circuit(6, 10, seed=3)
+        assert a.num_qubits == 6
+        assert a.gates == b.gates
+
+    def test_different_seeds_differ(self):
+        a = random_circuit(6, 10, seed=3)
+        b = random_circuit(6, 10, seed=4)
+        assert a.gates != b.gates
+
+    def test_max_operands_respected(self):
+        circuit = random_circuit(8, 15, max_operands=2, seed=1)
+        assert all(g.num_qubits <= 2 for g in circuit.gates)
+        circuit3 = random_circuit(8, 15, max_operands=3, seed=1)
+        assert all(g.num_qubits <= 3 for g in circuit3.gates)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            random_circuit(0, 5)
+        with pytest.raises(WorkloadError):
+            random_circuit(3, -1)
+        with pytest.raises(WorkloadError):
+            random_circuit(3, 5, max_operands=4)
+
+    def test_depth_zero_gives_empty_circuit(self):
+        assert len(random_circuit(4, 0, seed=1)) == 0
+
+
+class TestRandomCxCircuit:
+    def test_exact_two_qubit_count(self):
+        for multiple in (2, 5, 10):
+            circuit = random_cx_circuit(10, multiple * 10, seed=7)
+            assert circuit.num_two_qubit_gates() == multiple * 10
+
+    def test_custom_two_qubit_gate(self):
+        circuit = random_cx_circuit(5, 8, seed=2, two_qubit_gate="cz")
+        assert circuit.gate_counts()["cz"] == 8
+
+    def test_one_qubit_density_knob(self):
+        sparse = random_cx_circuit(10, 50, seed=3, one_qubit_gates_per_two_qubit=0.0)
+        dense = random_cx_circuit(10, 50, seed=3, one_qubit_gates_per_two_qubit=3.0)
+        assert sparse.num_one_qubit_gates() == 0
+        assert dense.num_one_qubit_gates() > 50
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            random_cx_circuit(1, 5)
+        with pytest.raises(WorkloadError):
+            random_cx_circuit(4, -1)
+
+    def test_standard_suite_grid(self):
+        suite = standard_random_suite(sizes=(5, 10), multiples=(2, 5))
+        assert set(suite) == {(5, 2), (5, 5), (10, 2), (10, 5)}
+        assert suite[(10, 5)].num_two_qubit_gates() == 50
+
+
+class TestNamedCircuits:
+    def test_ghz_structure_and_state(self):
+        circuit = ghz_circuit(4)
+        assert circuit.num_two_qubit_gates() == 3
+        state = Statevector(4).apply_circuit(circuit)
+        probs = state.probabilities()
+        assert probs[0] == pytest.approx(0.5)
+        assert probs[-1] == pytest.approx(0.5)
+
+    def test_qft_gate_count(self):
+        circuit = qft_circuit(5)
+        assert circuit.num_two_qubit_gates() == 10  # n(n-1)/2 controlled-phase gates
+        assert circuit.gate_counts()["h"] == 5
+
+    def test_bernstein_vazirani_recovers_secret(self):
+        secret = 0b1011
+        circuit = bernstein_vazirani_circuit(4, secret=secret)
+        state = Statevector(5).apply_circuit(circuit.without_directives())
+        for qubit in range(4):
+            expected = (secret >> qubit) & 1
+            assert state.probability_of(qubit, expected) == pytest.approx(1.0)
+
+    def test_bernstein_vazirani_random_secret_deterministic(self):
+        a = bernstein_vazirani_circuit(6, seed=5)
+        b = bernstein_vazirani_circuit(6, seed=5)
+        assert a.gates == b.gates
+
+    def test_invalid_sizes(self):
+        with pytest.raises(WorkloadError):
+            ghz_circuit(0)
+        with pytest.raises(WorkloadError):
+            qft_circuit(0)
+        with pytest.raises(WorkloadError):
+            bernstein_vazirani_circuit(0)

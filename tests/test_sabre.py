@@ -1,0 +1,149 @@
+"""Unit tests for the SABRE-style SWAP router."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SabreOptions, SabreRouter, verify_routed_circuit
+from repro.circuit import QuantumCircuit, decompose_to_cx, random_cx_circuit
+from repro.exceptions import RoutingError
+from repro.hardware import grid_device, linear_device, ring_device
+from repro.sim import Statevector
+
+
+def _route(circuit, device, **kwargs):
+    return SabreRouter(device, SabreOptions(**kwargs)).run(circuit)
+
+
+class TestRoutingLegality:
+    def test_all_two_qubit_gates_on_coupled_pairs(self):
+        device = linear_device(5)
+        circuit = random_cx_circuit(5, 15, seed=8)
+        native = decompose_to_cx(circuit)
+        routed = _route(native, device)
+        for gate in routed.circuit.gates:
+            if gate.is_two_qubit:
+                assert device.are_adjacent(*gate.qubits), gate
+
+    def test_gate_count_accounting(self):
+        device = linear_device(6)
+        circuit = decompose_to_cx(random_cx_circuit(6, 20, seed=2))
+        routed = _route(circuit, device)
+        assert verify_routed_circuit(circuit, routed, device)
+        assert routed.num_two_qubit_gates == circuit.num_two_qubit_gates() + 3 * routed.num_swaps
+
+    def test_adjacent_gates_need_no_swaps(self):
+        device = linear_device(4)
+        circuit = QuantumCircuit(4).cx(0, 1).cx(1, 2).cx(2, 3)
+        routed = _route(circuit, device)
+        assert routed.num_swaps == 0
+
+    def test_distant_gate_requires_swaps(self):
+        from repro.baselines import trivial_layout
+
+        device = linear_device(5)
+        circuit = QuantumCircuit(5).cx(0, 4)
+        # pin the trivial layout so the gate really is 4 hops away
+        routed = SabreRouter(device).run(circuit, trivial_layout(circuit, device))
+        assert routed.num_swaps >= 3
+
+    def test_circuit_too_large_rejected(self):
+        with pytest.raises(RoutingError):
+            _route(QuantumCircuit(10), linear_device(4))
+
+    def test_three_qubit_gate_rejected(self):
+        device = linear_device(4)
+        circuit = QuantumCircuit(4).ccx(0, 1, 2)
+        with pytest.raises(RoutingError):
+            _route(circuit, device)
+
+    def test_swap_decomposition_optional(self):
+        from repro.baselines import trivial_layout
+
+        device = linear_device(4)
+        circuit = QuantumCircuit(4).cx(0, 3)
+        routed = SabreRouter(device).run(
+            circuit, trivial_layout(circuit, device), decompose_swaps=False
+        )
+        assert any(g.name == "swap" for g in routed.circuit.gates)
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_routed_circuit_preserves_semantics(self, seed):
+        """Routing only permutes logical qubits; undoing the permutation on the
+        output must reproduce the original circuit's action."""
+        device = ring_device(4)
+        circuit = decompose_to_cx(random_cx_circuit(4, 8, seed=seed))
+        routed = _route(circuit, device)
+
+        reference = Statevector.random(4, seed=seed)
+        expected = reference.copy().apply_circuit(circuit)
+
+        # run the routed circuit on a state where physical qubit p holds the
+        # logical qubit initially mapped there
+        physical_state = Statevector(device.num_qubits)
+        physical_state.data = reference.data.copy()  # same width here (4 == 4)
+        # permute amplitudes: logical qubit q starts on physical initial_layout[q]
+        perm_in = {q: routed.initial_layout.physical(q) for q in range(4)}
+        physical_state = _permute_state(reference, perm_in, device.num_qubits)
+        physical_state.apply_circuit(routed.circuit)
+        # map back through the final layout
+        perm_out = {q: routed.final_layout.physical(q) for q in range(4)}
+        recovered = _unpermute_state(physical_state, perm_out, 4)
+        assert abs(abs(np.vdot(expected.data, recovered.data)) - 1.0) < 1e-8
+
+
+import numpy as np  # noqa: E402
+
+
+def _permute_state(state: Statevector, logical_to_physical: dict[int, int], num_physical: int) -> Statevector:
+    out = Statevector(num_physical)
+    out.data[:] = 0
+    for index, amplitude in enumerate(state.data):
+        target = 0
+        for logical in range(state.num_qubits):
+            if (index >> logical) & 1:
+                target |= 1 << logical_to_physical[logical]
+        out.data[target] = amplitude
+    return out
+
+
+def _unpermute_state(state: Statevector, logical_to_physical: dict[int, int], num_logical: int) -> Statevector:
+    out = Statevector(num_logical)
+    out.data[:] = 0
+    for index, amplitude in enumerate(state.data):
+        if abs(amplitude) < 1e-15:
+            continue
+        source = 0
+        ok = True
+        for logical in range(num_logical):
+            if (index >> logical_to_physical[logical]) & 1:
+                source |= 1 << logical
+        # bits on physical qubits that host no logical qubit must be zero
+        hosted = {logical_to_physical[l] for l in range(num_logical)}
+        for phys in range(state.num_qubits):
+            if phys not in hosted and (index >> phys) & 1:
+                ok = False
+        if ok:
+            out.data[source] += amplitude
+    return out
+
+
+class TestLayoutSearch:
+    def test_find_initial_layout_reduces_swaps(self):
+        device = grid_device(3, 3)
+        circuit = decompose_to_cx(random_cx_circuit(9, 40, seed=5))
+        router = SabreRouter(device, SabreOptions(layout_trials=2))
+        from repro.baselines import trivial_layout
+
+        trivial = router.run(circuit, trivial_layout(circuit, device))
+        improved = router.run(circuit, router.find_initial_layout(circuit))
+        assert improved.num_swaps <= trivial.num_swaps + 2  # allow small noise
+
+    def test_no_two_qubit_gates_uses_trivial_layout(self):
+        device = linear_device(3)
+        circuit = QuantumCircuit(3).h(0).h(1)
+        routed = SabreRouter(device).run(circuit)
+        assert routed.num_swaps == 0
+        assert routed.initial_layout.physical(0) == 0

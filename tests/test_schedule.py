@@ -1,0 +1,152 @@
+"""Unit tests for the FPQA schedule data model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.movement import AtomMove, MovementStep
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    FPQASchedule,
+    MeasurementStage,
+    MovementStage,
+    OneQubitStage,
+    RydbergStage,
+    ScheduledGate,
+    aod,
+    slm,
+)
+from repro.exceptions import ScheduleError
+from repro.hardware import FPQAConfig
+
+
+@pytest.fixture
+def config() -> FPQAConfig:
+    return FPQAConfig(slm_rows=2, slm_cols=3)
+
+
+def _simple_schedule(config: FPQAConfig) -> FPQASchedule:
+    """create ancilla 0 from qubit 0, CZ with qubit 2, recycle."""
+    schedule = FPQASchedule(config=config, num_data_qubits=4, name="simple")
+    schedule.append(OneQubitStage(gates=[ScheduledGate("h", (slm(0),))]))
+    schedule.append(AncillaCreationStage(copies=[(slm(0), 0)]))
+    schedule.append(
+        MovementStage(step=MovementStep(moves=[AtomMove(0, (0.0, 0.0), (0.0, 2.0))]))
+    )
+    schedule.append(RydbergStage(gates=[ScheduledGate("cz", (aod(0), slm(2)))]))
+    schedule.append(
+        MovementStage(step=MovementStep(moves=[AtomMove(0, (0.0, 2.0), (0.0, 0.0))]))
+    )
+    schedule.append(AncillaRecycleStage(copies=[(slm(0), 0)]))
+    schedule.append(MeasurementStage(qubits=[0, 1, 2, 3]))
+    return schedule
+
+
+class TestOperands:
+    def test_scheduled_gate_resolution(self):
+        gate = ScheduledGate("cz", (aod(1), slm(3)))
+        concrete = gate.to_gate(num_data=5)
+        assert concrete.qubits == (6, 3)
+        assert gate.data_qubits == (3,)
+        assert gate.ancilla_slots == (1,)
+
+    def test_slm_aod_helpers(self):
+        assert slm(2) == ("slm", 2)
+        assert aod(0) == ("aod", 0)
+
+
+class TestMetrics:
+    def test_depth_counts_2q_layers(self, config):
+        schedule = _simple_schedule(config)
+        # creation + CZ + recycle
+        assert schedule.two_qubit_depth() == 3
+        assert schedule.num_two_qubit_gates() == 3
+        assert schedule.num_one_qubit_gates() == 1
+        assert schedule.num_rydberg_stages() == 1
+
+    def test_movement_metrics(self, config):
+        schedule = _simple_schedule(config)
+        assert schedule.total_movement_distance() == pytest.approx(4.0)
+        assert schedule.movement_distances() == [2.0, 2.0]
+
+    def test_ancilla_tracking(self, config):
+        schedule = _simple_schedule(config)
+        assert schedule.max_ancillas_used() == 1
+        assert schedule.max_concurrent_ancillas() == 1
+        assert schedule.total_qubits_used() == 5
+
+    def test_execution_time_positive(self, config):
+        schedule = _simple_schedule(config)
+        assert schedule.execution_time_us() > 0
+        breakdown = schedule.time_breakdown_us()
+        assert breakdown["movement"] > 0
+        assert breakdown["2q_gate"] > 0
+        assert breakdown["atom_transfer"] > 0
+
+    def test_parallelism_histogram(self, config):
+        schedule = _simple_schedule(config)
+        assert schedule.parallelism_histogram() == {1: 1}
+        assert schedule.average_parallelism() == pytest.approx(1.0)
+
+    def test_summary_keys(self, config):
+        summary = _simple_schedule(config).summary()
+        for key in ("depth", "2q_gates", "1q_gates", "movement_distance", "max_ancillas"):
+            assert key in summary
+
+    def test_empty_schedule(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=3)
+        assert schedule.two_qubit_depth() == 0
+        assert schedule.average_parallelism() == 0.0
+        assert schedule.max_ancillas_used() == 0
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, config):
+        _simple_schedule(config).validate()
+
+    def test_double_creation_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=3)
+        schedule.append(AncillaCreationStage(copies=[(slm(0), 0)]))
+        schedule.append(AncillaCreationStage(copies=[(slm(1), 0)]))
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_recycle_of_dead_ancilla_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=3)
+        schedule.append(AncillaRecycleStage(copies=[(slm(0), 0)]))
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_gate_on_dead_ancilla_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=3)
+        schedule.append(RydbergStage(gates=[ScheduledGate("cz", (aod(0), slm(1)))]))
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_operand_reuse_in_one_pulse_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=4)
+        schedule.append(AncillaCreationStage(copies=[(slm(0), 0), (slm(1), 1)]))
+        schedule.append(
+            RydbergStage(
+                gates=[
+                    ScheduledGate("cz", (aod(0), slm(2))),
+                    ScheduledGate("cz", (aod(1), slm(2))),
+                ]
+            )
+        )
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_data_qubit_out_of_range_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=2)
+        schedule.append(AncillaCreationStage(copies=[(slm(0), 0)]))
+        schedule.append(RydbergStage(gates=[ScheduledGate("cz", (aod(0), slm(5)))]))
+        with pytest.raises(ScheduleError):
+            schedule.validate()
+
+    def test_copy_from_dead_ancilla_rejected(self, config):
+        schedule = FPQASchedule(config=config, num_data_qubits=3)
+        schedule.append(AncillaCreationStage(copies=[(aod(4), 0)]))
+        with pytest.raises(ScheduleError):
+            schedule.validate()

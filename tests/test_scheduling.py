@@ -1,0 +1,67 @@
+"""Unit tests for ASAP scheduling of baseline circuits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import asap_schedule
+from repro.circuit import QuantumCircuit, random_cx_circuit
+
+
+class TestAsapSchedule:
+    def test_layer_count_matches_depth(self, random_small_circuit):
+        schedule = asap_schedule(random_small_circuit)
+        assert schedule.depth == random_small_circuit.depth()
+        assert schedule.two_qubit_depth == random_small_circuit.two_qubit_depth()
+
+    def test_gate_counts_preserved(self, random_small_circuit):
+        schedule = asap_schedule(random_small_circuit)
+        assert schedule.num_two_qubit_gates == random_small_circuit.num_two_qubit_gates()
+        assert schedule.num_one_qubit_gates == random_small_circuit.num_one_qubit_gates()
+
+    def test_layers_have_disjoint_qubits(self):
+        circuit = random_cx_circuit(8, 30, seed=6)
+        schedule = asap_schedule(circuit)
+        for layer in schedule.layers:
+            used = set()
+            for gate in layer.gates:
+                assert not (set(gate.qubits) & used)
+                used.update(gate.qubits)
+
+    def test_serial_chain(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        schedule = asap_schedule(circuit)
+        assert schedule.two_qubit_depth == 3
+        assert all(layer.num_two_qubit == 1 for layer in schedule.layers)
+
+    def test_parallel_gates_share_layer(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3)
+        schedule = asap_schedule(circuit)
+        assert schedule.two_qubit_depth == 1
+        assert schedule.layers[0].num_two_qubit == 2
+
+    def test_one_qubit_layers_not_counted_in_2q_depth(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1)
+        schedule = asap_schedule(circuit)
+        assert schedule.two_qubit_depth == 1
+        assert schedule.depth == 2
+
+    def test_directives_ignored(self):
+        circuit = QuantumCircuit(2).cx(0, 1).measure(0).measure(1)
+        schedule = asap_schedule(circuit)
+        assert schedule.num_two_qubit_gates == 1
+
+    def test_parallelism_histogram(self):
+        circuit = QuantumCircuit(4).cx(0, 1).cx(2, 3).cx(1, 2)
+        histogram = asap_schedule(circuit).parallelism_histogram()
+        assert histogram == {1: 1, 2: 1}
+
+    def test_execution_time_monotone_in_depth(self):
+        shallow = asap_schedule(QuantumCircuit(4).cx(0, 1).cx(2, 3))
+        deep = asap_schedule(QuantumCircuit(4).cx(0, 1).cx(1, 2).cx(2, 3))
+        assert deep.execution_time_us() > shallow.execution_time_us()
+
+    def test_empty_circuit(self):
+        schedule = asap_schedule(QuantumCircuit(3))
+        assert schedule.depth == 0
+        assert schedule.two_qubit_depth == 0

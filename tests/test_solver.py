@@ -1,0 +1,110 @@
+"""Unit tests for the solver-based compiler stand-ins (Table 2 baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExactStageSolver, IterativePeelingSolver, lower_bound_depth
+from repro.exceptions import WorkloadError
+from repro.workloads import complete_graph_edges, regular_graph_edges, ring_graph_edges
+
+
+def _stages_cover_all_edges(stages, edges):
+    scheduled = sorted(edge for stage in stages for edge in stage)
+    return scheduled == sorted(edges)
+
+
+def _stages_are_matchings(stages):
+    for stage in stages:
+        seen = set()
+        for a, b in stage:
+            if a in seen or b in seen:
+                return False
+            seen.update((a, b))
+    return True
+
+
+class TestExactSolver:
+    def test_ring_graph_needs_two_or_three_stages(self):
+        edges = ring_graph_edges(6)
+        result = ExactStageSolver(timeout_s=10).compile(6, edges)
+        assert result.depth == 2  # even cycle is 2-edge-colourable
+        assert _stages_cover_all_edges(result.stages, edges)
+        assert _stages_are_matchings(result.stages)
+
+    def test_odd_ring_needs_three(self):
+        edges = ring_graph_edges(5)
+        result = ExactStageSolver(timeout_s=10).compile(5, edges)
+        assert result.depth == 3
+
+    def test_three_regular_graph_depth_three_or_four(self):
+        edges = regular_graph_edges(10, 3, seed=1)
+        result = ExactStageSolver(timeout_s=20).compile(10, edges)
+        assert result.depth in (3, 4)
+        assert result.depth >= lower_bound_depth(10, edges)
+        assert _stages_cover_all_edges(result.stages, edges)
+
+    def test_meets_lower_bound_star(self):
+        edges = [(0, i) for i in range(1, 6)]
+        result = ExactStageSolver(timeout_s=10).compile(6, edges)
+        assert result.depth == 5  # all edges share vertex 0
+
+    def test_empty_graph(self):
+        result = ExactStageSolver().compile(4, [])
+        assert result.depth == 0
+        assert result.stages == []
+
+    def test_timeout_reported(self):
+        edges = complete_graph_edges(14)
+        result = ExactStageSolver(timeout_s=0.0).compile(14, edges)
+        assert result.timed_out
+        assert result.depth is None
+        assert result.summary()["depth"] == "timeout"
+
+    def test_invalid_edges_rejected(self):
+        with pytest.raises(WorkloadError):
+            ExactStageSolver().compile(3, [(0, 5)])
+
+
+class TestIterativePeelingSolver:
+    def test_covers_all_edges_with_matchings(self):
+        edges = regular_graph_edges(12, 3, seed=2)
+        result = IterativePeelingSolver().compile(12, edges)
+        assert not result.timed_out
+        assert _stages_cover_all_edges(result.stages, edges)
+        assert _stages_are_matchings(result.stages)
+
+    def test_depth_at_least_lower_bound(self):
+        edges = regular_graph_edges(10, 4, seed=3)
+        result = IterativePeelingSolver().compile(10, edges)
+        assert result.depth >= lower_bound_depth(10, edges)
+
+    def test_near_optimal_on_ring(self):
+        edges = ring_graph_edges(8)
+        result = IterativePeelingSolver().compile(8, edges)
+        assert result.depth <= 3
+
+    def test_runtime_recorded(self):
+        edges = regular_graph_edges(20, 3, seed=4)
+        result = IterativePeelingSolver().compile(20, edges)
+        assert result.runtime_s >= 0.0
+        assert result.summary()["method"] == "iter-p"
+
+    def test_empty_graph(self):
+        result = IterativePeelingSolver().compile(5, [])
+        assert result.depth == 0
+
+
+class TestLowerBound:
+    def test_max_degree(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2)]
+        assert lower_bound_depth(4, edges) == 3
+
+    def test_empty(self):
+        assert lower_bound_depth(4, []) == 0
+
+    def test_exact_solver_never_beats_bound(self):
+        for seed in range(3):
+            edges = regular_graph_edges(8, 3, seed=seed)
+            result = ExactStageSolver(timeout_s=10).compile(8, edges)
+            assert result.depth >= lower_bound_depth(8, edges)

@@ -1,0 +1,174 @@
+"""Unit tests for the dense statevector simulator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit import Gate, QuantumCircuit, qft_circuit
+from repro.exceptions import QPilotError
+from repro.sim import Statevector, circuit_unitary, circuits_equivalent, unitaries_equivalent
+
+
+class TestConstruction:
+    def test_default_is_all_zero(self):
+        state = Statevector(3)
+        assert state.data[0] == pytest.approx(1.0)
+        assert np.allclose(state.probabilities().sum(), 1.0)
+
+    def test_from_label(self):
+        state = Statevector.from_label("10")  # qubit0=1, qubit1=0
+        assert state.probability_of(0, 1) == pytest.approx(1.0)
+        assert state.probability_of(1, 0) == pytest.approx(1.0)
+
+    def test_invalid_label(self):
+        with pytest.raises(QPilotError):
+            Statevector.from_label("01x")
+
+    def test_random_state_normalised(self):
+        state = Statevector.random(4, seed=1)
+        assert np.isclose(np.linalg.norm(state.data), 1.0)
+
+    def test_too_many_qubits_rejected(self):
+        with pytest.raises(QPilotError):
+            Statevector(30)
+
+
+class TestGateApplication:
+    def test_x_flips_qubit(self):
+        state = Statevector(2)
+        state.apply_gate(Gate("x", (1,)))
+        assert state.probability_of(1, 1) == pytest.approx(1.0)
+        assert state.probability_of(0, 0) == pytest.approx(1.0)
+
+    def test_h_creates_superposition(self):
+        state = Statevector(1)
+        state.apply_gate(Gate("h", (0,)))
+        assert state.probability_of(0, 0) == pytest.approx(0.5)
+
+    def test_cx_entangles(self):
+        state = Statevector(2)
+        state.apply_gates([Gate("h", (0,)), Gate("cx", (0, 1))])
+        probs = state.probabilities()
+        assert probs[0b00] == pytest.approx(0.5)
+        assert probs[0b11] == pytest.approx(0.5)
+
+    def test_cx_operand_order_matters(self):
+        # control qubit 1, target qubit 0, input |q1 q0> = |10>
+        state = Statevector.from_label("01")  # qubit1 = 1
+        state.apply_gate(Gate("cx", (1, 0)))
+        assert state.probability_of(0, 1) == pytest.approx(1.0)
+
+    def test_three_qubit_gate(self):
+        state = Statevector(3)
+        state.apply_gates([Gate("x", (0,)), Gate("x", (1,)), Gate("ccx", (0, 1, 2))])
+        assert state.probability_of(2, 1) == pytest.approx(1.0)
+
+    def test_directives_ignored(self):
+        state = Statevector(1)
+        state.apply_gate(Gate("measure", (0,)))
+        assert state.data[0] == pytest.approx(1.0)
+
+    def test_gate_on_out_of_range_qubit(self):
+        state = Statevector(1)
+        with pytest.raises(QPilotError):
+            state.apply_gate(Gate("x", (3,)))
+
+    def test_apply_matrix_matches_kron_for_random_two_qubit(self, rng):
+        matrix = np.linalg.qr(rng.normal(size=(4, 4)) + 1j * rng.normal(size=(4, 4)))[0]
+        state = Statevector.random(3, seed=rng)
+        manual = state.copy()
+        # build full operator acting on qubits (0, 2): qubit0 least significant
+        full = np.zeros((8, 8), dtype=complex)
+        for i in range(8):
+            for j in range(8):
+                # bits: qubit0, qubit1, qubit2
+                if ((i >> 1) & 1) != ((j >> 1) & 1):
+                    continue
+                row = ((i >> 2) & 1) * 2 + (i & 1)
+                col = ((j >> 2) & 1) * 2 + (j & 1)
+                full[i, j] = matrix[row, col]
+        expected = full @ manual.data
+        state.apply_matrix(matrix, [0, 2])
+        assert np.allclose(state.data, expected)
+
+
+class TestQueries:
+    def test_expectation_z(self):
+        state = Statevector(1)
+        assert state.expectation_z(0) == pytest.approx(1.0)
+        state.apply_gate(Gate("x", (0,)))
+        assert state.expectation_z(0) == pytest.approx(-1.0)
+
+    def test_fidelity_and_equiv(self):
+        a = Statevector.random(3, seed=2)
+        b = a.copy()
+        assert a.fidelity(b) == pytest.approx(1.0)
+        assert a.equiv(b)
+        b.data *= np.exp(1j * 0.7)
+        assert a.equiv(b)
+        c = Statevector(3)
+        assert not a.equiv(c)
+
+    def test_reduced_density_matrix_pure_product(self):
+        state = Statevector(2)
+        state.apply_gate(Gate("h", (0,)))
+        rho = state.reduced_density_matrix([0])
+        assert np.allclose(rho, 0.5 * np.ones((2, 2)))
+        assert state.partial_trace_is_pure([0])
+
+    def test_entangled_state_not_pure_after_trace(self):
+        state = Statevector(2)
+        state.apply_gates([Gate("h", (0,)), Gate("cx", (0, 1))])
+        assert not state.partial_trace_is_pure([0])
+
+    def test_extended_appends_zero_ancillas(self):
+        state = Statevector.random(2, seed=3)
+        extended = state.extended(2)
+        assert extended.num_qubits == 4
+        assert extended.probability_of(2, 0) == pytest.approx(1.0)
+        assert extended.probability_of(3, 0) == pytest.approx(1.0)
+        assert np.allclose(extended.data[:4], state.data)
+
+
+class TestUnitaries:
+    def test_circuit_unitary_of_x(self):
+        circuit = QuantumCircuit(1).x(0)
+        unitary = circuit_unitary(circuit)
+        assert np.allclose(unitary, [[0, 1], [1, 0]])
+
+    def test_unitaries_equivalent_up_to_phase(self):
+        circuit = QuantumCircuit(1).h(0)
+        u = circuit_unitary(circuit)
+        assert unitaries_equivalent(u, np.exp(1j * 0.3) * u)
+        assert not unitaries_equivalent(u, np.eye(2))
+
+    def test_qft_unitary_matches_dft(self):
+        n = 3
+        circuit = qft_circuit(n)
+        u = circuit_unitary(circuit)
+        dim = 2**n
+        # every entry of a QFT matrix has magnitude 1/sqrt(dim)
+        assert np.allclose(np.abs(u), 1.0 / math.sqrt(dim))
+        # QFT without final swaps equals the DFT up to a bit-reversal
+        # permutation on the input and/or output register
+        dft = np.array(
+            [[np.exp(2j * math.pi * i * j / dim) / math.sqrt(dim) for j in range(dim)] for i in range(dim)]
+        )
+
+        def reverse_bits(x: int) -> int:
+            return int(format(x, f"0{n}b")[::-1], 2)
+
+        perm = np.zeros((dim, dim))
+        for i in range(dim):
+            perm[i, reverse_bits(i)] = 1.0
+        candidates = [dft, perm @ dft, dft @ perm, perm @ dft @ perm]
+        assert any(unitaries_equivalent(u, candidate) for candidate in candidates)
+
+    def test_circuits_equivalent_detects_difference(self):
+        a = QuantumCircuit(2).cx(0, 1)
+        b = QuantumCircuit(2).cx(1, 0)
+        assert not circuits_equivalent(a, b)
+        assert circuits_equivalent(a, a.copy())

@@ -1,0 +1,101 @@
+"""Unit tests for the end-to-end baseline transpiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BaselineTranspiler,
+    SabreOptions,
+    best_baseline,
+    compile_on_all_baselines,
+)
+from repro.circuit import QuantumCircuit, random_cx_circuit
+from repro.exceptions import RoutingError
+from repro.hardware import grid_device, ibm_washington_device, linear_device
+
+
+class TestBaselineTranspiler:
+    def test_compile_reports_metrics(self):
+        device = grid_device(3, 3)
+        circuit = random_cx_circuit(6, 12, seed=4)
+        result = BaselineTranspiler(device).compile(circuit)
+        assert result.device_name == device.name
+        assert result.num_two_qubit_gates >= circuit.num_two_qubit_gates()
+        assert result.two_qubit_depth >= 1
+        assert result.compile_time_s > 0
+        summary = result.summary()
+        assert summary["qubits"] == 6
+        assert summary["2q_gates"] == result.num_two_qubit_gates
+
+    def test_gate_count_includes_swap_overhead(self):
+        device = linear_device(6)
+        # qubit 0 talks to everyone: no layout can make all pairs adjacent
+        circuit = QuantumCircuit(6)
+        for other in range(1, 6):
+            circuit.cx(0, other)
+        result = BaselineTranspiler(device).compile(circuit)
+        assert result.num_swaps >= 1
+        assert result.num_two_qubit_gates == 5 + 3 * result.num_swaps
+
+    def test_artifacts_optional(self):
+        device = linear_device(4)
+        circuit = random_cx_circuit(4, 6, seed=9)
+        lean = BaselineTranspiler(device).compile(circuit)
+        rich = BaselineTranspiler(device).compile(circuit, keep_artifacts=True)
+        assert lean.routed is None and lean.schedule is None
+        assert rich.routed is not None and rich.schedule is not None
+        assert rich.schedule.two_qubit_depth == rich.two_qubit_depth
+
+    def test_too_large_circuit_rejected(self):
+        with pytest.raises(RoutingError):
+            BaselineTranspiler(linear_device(3)).compile(random_cx_circuit(5, 5, seed=1))
+
+    def test_rzz_circuit_decomposed_before_routing(self):
+        device = linear_device(3)
+        circuit = QuantumCircuit(3).rzz(0.5, 0, 2)
+        result = BaselineTranspiler(device).compile(circuit)
+        # RZZ -> 2 CX, plus routing overhead
+        assert result.num_two_qubit_gates >= 2
+
+
+class TestAllBaselines:
+    def test_small_circuit_on_all_devices(self):
+        circuit = random_cx_circuit(10, 20, seed=7)
+        results = compile_on_all_baselines(circuit, options=SabreOptions(layout_trials=1))
+        assert set(results) == {"superconducting", "faa_square", "faa_triangular"}
+        for result in results.values():
+            assert result.two_qubit_depth > 0
+
+    def test_devices_that_cannot_fit_are_skipped(self):
+        circuit = random_cx_circuit(150, 150, seed=2)
+        devices = {"small": linear_device(10), "big": grid_device(13, 13)}
+        results = compile_on_all_baselines(circuit, devices, SabreOptions(layout_trials=1))
+        assert "small" not in results
+        assert "big" in results
+
+    def test_best_baseline_selection(self):
+        circuit = random_cx_circuit(8, 16, seed=3)
+        devices = {"line": linear_device(8), "grid": grid_device(3, 3)}
+        results = compile_on_all_baselines(circuit, devices, SabreOptions(layout_trials=1))
+        best_depth = best_baseline(results, "two_qubit_depth")
+        assert best_depth.two_qubit_depth == min(r.two_qubit_depth for r in results.values())
+        best_gates = best_baseline(results, "num_two_qubit_gates")
+        assert best_gates.num_two_qubit_gates == min(
+            r.num_two_qubit_gates for r in results.values()
+        )
+
+    def test_best_baseline_empty_and_bad_metric(self):
+        with pytest.raises(RoutingError):
+            best_baseline({})
+        circuit = random_cx_circuit(4, 4, seed=5)
+        results = compile_on_all_baselines(circuit, {"line": linear_device(4)})
+        with pytest.raises(RoutingError):
+            best_baseline(results, "bogus_metric")
+
+    def test_denser_device_needs_fewer_swaps(self):
+        """The triangular lattice should never be (much) worse than the line."""
+        circuit = random_cx_circuit(9, 30, seed=11)
+        line = BaselineTranspiler(linear_device(9), SabreOptions(layout_trials=1)).compile(circuit)
+        grid = BaselineTranspiler(grid_device(3, 3), SabreOptions(layout_trials=1)).compile(circuit)
+        assert grid.num_swaps <= line.num_swaps

@@ -1,0 +1,109 @@
+"""Tests of the flying-ancilla theorem and schedule verification machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.core import QPilotCompiler
+from repro.core.schedule import (
+    AncillaCreationStage,
+    AncillaRecycleStage,
+    FPQASchedule,
+    RydbergStage,
+    ScheduledGate,
+    aod,
+    slm,
+)
+from repro.exceptions import VerificationError
+from repro.hardware import FPQAConfig
+from repro.sim import (
+    ancilla_routed_cz_gates,
+    expand_schedule_to_circuit,
+    verify_cz_routing_theorem,
+    verify_schedule_equivalence,
+)
+
+
+class TestCzRoutingTheorem:
+    @pytest.mark.parametrize("variant", ["first", "second", "both", "none"])
+    def test_triangle_of_czs(self, variant):
+        assert verify_cz_routing_theorem(3, [(0, 1), (1, 2), (2, 0)], variant=variant, seed=1)
+
+    def test_single_pair(self):
+        assert verify_cz_routing_theorem(2, [(0, 1)], seed=2)
+
+    def test_empty_pair_set(self):
+        assert verify_cz_routing_theorem(3, [], seed=3)
+
+    def test_dense_pair_set(self):
+        pairs = [(i, j) for i in range(4) for j in range(i + 1, 4)]
+        assert verify_cz_routing_theorem(4, pairs, seed=4)
+
+    def test_repeated_pairs(self):
+        # applying the same CZ twice through ancillas must also match
+        assert verify_cz_routing_theorem(3, [(0, 1), (0, 1), (1, 2)], seed=5)
+
+    def test_invalid_variant(self):
+        with pytest.raises(VerificationError):
+            ancilla_routed_cz_gates(2, [(0, 1)], variant="bogus")
+
+    def test_gate_sequence_structure(self):
+        gates = ancilla_routed_cz_gates(3, [(0, 2)])
+        names = [g.name for g in gates]
+        assert names.count("cx") == 6  # 3 fan-out + 3 recycle
+        assert names.count("cz") == 1
+
+    def test_broken_construction_detected(self):
+        """Dropping the recycle layer leaves ancillas entangled -> not equivalent."""
+        from repro.sim.statevector import Statevector
+        import numpy as np
+
+        num_data = 2
+        pairs = [(0, 1)]
+        gates = ancilla_routed_cz_gates(num_data, pairs)[:-num_data]  # drop recycle
+        data_state = Statevector.random(num_data, seed=6)
+        expected = data_state.copy()
+        from repro.sim.verification import apply_cz_set
+
+        apply_cz_set(expected, pairs)
+        full = data_state.extended(num_data)
+        full.apply_gates(gates)
+        overlap = abs(np.vdot(expected.data, full.data[: 1 << num_data]))
+        assert abs(overlap - 1.0) > 1e-6
+
+
+class TestScheduleVerification:
+    def test_generic_router_schedule_equivalence(self, random_small_circuit):
+        result = QPilotCompiler().compile_circuit(random_small_circuit)
+        assert verify_schedule_equivalence(random_small_circuit, result.schedule, seed=11)
+
+    def test_expand_schedule_produces_circuit(self, random_small_circuit):
+        result = QPilotCompiler().compile_circuit(random_small_circuit)
+        ancillas = result.schedule.max_ancillas_used()
+        expanded = expand_schedule_to_circuit(result.schedule, random_small_circuit.num_qubits, ancillas)
+        assert isinstance(expanded, QuantumCircuit)
+        assert expanded.num_qubits == random_small_circuit.num_qubits + max(ancillas, 1)
+        assert expanded.num_two_qubit_gates() == result.schedule.num_two_qubit_gates()
+
+    def test_corrupted_schedule_fails_verification(self):
+        """A schedule that leaves an ancilla entangled raises VerificationError."""
+        config = FPQAConfig(slm_rows=1, slm_cols=2)
+        schedule = FPQASchedule(config=config, num_data_qubits=2)
+        schedule.append(AncillaCreationStage(copies=[(slm(0), 0)]))
+        schedule.append(RydbergStage(gates=[ScheduledGate("cz", (aod(0), slm(1)))]))
+        # no recycle stage: ancilla stays entangled with the data qubits
+        original = QuantumCircuit(2).cz(0, 1)
+        with pytest.raises(VerificationError):
+            verify_schedule_equivalence(original, schedule, seed=12)
+
+    def test_wrong_gate_detected(self):
+        """A schedule implementing the wrong unitary is reported as not equivalent."""
+        config = FPQAConfig(slm_rows=1, slm_cols=2)
+        schedule = FPQASchedule(config=config, num_data_qubits=2)
+        copies = [(slm(0), 0)]
+        schedule.append(AncillaCreationStage(copies=copies))
+        # CZ is missing entirely
+        schedule.append(AncillaRecycleStage(copies=copies))
+        original = QuantumCircuit(2).cz(0, 1)
+        assert not verify_schedule_equivalence(original, schedule, seed=13)

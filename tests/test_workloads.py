@@ -1,0 +1,132 @@
+"""Unit tests for the workload generators (graphs, molecules, paper suites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    MOLECULES,
+    complete_graph_edges,
+    graph_degree_histogram,
+    molecule_catalogue,
+    molecule_pauli_strings,
+    molecule_summary,
+    qaoa_benchmark_suite,
+    qsim_workload,
+    random_circuit_workload,
+    random_graph_edges,
+    regular_graph_edges,
+    ring_graph_edges,
+    scaled_qsim_suite,
+    scaled_random_circuit_suite,
+)
+
+
+class TestGraphs:
+    def test_random_graph_edges_are_canonical(self):
+        edges = random_graph_edges(12, 0.3, seed=1)
+        assert all(a < b for a, b in edges)
+        assert len(edges) == len(set(edges))
+        assert all(b < 12 for _, b in edges)
+
+    def test_random_graph_density_scales_with_p(self):
+        sparse = random_graph_edges(30, 0.1, seed=2)
+        dense = random_graph_edges(30, 0.5, seed=2)
+        assert len(dense) > len(sparse)
+
+    def test_random_graph_nonempty_guarantee(self):
+        edges = random_graph_edges(5, 0.0, seed=3)
+        assert len(edges) == 1
+
+    def test_random_graph_deterministic(self):
+        assert random_graph_edges(10, 0.4, seed=5) == random_graph_edges(10, 0.4, seed=5)
+
+    def test_invalid_probability(self):
+        with pytest.raises(WorkloadError):
+            random_graph_edges(5, 1.5)
+
+    def test_regular_graph_degrees(self):
+        edges = regular_graph_edges(10, 3, seed=4)
+        histogram = graph_degree_histogram(10, edges)
+        assert histogram == {3: 10}
+        assert len(edges) == 15
+
+    def test_regular_graph_parity_check(self):
+        with pytest.raises(WorkloadError):
+            regular_graph_edges(5, 3)
+
+    def test_regular_graph_invalid_degree(self):
+        with pytest.raises(WorkloadError):
+            regular_graph_edges(4, 4)
+
+    def test_ring_and_complete_graphs(self):
+        assert len(ring_graph_edges(6)) == 6
+        assert len(complete_graph_edges(5)) == 10
+        with pytest.raises(WorkloadError):
+            ring_graph_edges(2)
+
+    def test_qaoa_benchmark_suite_keys(self):
+        suite = qaoa_benchmark_suite(sizes=(6, 10), edge_probability=0.3)
+        assert "er_p0.3_6q" in suite
+        assert "3reg_6q" in suite
+        assert "4reg_10q" in suite
+        for edges in suite.values():
+            assert edges
+
+
+class TestMolecules:
+    def test_catalogue_has_four_molecules(self):
+        catalogue = molecule_catalogue()
+        assert set(catalogue) == {"H2", "LiH_UCCSD", "H2O", "BeH2"}
+
+    def test_h2_is_smallest(self):
+        h2 = molecule_pauli_strings("H2")
+        lih = molecule_pauli_strings("LiH_UCCSD")
+        assert MOLECULES["H2"].num_qubits == 4
+        assert len(h2) < len(lih)
+
+    def test_strings_have_correct_width(self):
+        for name, spec in MOLECULES.items():
+            strings = molecule_pauli_strings(name)
+            assert all(s.num_qubits == spec.num_qubits for s in strings)
+            assert all(s.weight >= 2 for s in strings)
+
+    def test_deterministic(self):
+        a = [s.label for s in molecule_pauli_strings("H2O")]
+        b = [s.label for s in molecule_pauli_strings("H2O")]
+        assert a == b
+
+    def test_unknown_molecule(self):
+        with pytest.raises(WorkloadError):
+            molecule_pauli_strings("caffeine")
+
+    def test_summary(self):
+        summary = molecule_summary("BeH2")
+        assert summary["qubits"] == 14
+        assert summary["terms"] > 100
+        assert summary["max_weight"] <= 14
+
+    def test_molecule_sizes_ordered_like_paper(self):
+        """Table 1 orders molecules by difficulty: H2 < LiH < H2O < BeH2."""
+        terms = [len(molecule_pauli_strings(n)) for n in ("H2", "LiH_UCCSD", "H2O", "BeH2")]
+        assert terms == sorted(terms)
+
+
+class TestPaperSuites:
+    def test_random_circuit_workload(self):
+        circuit = random_circuit_workload(10, 2, seed=1)
+        assert circuit.num_qubits == 10
+        assert circuit.num_two_qubit_gates() == 20
+
+    def test_qsim_workload(self):
+        strings = qsim_workload(10, 0.3, num_strings=25, seed=1)
+        assert len(strings) == 25
+        assert all(s.num_qubits == 10 for s in strings)
+
+    def test_scaled_suites_cover_grid(self):
+        circuits = scaled_random_circuit_suite(sizes=(5, 10), multiples=(2, 10))
+        assert set(circuits) == {(5, 2), (5, 10), (10, 2), (10, 10)}
+        qsim = scaled_qsim_suite(sizes=(5,), probabilities=(0.1, 0.5), num_strings=10)
+        assert set(qsim) == {(5, 0.1), (5, 0.5)}
+        assert len(qsim[(5, 0.1)]) == 10
