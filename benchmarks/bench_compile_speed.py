@@ -1,0 +1,129 @@
+"""Compile-time speed tracking across all routers (perf trajectory).
+
+Unlike the figure/table benchmarks, this module exists to keep the
+*compiler itself* fast: it sweeps circuit sizes across the three Q-Pilot
+routers plus the SABRE baseline, and appends the timings to the
+``BENCH_compile.json`` trajectory file at the repository root.  Every
+performance PR should re-run it so regressions (e.g. an accidentally
+quadratic front-layer scan) show up as a new entry that is slower than the
+previous one.
+
+Run it either way:
+
+    PYTHONPATH=src python benchmarks/bench_compile_speed.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_compile_speed.py -s
+
+Reading ``BENCH_compile.json``: the document has one ``entries`` element
+per run; each entry maps ``results[router][num_qubits]`` to the best
+wall-clock seconds over ``repeats`` timed compilations (after one warmup
+call, so interpreter/cache warmup is not attributed to the compiler).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.baselines.layout import trivial_layout
+from repro.baselines.sabre import SabreOptions, SabreRouter
+from repro.circuit import random_cx_circuit
+from repro.core.generic_router import GenericRouter
+from repro.core.qaoa_router import QAOARouter
+from repro.core.qsim_router import QSimRouter
+from repro.hardware import grid_device
+from repro.utils.profiling import TrajectoryRecorder, time_call
+from repro.utils.reporting import format_table
+from repro.workloads import qsim_workload, random_graph_edges
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_compile.json"
+
+#: (num_qubits, grid side for SABRE) sweep; 2-qubit gate count is 5x qubits,
+#: so the largest point is the 100-qubit / 500-gate headline circuit.
+SIZES = ((20, 5), (40, 7), (70, 9), (100, 10))
+GATE_FACTOR = 5
+REPEATS = 3
+SEED = 42
+
+
+def _bench_generic(num_qubits: int) -> float:
+    circuit = random_cx_circuit(num_qubits, GATE_FACTOR * num_qubits, seed=SEED)
+    router = GenericRouter()
+    _, seconds = time_call(router.compile, circuit, repeats=REPEATS, warmup=1)
+    return seconds
+
+
+def _bench_qsim(num_qubits: int) -> float:
+    strings = qsim_workload(num_qubits, 0.1, num_strings=25, seed=SEED)
+    router = QSimRouter()
+    _, seconds = time_call(router.compile, strings, repeats=REPEATS, warmup=1)
+    return seconds
+
+
+def _bench_qaoa(num_qubits: int) -> float:
+    edges = random_graph_edges(num_qubits, 0.1, seed=SEED)
+    router = QAOARouter()
+    _, seconds = time_call(router.compile, num_qubits, edges, repeats=REPEATS, warmup=1)
+    return seconds
+
+
+def _bench_sabre(num_qubits: int, grid_side: int) -> float:
+    circuit = random_cx_circuit(num_qubits, GATE_FACTOR * num_qubits, seed=SEED)
+    device = grid_device(grid_side, grid_side)
+    router = SabreRouter(device, SabreOptions(layout_trials=1))
+    layout = trivial_layout(circuit, device)
+    # a single timed pass: SABRE dominates the sweep, so no repeats
+    _, seconds = time_call(router.run, circuit, layout, repeats=1, warmup=0)
+    return seconds
+
+
+def run_compile_speed_sweep(*, include_sabre: bool = True) -> dict:
+    """Sweep all routers over :data:`SIZES`; append to the trajectory file."""
+    results: dict[str, dict[str, float]] = {"generic": {}, "qsim": {}, "qaoa": {}}
+    if include_sabre:
+        results["sabre"] = {}
+    for num_qubits, grid_side in SIZES:
+        key = str(num_qubits)
+        results["generic"][key] = round(_bench_generic(num_qubits), 6)
+        results["qsim"][key] = round(_bench_qsim(num_qubits), 6)
+        results["qaoa"][key] = round(_bench_qaoa(num_qubits), 6)
+        if include_sabre:
+            results["sabre"][key] = round(_bench_sabre(num_qubits, grid_side), 6)
+    entry = {
+        "sizes": [n for n, _ in SIZES],
+        "gate_factor": GATE_FACTOR,
+        "repeats": REPEATS,
+        "seed": SEED,
+        "results": results,
+        "headline_generic_100q_500g_s": results["generic"].get("100"),
+    }
+    recorder = TrajectoryRecorder(TRAJECTORY_PATH, "compile_speed")
+    recorder.record(entry)
+    return entry
+
+
+def _print_entry(entry: dict) -> None:
+    rows = []
+    for router, timings in entry["results"].items():
+        row = {"router": router}
+        for size, seconds in timings.items():
+            row[f"{size}q"] = round(seconds, 4)
+        rows.append(row)
+    print("\n" + format_table(rows, title="compile seconds (best of repeats)"))
+    print(f"trajectory: {TRAJECTORY_PATH}")
+
+
+def test_compile_speed_sweep():
+    """Pytest entry point: run the sweep and sanity-check the trajectory."""
+    entry = run_compile_speed_sweep()
+    _print_entry(entry)
+    document = json.loads(TRAJECTORY_PATH.read_text())
+    assert document["entries"], "trajectory file must contain at least one entry"
+    last = document["entries"][-1]
+    assert len(last["sizes"]) >= 4
+    for router in ("generic", "qsim", "qaoa", "sabre"):
+        assert len(last["results"][router]) >= 4, f"missing sizes for {router}"
+
+
+if __name__ == "__main__":
+    _print_entry(run_compile_speed_sweep())

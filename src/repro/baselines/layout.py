@@ -9,6 +9,7 @@ reverse-traversal layout refinement (implemented in
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Sequence
 
 import numpy as np
@@ -117,9 +118,9 @@ def degree_aware_layout(circuit: QuantumCircuit, device: CouplingGraph) -> Layou
     start = max(range(device.num_qubits), key=device.degree)
     visited: list[int] = []
     seen = {start}
-    queue = [start]
+    queue = deque([start])
     while queue:
-        node = queue.pop(0)
+        node = queue.popleft()
         visited.append(node)
         for nbr in sorted(device.neighbors(node), key=lambda n: -device.degree(n)):
             if nbr not in seen:

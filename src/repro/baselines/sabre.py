@@ -68,6 +68,11 @@ class SabreRouter:
     def __init__(self, device: CouplingGraph, options: SabreOptions | None = None):
         self.device = device
         self.options = options or SabreOptions()
+        # All-pairs BFS distances, shared by every routing pass (the layout
+        # search alone runs 3 passes per trial).  CouplingGraph memoizes the
+        # matrix too; holding it here additionally pins the array for the
+        # router's lifetime and keeps _route_pass free of the lookup.
+        self._distance_matrix = device.distance_matrix()
 
     # ------------------------------------------------------------------
     # public API
@@ -143,7 +148,7 @@ class SabreRouter:
     ) -> tuple[list[Gate], Layout, int]:
         """Single SABRE routing pass.  Returns (physical gates, final layout, #swaps)."""
         dag = DependencyDAG(circuit)
-        dist = self.device.distance_matrix()
+        dist = self._distance_matrix
         decay = np.ones(self.device.num_qubits)
         options = self.options
         rng = ensure_rng(options.seed)

@@ -5,11 +5,19 @@ gates with no unexecuted predecessor (Alg. 1 in the paper calls it the
 "source layer of the dependency graph").  :class:`DependencyDAG` maintains
 this structure incrementally so routers can pop gates as they schedule them
 without rebuilding the graph.
+
+The implementation is a *ready-set* DAG: every gate carries a counter of
+unexecuted predecessors, and gates whose counter is zero live in a ready
+set.  ``front_layer()`` therefore costs O(|front| log |front|) (the sort
+for determinism) instead of a scan over every remaining gate, and
+``execute()`` costs O(out-degree) — the two operations routers call once
+per gate, which makes whole-circuit routing linear in the gate count
+rather than quadratic.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import deque
 from typing import Iterable, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
@@ -29,13 +37,21 @@ class DependencyDAG:
         self._circuit = circuit
         self._include_one_qubit = include_one_qubit
         self._gates: dict[int, Gate] = {}
-        self._predecessors: dict[int, set[int]] = defaultdict(set)
-        self._successors: dict[int, set[int]] = defaultdict(set)
-        self._remaining: set[int] = set()
+        # Adjacency is immutable after _build(); successors are kept sorted
+        # so lookahead() iterates deterministically without re-sorting.
+        self._predecessors: dict[int, tuple[int, ...]] = {}
+        self._successors: dict[int, tuple[int, ...]] = {}
         self._executed: set[int] = set()
+        # Ready-set state: count of unexecuted predecessors per gate, and
+        # the set of unexecuted gates whose count is zero (the front layer).
+        self._unmet: dict[int, int] = {}
+        self._front: set[int] = set()
+        self._num_remaining = 0
         self._build()
 
     def _build(self) -> None:
+        preds: dict[int, set[int]] = {}
+        succs: dict[int, set[int]] = {}
         last_on_qubit: dict[int, int] = {}
         for index, gate in enumerate(self._circuit.gates):
             if gate.is_barrier:
@@ -43,14 +59,23 @@ class DependencyDAG:
             if not self._include_one_qubit and gate.num_qubits < 2:
                 continue
             self._gates[index] = gate
-            self._remaining.add(index)
             for qubit in gate.qubits:
                 if qubit in last_on_qubit:
                     prev = last_on_qubit[qubit]
                     if prev != index:
-                        self._predecessors[index].add(prev)
-                        self._successors[prev].add(index)
+                        preds.setdefault(index, set()).add(prev)
+                        succs.setdefault(prev, set()).add(index)
                 last_on_qubit[qubit] = index
+        self._predecessors = {i: tuple(sorted(p)) for i, p in preds.items()}
+        self._successors = {i: tuple(sorted(s)) for i, s in succs.items()}
+        self._reset_ready_state()
+
+    def _reset_ready_state(self) -> None:
+        """Initialise counters and ready set for a fresh (unexecuted) DAG."""
+        self._executed.clear()
+        self._unmet = {i: len(self._predecessors.get(i, ())) for i in self._gates}
+        self._front = {i for i, count in self._unmet.items() if count == 0}
+        self._num_remaining = len(self._gates)
 
     # ------------------------------------------------------------------
     # queries
@@ -68,11 +93,11 @@ class DependencyDAG:
     @property
     def num_remaining(self) -> int:
         """Number of gates not yet marked executed."""
-        return len(self._remaining)
+        return self._num_remaining
 
     def is_done(self) -> bool:
         """True when every gate has been executed."""
-        return not self._remaining
+        return self._num_remaining == 0
 
     def gate(self, index: int) -> Gate:
         """Return the gate with the given circuit index."""
@@ -80,23 +105,26 @@ class DependencyDAG:
 
     def predecessors(self, index: int) -> frozenset[int]:
         """Indices of gates that must execute before ``index``."""
-        return frozenset(self._predecessors.get(index, set()))
+        return frozenset(self._predecessors.get(index, ()))
 
     def successors(self, index: int) -> frozenset[int]:
         """Indices of gates that depend on ``index``."""
-        return frozenset(self._successors.get(index, set()))
+        return frozenset(self._successors.get(index, ()))
 
     def front_layer(self) -> list[int]:
         """Indices of unexecuted gates whose predecessors are all executed.
 
         The result is sorted by circuit order for determinism.
         """
-        front = [
-            index
-            for index in self._remaining
-            if all(p in self._executed for p in self._predecessors.get(index, ()))
-        ]
-        return sorted(front)
+        return sorted(self._front)
+
+    def front_layer_unsorted(self) -> tuple[int, ...]:
+        """Front-layer indices in unspecified order.
+
+        Cheaper than :meth:`front_layer` when the caller filters before
+        sorting (e.g. the routers split 1Q from 2Q gates first).
+        """
+        return tuple(self._front)
 
     def front_layer_gates(self) -> list[Gate]:
         """Gate objects of the current front layer (circuit order)."""
@@ -109,12 +137,12 @@ class DependencyDAG:
         topological order by circuit index.
         """
         upcoming: list[int] = []
-        frontier = set(self.front_layer())
+        frontier = self.front_layer()
         visited = set(frontier)
-        queue = sorted(frontier)
+        queue = deque(frontier)
         while queue and len(upcoming) < depth:
-            current = queue.pop(0)
-            for succ in sorted(self._successors.get(current, ())):
+            current = queue.popleft()
+            for succ in self._successors.get(current, ()):
                 if succ in visited or succ in self._executed:
                     continue
                 visited.add(succ)
@@ -140,11 +168,17 @@ class DependencyDAG:
             raise CircuitError(f"gate index {index} is not part of this DAG")
         if index in self._executed:
             raise CircuitError(f"gate index {index} was already executed")
-        unmet = [p for p in self._predecessors.get(index, ()) if p not in self._executed]
-        if unmet:
+        if self._unmet[index]:
+            unmet = [p for p in self._predecessors.get(index, ()) if p not in self._executed]
             raise CircuitError(f"gate {index} has unexecuted predecessors {unmet}")
-        self._remaining.discard(index)
+        self._front.discard(index)
         self._executed.add(index)
+        self._num_remaining -= 1
+        for succ in self._successors.get(index, ()):
+            remaining = self._unmet[succ] - 1
+            self._unmet[succ] = remaining
+            if remaining == 0 and succ not in self._executed:
+                self._front.add(succ)
 
     def execute_many(self, indices: Iterable[int]) -> None:
         """Execute several gates; order within ``indices`` is resolved greedily."""
@@ -155,8 +189,7 @@ class DependencyDAG:
 
     def reset(self) -> None:
         """Forget all execution state."""
-        self._executed.clear()
-        self._remaining = set(self._gates)
+        self._reset_ready_state()
 
     # ------------------------------------------------------------------
     # convenience

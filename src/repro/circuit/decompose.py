@@ -13,6 +13,7 @@ so that gate counting stays easy to reason about.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Callable
 
 from repro.circuit.circuit import QuantumCircuit
@@ -22,14 +23,20 @@ from repro.exceptions import DecompositionError
 _PI = math.pi
 
 
+# Gates are frozen dataclasses, so the parameterless helpers can hand out
+# shared instances; this keeps the per-CX rewrite in decompose_to_cz from
+# re-validating identical gates thousands of times.
+@lru_cache(maxsize=65536)
 def _h(q: int) -> Gate:
     return Gate("h", (q,))
 
 
+@lru_cache(maxsize=65536)
 def _cz(a: int, b: int) -> Gate:
     return Gate("cz", (a, b))
 
 
+@lru_cache(maxsize=65536)
 def _cx(c: int, t: int) -> Gate:
     return Gate("cx", (c, t))
 
@@ -211,42 +218,65 @@ def cancel_adjacent_inverses(circuit: QuantumCircuit) -> QuantumCircuit:
     """
     self_inverse = {"h", "x", "y", "z", "cz", "cx", "swap"}
     inverse_pairs = {("s", "sdg"), ("sdg", "s"), ("t", "tdg"), ("tdg", "t")}
-    result: list[Gate] = []
+
+    def cancels(first: Gate, second: Gate) -> bool:
+        if first.qubits != second.qubits or first.params or second.params:
+            return False
+        if first.name == second.name and second.name in self_inverse:
+            return True
+        return (first.name, second.name) in inverse_pairs
+
+    # Incremental bookkeeping instead of a backward list scan per gate:
+    # ``result`` keeps tombstones (None) for cancelled gates, ``touching``
+    # stacks the live gate indices per qubit (top = most recent gate on
+    # that qubit), and ``prev_live`` chains each gate to the live gate that
+    # preceded it so the "last gate overall" pointer can rewind in O(1)
+    # amortised.  The output is identical to the original quadratic scan.
+    result: list[Gate | None] = []
+    prev_live: list[int] = []
+    touching: dict[int, list[int]] = {}
+    last_live = -1
+
+    def rewind_live(index: int) -> int:
+        walked = []
+        while index >= 0 and result[index] is None:
+            walked.append(index)
+            index = prev_live[index]
+        for i in walked:  # path compression keeps repeat rewinds O(1)
+            prev_live[i] = index
+        return index
+
+    def append(gate: Gate) -> None:
+        nonlocal last_live
+        prev_live.append(last_live)
+        last_live = len(result)
+        for qubit in gate.qubits:
+            touching.setdefault(qubit, []).append(last_live)
+        result.append(gate)
+
     for gate in circuit.gates:
-        if result:
-            prev = result[-1]
-            same_operands = prev.qubits == gate.qubits
-            cancels = False
-            if same_operands and not gate.params and not prev.params:
-                if gate.name == prev.name and gate.name in self_inverse:
-                    cancels = True
-                elif (prev.name, gate.name) in inverse_pairs:
-                    cancels = True
-            if cancels:
-                result.pop()
+        if last_live >= 0:
+            prev = result[last_live]
+            if cancels(prev, gate):
+                # the last gate overall is the top of every operand's stack
+                for qubit in prev.qubits:
+                    touching[qubit].pop()
+                result[last_live] = None
+                last_live = rewind_live(prev_live[last_live])
                 continue
             # allow cancellation across gates acting on disjoint qubits
             if gate.is_one_qubit and not gate.params:
-                for back in range(len(result) - 1, -1, -1):
-                    other = result[back]
-                    if gate.qubits[0] in other.qubits:
-                        if (
-                            other.qubits == gate.qubits
-                            and not other.params
-                            and (
-                                (other.name == gate.name and gate.name in self_inverse)
-                                or (other.name, gate.name) in inverse_pairs
-                            )
-                        ):
-                            result.pop(back)
-                            break
-                        result.append(gate)
-                        break
-                else:
-                    result.append(gate)
+                stack = touching.get(gate.qubits[0])
+                if stack:
+                    other = result[stack[-1]]
+                    if cancels(other, gate):
+                        result[stack.pop()] = None
+                        continue
+                append(gate)
                 continue
-        result.append(gate)
-    return QuantumCircuit(circuit.num_qubits, result, name=circuit.name)
+        append(gate)
+    live_gates = [g for g in result if g is not None]
+    return QuantumCircuit(circuit.num_qubits, live_gates, name=circuit.name)
 
 
 def basis_check(circuit: QuantumCircuit, basis: str) -> bool:

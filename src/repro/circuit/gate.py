@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -300,14 +301,46 @@ def _controlled(u: np.ndarray) -> np.ndarray:
 def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
     """Return the unitary matrix for a named gate.
 
+    The result is a fresh writable array; construction is cached per
+    ``(name, params)`` so repeated lookups (the verification-heavy tests
+    apply the same few gates thousands of times) only pay for a copy.
+
     Raises
     ------
     CircuitError
         If the gate has no defined unitary (``measure``, ``reset``,
         ``barrier``) or the name is unknown.
     """
-    name = name.lower()
-    p = tuple(params)
+    return gate_matrix_readonly(name, tuple(params)).copy()
+
+
+@lru_cache(maxsize=4096)
+def gate_matrix_readonly(name: str, params: tuple[float, ...] = ()) -> np.ndarray:
+    """Cached, read-only unitary matrix for a named gate.
+
+    Callers must not mutate the result (the array is marked non-writable);
+    use :func:`gate_matrix` for a private copy.
+    """
+    matrix = _build_gate_matrix(name.lower(), tuple(params))
+    matrix.flags.writeable = False
+    return matrix
+
+
+@lru_cache(maxsize=4096)
+def gate_diagonal(name: str, params: tuple[float, ...] = ()) -> np.ndarray | None:
+    """Cached diagonal of a Z-basis-diagonal gate, or None otherwise.
+
+    Used by the statevector simulator's diagonal fast path.  The returned
+    vector is read-only.
+    """
+    if name.lower() not in DIAGONAL_GATES:
+        return None
+    diag = np.ascontiguousarray(np.diag(gate_matrix_readonly(name, tuple(params))))
+    diag.flags.writeable = False
+    return diag
+
+
+def _build_gate_matrix(name: str, p: tuple[float, ...]) -> np.ndarray:
     if name in {"measure", "reset", "barrier"}:
         raise CircuitError(f"gate {name} has no unitary matrix")
     one_qubit = {

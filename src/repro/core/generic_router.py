@@ -92,17 +92,20 @@ class GenericRouter:
             name=f"qpilot_generic[{circuit.name}]",
         )
 
+        # one bounds-checked divmod per qubit instead of per stage visit
+        positions = [array.position(q) for q in range(circuit.num_qubits)]
+
         stage_index = 0
         while not dag.is_done():
             progressed = self._flush_one_qubit_gates(dag, schedule)
             if dag.is_done():
                 break
-            front = [i for i in dag.front_layer() if dag.gate(i).num_qubits == 2]
+            front = sorted(i for i in dag.front_layer_unsorted() if dag.gate(i).num_qubits == 2)
             if not front:
                 if progressed:
                     continue
                 raise RoutingError("front layer contains no executable gates")
-            selected = self._select_legal_subset(front, dag, array)
+            selected = self._select_legal_subset(front, dag, positions)
             if not selected:
                 raise RoutingError("could not select any front-layer gate (internal error)")
             self._emit_macro(selected, dag, array, schedule, stage_index)
@@ -128,8 +131,9 @@ class GenericRouter:
         """Execute every 1-qubit gate reachable in the front layer."""
         progressed = False
         while True:
-            front = dag.front_layer()
-            one_qubit = [i for i in front if dag.gate(i).num_qubits == 1]
+            one_qubit = sorted(
+                i for i in dag.front_layer_unsorted() if dag.gate(i).num_qubits == 1
+            )
             if not one_qubit:
                 return progressed
             gates = []
@@ -145,14 +149,14 @@ class GenericRouter:
                 progressed = True
 
     def _select_legal_subset(
-        self, front: list[int], dag: DependencyDAG, array: SLMArray
+        self, front: list[int], dag: DependencyDAG, positions: list[tuple[int, int]]
     ) -> list[tuple[int, GatePlacement]]:
         """Greedy maximum legal subset of the front-layer CZ gates."""
         candidates: list[tuple[int, GatePlacement]] = []
         for index in front:
             gate = dag.gate(index)
             qubit_a, qubit_b = gate.qubits
-            placement = GatePlacement(index, array.position(qubit_a), array.position(qubit_b))
+            placement = GatePlacement(index, positions[qubit_a], positions[qubit_b])
             candidates.append((index, placement))
         if self.options.sort_candidates:
             candidates.sort(key=lambda item: min(dag.gate(item[0]).qubits))
@@ -174,7 +178,8 @@ class GenericRouter:
     ) -> None:
         """Emit create / move / execute / move-back / recycle stages."""
         placements = [p for _, p in selected]
-        crosses = assign_aod_crosses(placements)
+        # the subset came from greedy_legal_subset, so skip the O(k²) re-check
+        crosses = assign_aod_crosses(placements, validate=False)
 
         copies = []
         moves_out = []

@@ -14,6 +14,7 @@ QAOA router (Alg. 3).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
@@ -97,7 +98,9 @@ def violating_pairs(placements: Sequence[GatePlacement]) -> list[tuple[int, int]
     return bad
 
 
-def assign_aod_crosses(placements: Sequence[GatePlacement]) -> dict[int, tuple[int, int]]:
+def assign_aod_crosses(
+    placements: Sequence[GatePlacement], *, validate: bool = True
+) -> dict[int, tuple[int, int]]:
     """Assign each legal candidate gate an AOD cross (row index, column index).
 
     The assignment follows the paper's convention: gates are ranked by the
@@ -106,12 +109,15 @@ def assign_aod_crosses(placements: Sequence[GatePlacement]) -> dict[int, tuple[i
     creation coordinates tie share the AOD line whenever their execution
     coordinates also tie, and are otherwise ranked by execution coordinates.
 
+    ``validate=False`` skips the O(k²) legality re-check; only pass it when
+    the placements provably came from :func:`greedy_legal_subset`.
+
     Raises
     ------
     RoutingError
-        If the placements are not a legal subset.
+        If ``validate`` is True and the placements are not a legal subset.
     """
-    if not subset_is_legal(placements):
+    if validate and not subset_is_legal(placements):
         raise RoutingError("cannot assign AOD crosses to an illegal gate subset")
 
     def rank(keys: list[tuple[int, int]]) -> dict[tuple[int, int], int]:
@@ -128,16 +134,75 @@ def assign_aod_crosses(placements: Sequence[GatePlacement]) -> dict[int, tuple[i
     }
 
 
+class _MonotoneOrderIndex:
+    """Sorted index of accepted (source, target) coordinate pairs on one axis.
+
+    A candidate pair ``(s, t)`` conflicts with an accepted pair ``(s', t')``
+    exactly when the strict order reverses: ``s' < s`` with ``t' > t`` or
+    ``s' > s`` with ``t' < t`` (ties on either coordinate are always
+    compatible).  For a mutually compatible accepted set this means that,
+    grouping accepted pairs by source coordinate, the target intervals of
+    successive groups are totally ordered: ``max(targets of group s1) <=
+    min(targets of group s2)`` whenever ``s1 < s2``.  A candidate therefore
+    only has to be tested against its two *bisected neighbour* groups — the
+    closest accepted source coordinate below and above — instead of every
+    accepted pair, which turns the greedy scan from O(k²) into O(k log k).
+    """
+
+    __slots__ = ("_sources", "_min_target", "_max_target")
+
+    def __init__(self) -> None:
+        self._sources: list[int] = []  # sorted distinct source coordinates
+        self._min_target: dict[int, int] = {}
+        self._max_target: dict[int, int] = {}
+
+    def compatible(self, source: int, target: int) -> bool:
+        """True if ``(source, target)`` preserves order against every entry."""
+        pos = bisect_left(self._sources, source)
+        if pos > 0 and self._max_target[self._sources[pos - 1]] > target:
+            return False
+        upper = pos
+        if upper < len(self._sources) and self._sources[upper] == source:
+            upper += 1  # equal source coordinates never conflict
+        if upper < len(self._sources) and self._min_target[self._sources[upper]] < target:
+            return False
+        return True
+
+    def add(self, source: int, target: int) -> None:
+        """Insert an accepted pair (must already have passed ``compatible``)."""
+        if source in self._min_target:
+            if target < self._min_target[source]:
+                self._min_target[source] = target
+            if target > self._max_target[source]:
+                self._max_target[source] = target
+        else:
+            insort(self._sources, source)
+            self._min_target[source] = target
+            self._max_target[source] = target
+
+
 def greedy_legal_subset(placements: Sequence[GatePlacement]) -> list[GatePlacement]:
     """Greedily grow a legal subset in the given candidate order (Alg. 1).
 
     Candidates are considered one at a time; a candidate is kept only if it
-    is pairwise compatible with everything already accepted.
+    is pairwise compatible with everything already accepted.  The invariant
+    "a set is legal iff sorting by source coordinate yields non-decreasing
+    target coordinates" lets each candidate be tested against its bisected
+    neighbours in sorted row/col key structures (O(log k)) instead of
+    against every accepted gate, so the whole scan is O(k log k); the
+    result is identical to the pairwise reference check
+    (:func:`subset_is_legal` remains the oracle, see tests).
     """
     accepted: list[GatePlacement] = []
+    rows = _MonotoneOrderIndex()
+    cols = _MonotoneOrderIndex()
     for candidate in placements:
-        if all(pair_is_compatible(candidate, existing) for existing in accepted):
+        if rows.compatible(candidate.source_row, candidate.target_row) and cols.compatible(
+            candidate.source_col, candidate.target_col
+        ):
             accepted.append(candidate)
+            rows.add(candidate.source_row, candidate.target_row)
+            cols.add(candidate.source_col, candidate.target_col)
     return accepted
 
 

@@ -14,11 +14,14 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gate import Gate
+from repro.circuit.gate import Gate, gate_diagonal, gate_matrix_readonly
 from repro.exceptions import QPilotError
 from repro.utils.rng import ensure_rng
 
 _MAX_SIM_QUBITS = 22
+
+#: Boolean mask selecting the off-diagonal entries of a 4x4 matrix.
+_OFF_DIAGONAL_4 = ~np.eye(4, dtype=bool)
 
 
 class Statevector:
@@ -86,6 +89,8 @@ class Statevector:
         """Apply a k-qubit unitary to the listed qubits (in place).
 
         ``qubits[0]`` is the least-significant operand of ``matrix``.
+        1- and 2-qubit unitaries take index-sliced fast paths; larger gates
+        fall back to the generic tensordot kernel.
         """
         k = len(qubits)
         if matrix.shape != (1 << k, 1 << k):
@@ -94,9 +99,60 @@ class Statevector:
             raise QPilotError("duplicate qubits in apply_matrix")
         if any(q >= self.num_qubits or q < 0 for q in qubits):
             raise QPilotError(f"qubits {qubits} out of range for {self.num_qubits}-qubit state")
+        if k == 1:
+            self._apply_one_qubit(matrix, qubits[0])
+        elif k == 2:
+            self._apply_two_qubit(matrix, qubits[0], qubits[1])
+        else:
+            self._apply_generic(matrix, qubits)
+        return self
+
+    def _axis(self, qubit: int) -> int:
+        # numpy axis p of data.reshape([2]*n) corresponds to qubit (n - 1 - p)
+        # in little-endian order.
+        return self.num_qubits - 1 - qubit
+
+    def _apply_one_qubit(self, matrix: np.ndarray, qubit: int) -> None:
+        """1-qubit kernel: two strided slices instead of tensordot+transpose."""
+        view = np.moveaxis(self.data.reshape([2] * self.num_qubits), self._axis(qubit), 0)
+        if matrix[0, 1] == 0 and matrix[1, 0] == 0:
+            # diagonal gate: scale the |1> slice (and |0> when non-trivial)
+            if matrix[0, 0] != 1:
+                view[0] *= matrix[0, 0]
+            view[1] *= matrix[1, 1]
+            return
+        zero = matrix[0, 0] * view[0] + matrix[0, 1] * view[1]
+        one = matrix[1, 0] * view[0] + matrix[1, 1] * view[1]
+        view[0] = zero
+        view[1] = one
+
+    def _apply_two_qubit(self, matrix: np.ndarray, qubit_a: int, qubit_b: int) -> None:
+        """2-qubit kernel on sliced views.
+
+        The view's leading axes are (qubit_b, qubit_a) so that flattening
+        them yields the matrix's basis order (``qubits[0]`` = least
+        significant).
+        """
+        view = np.moveaxis(
+            self.data.reshape([2] * self.num_qubits),
+            (self._axis(qubit_b), self._axis(qubit_a)),
+            (0, 1),
+        )
+        if not matrix[_OFF_DIAGONAL_4].any():
+            # diagonal gate (cz, cp, crz, rzz, ...): pure phase per slice
+            for basis in range(4):
+                phase = matrix[basis, basis]
+                if phase != 1:
+                    view[basis >> 1, basis & 1] *= phase
+            return
+        tensor = matrix.reshape(2, 2, 2, 2)
+        # contract matrix input indices with the two leading state axes
+        view[...] = np.tensordot(tensor, view, axes=([2, 3], [0, 1]))
+
+    def _apply_generic(self, matrix: np.ndarray, qubits: Sequence[int]) -> None:
+        k = len(qubits)
         n = self.num_qubits
         psi = self.data.reshape([2] * n)
-        # numpy axis p corresponds to qubit (n - 1 - p) in little-endian order.
         # The matrix treats qubits[0] as its least-significant operand, so its
         # tensor input axes (k..2k-1) run over qubits[k-1], ..., qubits[0].
         axes = [n - 1 - q for q in reversed(qubits)]
@@ -110,14 +166,37 @@ class Statevector:
         inverse = np.argsort(current_order)
         psi = np.transpose(psi, inverse)
         self.data = psi.reshape(-1)
-        return self
+
+    def _apply_diagonal(self, diagonal: np.ndarray, qubits: Sequence[int]) -> None:
+        """Multiply each basis slice by its phase (any diagonal gate)."""
+        k = len(qubits)
+        view = np.moveaxis(
+            self.data.reshape([2] * self.num_qubits),
+            [self._axis(q) for q in reversed(qubits)],
+            range(k),
+        )
+        for basis, phase in enumerate(diagonal):
+            if phase != 1:
+                # leading view axis 0 is the most significant operand bit
+                index = tuple((basis >> (k - 1 - axis)) & 1 for axis in range(k))
+                view[index] *= phase
 
     def apply_gate(self, gate: Gate) -> "Statevector":
         """Apply a :class:`Gate` (measure/reset/barrier are ignored)."""
         if gate.is_directive:
             return self
-        matrix = gate.matrix()
-        # gate.matrix() uses qubits[0] as the least-significant operand
+        if gate.is_diagonal:
+            diagonal = gate_diagonal(gate.name, gate.params)
+            if diagonal is not None:
+                qubits = gate.qubits
+                if any(q >= self.num_qubits or q < 0 for q in qubits):
+                    raise QPilotError(
+                        f"qubits {qubits} out of range for {self.num_qubits}-qubit state"
+                    )
+                self._apply_diagonal(diagonal, qubits)
+                return self
+        # the cached matrix uses qubits[0] as the least-significant operand
+        matrix = gate_matrix_readonly(gate.name, gate.params)
         return self.apply_matrix(matrix, list(gate.qubits))
 
     def apply_circuit(self, circuit: QuantumCircuit) -> "Statevector":

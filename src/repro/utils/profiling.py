@@ -1,0 +1,101 @@
+"""Lightweight wall-clock timing helpers for the perf-tracking benchmarks.
+
+The compile-speed harness (``benchmarks/bench_compile_speed.py``) uses
+these to measure router hot paths and to append results to a *trajectory
+file* (``BENCH_compile.json``): a JSON document that accumulates one entry
+per benchmark run so that successive performance PRs can be compared
+against each other without digging through git history.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     do_work()
+    >>> t.elapsed  # seconds
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+def time_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    repeats: int = 1,
+    warmup: int = 0,
+    **kwargs: Any,
+) -> tuple[Any, float]:
+    """Time ``fn(*args, **kwargs)``, returning ``(result, best_seconds)``.
+
+    ``warmup`` extra calls run first without being timed (they populate
+    caches and trigger interpreter specialisation); the best of ``repeats``
+    timed calls is reported, the standard way to suppress scheduler noise
+    in micro-benchmarks.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn(*args, **kwargs)
+    best = math.inf
+    result: Any = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+class TrajectoryRecorder:
+    """Append benchmark entries to a JSON trajectory file.
+
+    The file holds ``{"benchmark": ..., "entries": [...]}``; every
+    :meth:`record` call appends one entry with a timestamp, so the file
+    grows by one entry per benchmark run and preserves the full history.
+    """
+
+    def __init__(self, path: str | Path, benchmark: str):
+        self.path = Path(path)
+        self.benchmark = benchmark
+
+    def load(self) -> dict:
+        if self.path.exists():
+            try:
+                document = json.loads(self.path.read_text())
+            except (ValueError, OSError):
+                document = None
+            if isinstance(document, dict) and isinstance(document.get("entries"), list):
+                return document
+            # unreadable or malformed: move it aside so record() never
+            # overwrites the accumulated trajectory history
+            backup = self.path.with_name(self.path.name + ".corrupt")
+            try:
+                self.path.replace(backup)
+            except OSError:
+                pass
+        return {"benchmark": self.benchmark, "entries": []}
+
+    def record(self, entry: dict) -> dict:
+        """Append ``entry`` (timestamped) and write the file back."""
+        document = self.load()
+        stamped = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **entry}
+        document["entries"].append(stamped)
+        self.path.write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
+        return stamped

@@ -5,6 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "perf: wall-clock guarded performance smoke tests (kept fast enough for tier-1)",
+    )
+
 from repro.circuit import QuantumCircuit, random_cx_circuit, random_pauli_strings
 from repro.hardware import FPQAConfig, grid_device, ibm_washington_device, linear_device
 

@@ -136,3 +136,71 @@ class TestInteractionAudit:
         array = SLMArray(FPQAConfig(slm_rows=3, slm_cols=4), 10)
         # site (2, 3) exists in the grid but holds no qubit (only 10 qubits)
         assert check_no_unintended_interactions([(2.0, 3.0)], set(), array)
+
+
+# ----------------------------------------------------------------------
+# property tests: the O(k log k) greedy scan must match the O(k^2)
+# pairwise reference (subset_is_legal / pair_is_compatible are the oracle)
+# ----------------------------------------------------------------------
+def _reference_greedy(placements):
+    """The seed implementation: candidate vs every accepted gate."""
+    accepted = []
+    for candidate in placements:
+        if all(pair_is_compatible(candidate, existing) for existing in accepted):
+            accepted.append(candidate)
+    return accepted
+
+
+class TestFastGreedyMatchesReference:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_randomized_equivalence(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(2000 + seed)
+        num = int(rng.integers(1, 40))
+        rows = int(rng.integers(1, 6))
+        cols = int(rng.integers(1, 6))
+        placements = [
+            GatePlacement(
+                index,
+                (int(rng.integers(rows)), int(rng.integers(cols))),
+                (int(rng.integers(rows)), int(rng.integers(cols))),
+            )
+            for index in range(num)
+        ]
+        fast = greedy_legal_subset(placements)
+        reference = _reference_greedy(placements)
+        assert [p.gate_index for p in fast] == [p.gate_index for p in reference]
+        assert subset_is_legal(fast)
+        assert not violating_pairs(fast)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_many_coordinate_ties(self, seed):
+        """Tied source/target coordinates exercise the equal-key bypass."""
+        import numpy as np
+
+        rng = np.random.default_rng(3000 + seed)
+        placements = [
+            GatePlacement(
+                index,
+                (int(rng.integers(2)), int(rng.integers(2))),
+                (int(rng.integers(2)), int(rng.integers(2))),
+            )
+            for index in range(30)
+        ]
+        fast = greedy_legal_subset(placements)
+        assert [p.gate_index for p in fast] == [
+            p.gate_index for p in _reference_greedy(placements)
+        ]
+        assert subset_is_legal(fast)
+
+    def test_accepts_everything_when_all_compatible(self):
+        # one shared source row/col: order can never reverse
+        placements = [GatePlacement(i, (0, i), (0, i)) for i in range(10)]
+        assert len(greedy_legal_subset(placements)) == 10
+
+    def test_assign_aod_crosses_validate_flag(self, fig5_placements):
+        legal = [fig5_placements["g0"], fig5_placements["g1"], fig5_placements["g3"]]
+        assert assign_aod_crosses(legal, validate=False) == assign_aod_crosses(legal)
+        with pytest.raises(RoutingError):
+            assign_aod_crosses([fig5_placements["g0"], fig5_placements["g2"]], validate=True)

@@ -115,3 +115,110 @@ class TestStructure:
                 order.append(index)
         dag_check = DependencyDAG(random_small_circuit)
         assert dag_check.executed_order_is_valid(order)
+
+
+# ----------------------------------------------------------------------
+# property tests: the incremental ready-set DAG must match the reference
+# full-scan implementation (the seed version of this module) exactly
+# ----------------------------------------------------------------------
+class _ReferenceDAG:
+    """The seed implementation: full O(remaining x predecessors) scans."""
+
+    def __init__(self, circuit: QuantumCircuit, *, include_one_qubit: bool = True):
+        self._gates = {}
+        self._predecessors = {}
+        self._successors = {}
+        last_on_qubit = {}
+        for index, gate in enumerate(circuit.gates):
+            if gate.is_barrier:
+                continue
+            if not include_one_qubit and gate.num_qubits < 2:
+                continue
+            self._gates[index] = gate
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit and last_on_qubit[qubit] != index:
+                    self._predecessors.setdefault(index, set()).add(last_on_qubit[qubit])
+                    self._successors.setdefault(last_on_qubit[qubit], set()).add(index)
+                last_on_qubit[qubit] = index
+        self._remaining = set(self._gates)
+        self._executed = set()
+
+    def front_layer(self):
+        return sorted(
+            i
+            for i in self._remaining
+            if all(p in self._executed for p in self._predecessors.get(i, ()))
+        )
+
+    def lookahead(self, depth):
+        upcoming = []
+        frontier = set(self.front_layer())
+        visited = set(frontier)
+        queue = sorted(frontier)
+        while queue and len(upcoming) < depth:
+            current = queue.pop(0)
+            for succ in sorted(self._successors.get(current, ())):
+                if succ in visited or succ in self._executed:
+                    continue
+                visited.add(succ)
+                upcoming.append(succ)
+                queue.append(succ)
+                if len(upcoming) >= depth:
+                    break
+        return upcoming
+
+    def execute(self, index):
+        self._remaining.discard(index)
+        self._executed.add(index)
+
+
+class TestIncrementalMatchesReference:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("include_one_qubit", [True, False])
+    def test_randomized_equivalence(self, seed, include_one_qubit):
+        """Drive both DAGs through a full random execution trace in lockstep."""
+        import numpy as np
+
+        from repro.circuit import random_circuit
+
+        rng = np.random.default_rng(1000 + seed)
+        circuit = random_circuit(
+            int(rng.integers(3, 9)), int(rng.integers(2, 12)), seed=int(rng.integers(1 << 30))
+        )
+        dag = DependencyDAG(circuit, include_one_qubit=include_one_qubit)
+        ref = _ReferenceDAG(circuit, include_one_qubit=include_one_qubit)
+        while not dag.is_done():
+            front = dag.front_layer()
+            assert front == ref.front_layer()
+            for depth in (1, 3, 20):
+                assert dag.lookahead(depth) == ref.lookahead(depth)
+            # execute a random non-empty subset of the front layer
+            chosen = [i for i in front if rng.random() < 0.6] or [front[0]]
+            for index in chosen:
+                dag.execute(index)
+                ref.execute(index)
+        assert ref.front_layer() == []
+
+    def test_reset_restores_initial_front(self):
+        from repro.circuit import random_cx_circuit
+
+        circuit = random_cx_circuit(6, 12, seed=3)
+        dag = DependencyDAG(circuit)
+        initial_front = dag.front_layer()
+        initial_lookahead = dag.lookahead(6)
+        for index in list(initial_front):
+            dag.execute(index)
+        assert dag.front_layer() != initial_front or dag.is_done()
+        dag.reset()
+        assert dag.front_layer() == initial_front
+        assert dag.lookahead(6) == initial_lookahead
+        assert dag.num_remaining == dag.num_gates
+
+    def test_front_layer_unsorted_matches_front_layer(self):
+        from repro.circuit import random_cx_circuit
+
+        circuit = random_cx_circuit(5, 10, seed=9)
+        dag = DependencyDAG(circuit)
+        while not dag.is_done():
+            assert sorted(dag.front_layer_unsorted()) == dag.front_layer()
+            dag.execute(dag.front_layer()[0])

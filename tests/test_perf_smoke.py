@@ -1,0 +1,37 @@
+"""Compile-time regression guard (tier-1).
+
+A single mid-size compile under a generous wall-clock ceiling.  The point
+is not precision benchmarking (that lives in
+``benchmarks/bench_compile_speed.py``) but catching accidental complexity
+regressions: with the incremental front-layer DAG and the O(k log k)
+legality scan this compile takes ~0.1 s, while the original full-scan
+implementation needs ~4 s — so the ceiling has ~20x headroom for slow CI
+machines yet still fails loudly if a quadratic hot path sneaks back in.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.circuit import random_cx_circuit
+from repro.core.generic_router import GenericRouter
+
+#: Generous wall-clock budget (seconds) for the smoke compile.
+_CEILING_S = 2.0
+
+
+@pytest.mark.perf
+def test_midsize_compile_stays_fast():
+    circuit = random_cx_circuit(150, 1500, seed=11)
+    router = GenericRouter()
+    start = time.perf_counter()
+    schedule = router.compile(circuit)
+    elapsed = time.perf_counter() - start
+    assert schedule.metadata["num_macro_stages"] > 0
+    assert elapsed < _CEILING_S, (
+        f"mid-size compile took {elapsed:.2f}s (ceiling {_CEILING_S}s); "
+        "a quadratic hot path may have regressed — see "
+        "benchmarks/bench_compile_speed.py and BENCH_compile.json"
+    )
