@@ -20,6 +20,7 @@ from repro.circuit import qaoa_maxcut_circuit
 from repro.core import QAOARouter, QAOARouterOptions
 from repro.core.schedule import RydbergStage
 from repro.hardware import ibm_washington_device
+from repro.exceptions import VerificationError
 from repro.sim import verify_schedule_equivalence
 from repro.utils.reporting import format_table
 from repro.workloads import regular_graph_edges
@@ -78,8 +79,12 @@ def main() -> None:
     small_edges = regular_graph_edges(6, 3, seed=5)
     small = QAOARouter(options=options).compile(6, small_edges, full_circuit=True)
     small_reference = qaoa_maxcut_circuit(6, small_edges, gamma=GAMMA, beta=BETA)
-    ok = verify_schedule_equivalence(small_reference, small, seed=3)
-    print(f"6-vertex statevector verification: {'PASSED' if ok else 'FAILED'}")
+    try:
+        verify_schedule_equivalence(small_reference, small, seed=3)
+    except VerificationError as error:
+        print(f"6-vertex statevector verification: FAILED ({error})")
+    else:
+        print("6-vertex statevector verification: PASSED")
 
 
 if __name__ == "__main__":

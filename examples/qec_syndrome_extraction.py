@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro import QPilotCompiler
 from repro.baselines import BaselineTranspiler, SabreOptions
 from repro.hardware import square_fixed_atom_array
+from repro.exceptions import VerificationError
 from repro.sim import verify_schedule_equivalence
 from repro.utils.reporting import format_table
 from repro.workloads import (
@@ -55,8 +56,12 @@ def main() -> None:
     # verification on a small repetition-code instance
     small = syndrome_extraction_circuit(repetition_code_stabilizers(3), 3, measure=False)
     schedule = compiler.compile_circuit(small).schedule
-    ok = verify_schedule_equivalence(small, schedule, seed=9)
-    print(f"repetition-code round statevector verification: {'PASSED' if ok else 'FAILED'}")
+    try:
+        verify_schedule_equivalence(small, schedule, seed=9)
+    except VerificationError as error:
+        print(f"repetition-code round statevector verification: FAILED ({error})")
+    else:
+        print("repetition-code round statevector verification: PASSED")
 
 
 if __name__ == "__main__":

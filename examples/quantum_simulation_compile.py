@@ -17,6 +17,7 @@ from repro import QPilotCompiler, random_pauli_strings, trotter_circuit
 from repro.baselines import BaselineTranspiler, SabreOptions
 from repro.core import GenericRouter, fanout_depth
 from repro.hardware import FPQAConfig, square_fixed_atom_array
+from repro.exceptions import VerificationError
 from repro.sim import verify_schedule_equivalence
 from repro.utils.reporting import format_table
 
@@ -81,8 +82,12 @@ def main() -> None:
     small_strings = random_pauli_strings(5, 4, 0.5, seed=11)
     small = compiler.compile_pauli_strings(small_strings)
     reference = trotter_circuit(small_strings, 5)
-    ok = verify_schedule_equivalence(reference, small.schedule, seed=2)
-    print(f"5-qubit statevector verification: {'PASSED' if ok else 'FAILED'}")
+    try:
+        verify_schedule_equivalence(reference, small.schedule, seed=2)
+    except VerificationError as error:
+        print(f"5-qubit statevector verification: FAILED ({error})")
+    else:
+        print("5-qubit statevector verification: PASSED")
 
 
 if __name__ == "__main__":

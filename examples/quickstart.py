@@ -17,6 +17,7 @@ from repro import QPilotCompiler, QuantumCircuit
 from repro.baselines import BaselineTranspiler, SabreOptions
 from repro.core.schedule import MovementStage, OneQubitStage, RydbergStage
 from repro.hardware import square_fixed_atom_array
+from repro.exceptions import VerificationError
 from repro.sim import verify_schedule_equivalence
 from repro.utils.reporting import format_table
 
@@ -78,8 +79,12 @@ def main() -> None:
     print("\n" + format_table(rows, title="Q-Pilot vs fixed-atom-array baseline"))
 
     # --- verify the schedule semantically ------------------------------------
-    ok = verify_schedule_equivalence(circuit, result.schedule, seed=1)
-    print(f"statevector verification: {'PASSED' if ok else 'FAILED'}")
+    try:
+        verify_schedule_equivalence(circuit, result.schedule, seed=1)
+    except VerificationError as error:
+        print(f"statevector verification: FAILED ({error})")
+    else:
+        print("statevector verification: PASSED")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,12 @@ of the problem graph.  Q-Pilot compiles it as follows:
 Because every gate between creation and recycling is diagonal, the ancilla
 copies stay valid for the whole cost layer, so the total 2-qubit cost is
 ``2·n + |E|`` gates in ``2 + #stages`` layers.
+
+The stage planner itself (step 2) lives in
+:mod:`repro.core.stage_planner`: this router drives the incremental
+:class:`~repro.core.stage_planner.QAOAStagePlanner`, whose stages are
+differentially tested against the seed full-rescan oracle
+:func:`~repro.core.stage_planner.reference_plan_stage`.
 """
 
 from __future__ import annotations
@@ -41,8 +47,11 @@ from repro.core.schedule import (
     aod,
     slm,
 )
-from repro.exceptions import RoutingError, WorkloadError
+from repro.core.stage_planner import QAOAStagePlanner, StagePlan
+from repro.exceptions import WorkloadError
 from repro.hardware.fpqa import FPQAConfig, SLMArray
+
+__all__ = ["QAOARouter", "QAOARouterOptions", "StagePlan", "route_qaoa"]
 
 
 @dataclass
@@ -62,18 +71,6 @@ class QAOARouterOptions:
     #: a few trials noticeably increase per-stage parallelism at negligible
     #: compile-time cost.
     seed_trials: int = 4
-
-
-@dataclass
-class StagePlan:
-    """One Rydberg stage chosen by the greedy matcher."""
-
-    #: Edges executed in this stage, keyed by (ancilla data qubit, SLM qubit).
-    pairs: list[tuple[int, int]]
-    #: AOD column index -> SLM column it is parked over.
-    column_map: dict[int, int]
-    #: AOD row index -> SLM row it is parked over.
-    row_map: dict[int, int]
 
 
 class QAOARouter:
@@ -185,13 +182,12 @@ class QAOARouter:
             q: tuple(map(float, array.position(q))) for q in range(num_qubits)
         }
 
-        # 2. greedy stage construction
-        remaining = set(edges)
+        # 2. greedy stage construction via the shared incremental planner
+        planner = QAOAStagePlanner(array, edges, seed_trials=self.options.seed_trials)
         plans: list[StagePlan] = []
-        while remaining:
-            plan = self._plan_best_stage(remaining, array, num_qubits)
-            if not plan.pairs:
-                raise RoutingError("QAOA stage planner failed to schedule any edge")
+        while planner:
+            plan = planner.plan_best_stage()
+            planner.commit(plan)
             moves = []
             gates = []
             for ancilla_qubit, target_qubit in plan.pairs:
@@ -203,8 +199,6 @@ class QAOARouter:
                 gates.append(
                     ScheduledGate("rzz", (aod(ancilla_qubit), slm(target_qubit)), (gamma,))
                 )
-                edge = (min(ancilla_qubit, target_qubit), max(ancilla_qubit, target_qubit))
-                remaining.discard(edge)
             stage_no = len(plans)
             schedule.append(
                 MovementStage(step=MovementStep(moves=moves), label=f"{label}:move{stage_no}")
@@ -226,195 +220,6 @@ class QAOARouter:
             AncillaRecycleStage(copies=creation, uses_atom_transfer=True, label=f"{label}:recycle")
         )
         return plans
-
-    # ------------------------------------------------------------------
-    # stage planner (the greedy matcher of Alg. 3)
-    # ------------------------------------------------------------------
-    def _plan_best_stage(
-        self, remaining: set[tuple[int, int]], array: SLMArray, num_qubits: int
-    ) -> StagePlan:
-        """Plan one stage, trying a few seed edges and keeping the densest plan.
-
-        The first candidate is always the smallest remaining edge (the
-        paper's choice); further candidates are the smallest edges whose
-        first endpoint lies in a different SLM row, which explores seeds the
-        smallest-index rule would starve.
-        """
-        ordered = sorted(remaining)
-        seeds: list[tuple[int, int]] = [ordered[0]]
-        seen_rows = {array.row_of(ordered[0][0])}
-        for edge in ordered[1:]:
-            if len(seeds) >= max(1, self.options.seed_trials):
-                break
-            row = array.row_of(edge[0])
-            if row not in seen_rows:
-                seeds.append(edge)
-                seen_rows.add(row)
-        best: StagePlan | None = None
-        for seed in seeds:
-            plan = self._plan_stage(remaining, array, num_qubits, seed=seed)
-            if best is None or len(plan.pairs) > len(best.pairs):
-                best = plan
-        assert best is not None
-        return best
-
-    def _plan_stage(
-        self,
-        remaining: set[tuple[int, int]],
-        array: SLMArray,
-        num_qubits: int,
-        *,
-        seed: tuple[int, int] | None = None,
-    ) -> StagePlan:
-        """Plan one Rydberg stage of Alg. 3.
-
-        The planner pins AOD rows to SLM rows and AOD columns to SLM columns
-        greedily:
-
-        1. the seed edge (smallest unexecuted edge) pins its ancilla's row and
-           column onto its partner qubit;
-        2. additional columns are pinned whenever an unexecuted edge connects
-           an ancilla in an already-placed row to a qubit in that row's target
-           SLM row, provided the column order stays monotone and every cross
-           the new column forms with the placed rows is either empty or an
-           unexecuted edge (which then also executes in this stage);
-        3. the remaining AOD rows are swept outward from the seed row; each is
-           placed at the legal SLM row that realises the most additional
-           edges, or parked between rows if no legal placement exists.  After
-           a row is placed, step 2 runs again because the new row may enable
-           more column pins.
-
-        Crosses that would re-execute an already-scheduled edge or touch a
-        non-edge pair are unintended interactions and make a placement
-        illegal, exactly as the paper requires.
-        """
-        seed = min(remaining) if seed is None else seed
-        seed_src, seed_dst = seed
-        seed_row = array.row_of(seed_src)
-
-        row_map: dict[int, int] = {seed_row: array.row_of(seed_dst)}
-        column_map: dict[int, int] = {array.col_of(seed_src): array.col_of(seed_dst)}
-        pairs: list[tuple[int, int]] = [(seed_src, seed_dst)]
-        scheduled: set[tuple[int, int]] = {seed}
-
-        def cross_outcome(aod_row: int, slm_row: int, src_col: int, dst_col: int):
-            """None (no interaction), "illegal", or the (ancilla, site) pair."""
-            ancilla_qubit = array.qubit_at(aod_row, src_col)
-            site_qubit = array.qubit_at(slm_row, dst_col)
-            if ancilla_qubit is None or site_qubit is None:
-                return None
-            if ancilla_qubit == site_qubit:
-                return "illegal"
-            edge = (min(ancilla_qubit, site_qubit), max(ancilla_qubit, site_qubit))
-            if edge in scheduled or edge not in remaining:
-                return "illegal"
-            return (ancilla_qubit, site_qubit)
-
-        def commit(new_pairs: list[tuple[int, int]]) -> None:
-            for src, dst in new_pairs:
-                pairs.append((src, dst))
-                scheduled.add((min(src, dst), max(src, dst)))
-
-        def try_pin_column(src_col: int, dst_col: int) -> list[tuple[int, int]] | None:
-            """Pairs gained by pinning a column, or None if illegal."""
-            if src_col in column_map or dst_col in column_map.values():
-                return None
-            if not self._column_order_ok(column_map, src_col, dst_col):
-                return None
-            new_pairs: list[tuple[int, int]] = []
-            seen: set[tuple[int, int]] = set()
-            for aod_row, slm_row in row_map.items():
-                outcome = cross_outcome(aod_row, slm_row, src_col, dst_col)
-                if outcome is None:
-                    continue
-                if outcome == "illegal":
-                    return None
-                edge = (min(outcome), max(outcome))
-                if edge in seen:
-                    return None
-                seen.add(edge)
-                new_pairs.append(outcome)
-            return new_pairs
-
-        def pin_columns() -> None:
-            """Pin new columns enabled by the currently placed rows."""
-            progress = True
-            while progress and len(column_map) < array.cols:
-                progress = False
-                for edge in sorted(remaining - scheduled):
-                    for src, dst in (edge, edge[::-1]):
-                        aod_row = array.row_of(src)
-                        if aod_row not in row_map or array.row_of(dst) != row_map[aod_row]:
-                            continue
-                        gained = try_pin_column(array.col_of(src), array.col_of(dst))
-                        if not gained:
-                            continue
-                        column_map[array.col_of(src)] = array.col_of(dst)
-                        commit(gained)
-                        progress = True
-                        break
-                    if progress:
-                        break
-
-        def best_row_placement(aod_row: int, candidates) -> tuple[int, list[tuple[int, int]]] | None:
-            best: tuple[int, list[tuple[int, int]]] | None = None
-            for slm_row in candidates:
-                row_pairs: list[tuple[int, int]] = []
-                seen: set[tuple[int, int]] = set()
-                legal = True
-                for src_col, dst_col in column_map.items():
-                    outcome = cross_outcome(aod_row, slm_row, src_col, dst_col)
-                    if outcome is None:
-                        continue
-                    if outcome == "illegal":
-                        legal = False
-                        break
-                    edge = (min(outcome), max(outcome))
-                    if edge in seen:
-                        legal = False
-                        break
-                    seen.add(edge)
-                    row_pairs.append(outcome)
-                if not legal or not row_pairs:
-                    continue
-                if best is None or len(row_pairs) > len(best[1]):
-                    best = (slm_row, row_pairs)
-            return best
-
-        pin_columns()
-
-        # sweep rows below the seed row downward, then rows above it upward
-        last_lower_y = row_map[seed_row]
-        for row in range(seed_row + 1, array.rows):
-            placement = best_row_placement(row, range(last_lower_y + 1, array.rows))
-            if placement is None:
-                continue
-            slm_row, row_pairs = placement
-            row_map[row] = slm_row
-            last_lower_y = slm_row
-            commit(row_pairs)
-            pin_columns()
-        last_upper_y = row_map[seed_row]
-        for row in range(seed_row - 1, -1, -1):
-            placement = best_row_placement(row, range(last_upper_y - 1, -1, -1))
-            if placement is None:
-                continue
-            slm_row, row_pairs = placement
-            row_map[row] = slm_row
-            last_upper_y = slm_row
-            commit(row_pairs)
-            pin_columns()
-
-        return StagePlan(pairs=pairs, column_map=column_map, row_map=row_map)
-
-    @staticmethod
-    def _column_order_ok(column_map: dict[int, int], new_src: int, new_dst: int) -> bool:
-        """Adding ``new_src -> new_dst`` must keep the column mapping monotone."""
-        for src, dst in column_map.items():
-            if (src < new_src and dst >= new_dst) or (src > new_src and dst <= new_dst):
-                return False
-        return True
-
 
 def route_qaoa(
     num_qubits: int,

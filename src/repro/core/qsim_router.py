@@ -22,6 +22,11 @@ mirrored CNOTs.  On the FPQA this is compiled with flying ancillas:
 
 Ancillas persist across the longest-path stages of one block, which is the
 saving over the generic router the paper highlights.
+
+The monotone-chain stage extraction (:class:`CompatibilityGraph`,
+:func:`longest_path_stages`) lives in the shared
+:mod:`repro.core.stage_planner` kernel and is re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
@@ -29,10 +34,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.circuit.pauli import PauliString
 from repro.core.movement import AtomMove, MovementStep
+from repro.core.stage_planner import CompatibilityGraph, longest_path_stages
 from repro.core.schedule import (
     AncillaCreationStage,
     AncillaRecycleStage,
@@ -44,8 +50,19 @@ from repro.core.schedule import (
     aod,
     slm,
 )
-from repro.exceptions import RoutingError, WorkloadError
+from repro.exceptions import WorkloadError
 from repro.hardware.fpqa import FPQAConfig, SLMArray
+
+__all__ = [
+    "CompatibilityGraph",
+    "QSimRouter",
+    "QSimRouterOptions",
+    "estimated_string_depth",
+    "fanout_depth",
+    "fanout_layer_sizes",
+    "longest_path_stages",
+    "route_pauli_strings",
+]
 
 
 @dataclass
@@ -94,75 +111,6 @@ def fanout_layer_sizes(num_copies: int, progression: Sequence[int] = (1, 2, 4, 6
 def fanout_depth(num_copies: int, progression: Sequence[int] = (1, 2, 4, 6, 8)) -> int:
     """Number of parallel CNOT layers needed to create ``num_copies`` copies."""
     return len(fanout_layer_sizes(num_copies, progression))
-
-
-class CompatibilityGraph:
-    """Directed compatibility graph of Alg. 2.
-
-    Vertices are the string's non-root support qubits; there is an edge
-    ``a -> b`` when ``b``'s SLM position is in ``a``'s lower-right quadrant
-    (row and column both >=).  A directed path is a monotone chain that a
-    diagonal of AOD ancillas can serve in a single Rydberg stage.
-    """
-
-    def __init__(self, array: SLMArray, qubits: Iterable[int]):
-        self.array = array
-        self.nodes: list[int] = sorted(set(qubits))
-        self._positions = {q: array.position(q) for q in self.nodes}
-
-    def successors(self, qubit: int) -> list[int]:
-        row, col = self._positions[qubit]
-        return [
-            other
-            for other in self.nodes
-            if other != qubit
-            and self._positions[other][0] >= row
-            and self._positions[other][1] >= col
-        ]
-
-    def longest_path(self) -> list[int]:
-        """Longest monotone chain, via DP over nodes sorted by (row, col).
-
-        Ties are broken towards smaller qubit indices for determinism.
-        """
-        if not self.nodes:
-            return []
-        order = sorted(self.nodes, key=lambda q: (self._positions[q], q))
-        best_length: dict[int, int] = {}
-        best_next: dict[int, int | None] = {}
-        # process in reverse topological order (monotone coordinates)
-        for qubit in reversed(order):
-            best_length[qubit] = 1
-            best_next[qubit] = None
-            for successor in self.successors(qubit):
-                if best_length.get(successor, 0) + 1 > best_length[qubit]:
-                    best_length[qubit] = best_length[successor] + 1
-                    best_next[qubit] = successor
-        start = max(order, key=lambda q: (best_length[q], -q))
-        path = [start]
-        while best_next[path[-1]] is not None:
-            path.append(best_next[path[-1]])
-        return path
-
-    def remove(self, qubits: Iterable[int]) -> None:
-        removed = set(qubits)
-        self.nodes = [q for q in self.nodes if q not in removed]
-
-    def __bool__(self) -> bool:
-        return bool(self.nodes)
-
-
-def longest_path_stages(array: SLMArray, qubits: Sequence[int]) -> list[list[int]]:
-    """Partition the target qubits into longest-path stages (Alg. 2 loop)."""
-    graph = CompatibilityGraph(array, qubits)
-    stages: list[list[int]] = []
-    while graph:
-        path = graph.longest_path()
-        if not path:
-            raise RoutingError("longest-path extraction returned an empty path")
-        stages.append(path)
-        graph.remove(path)
-    return stages
 
 
 class QSimRouter:

@@ -1,0 +1,622 @@
+"""Shared stage-planning kernel for the specialised Q-Pilot routers.
+
+Both specialised routers ultimately answer the same question — *which
+two-qubit interactions can one AOD movement serve in a single Rydberg
+stage?* — but until this module existed each router answered it with its
+own inline code:
+
+* the QAOA router (Alg. 3) grew each stage with an edge-matching /
+  row-sliding greedy loop that rescanned every remaining edge after each
+  successful column pin, an O(front²) planning pass that dominated the
+  100-qubit compile;
+* the quantum-simulation router (Alg. 2) partitioned a string's targets
+  into monotone chains with its own longest-path extraction.
+
+This module hosts both planners behind one geometry cache:
+
+:class:`ArrayGeometry`
+    Flattened row / column / occupancy lookup tables for an
+    :class:`~repro.hardware.fpqa.SLMArray` (the planners hit these lookups
+    millions of times per compile).
+:func:`reference_plan_stage` / :func:`reference_plan_best_stage`
+    The seed QAOA planner, kept verbatim as the oracle the differential
+    tests compare against.
+:class:`QAOAStagePlanner`
+    The incremental planner.  It precomputes, once per cost layer, an
+    orientation index mapping each (AOD row, SLM row) pair to the edges
+    realisable when that row placement happens; during a stage plan each
+    candidate edge is then evaluated exactly once — when its row pair is
+    placed — because every failure mode of a column pin is *sticky* (the
+    pin map, the scheduled set and the row map only grow, so a rejected
+    candidate can never become acceptable later in the same stage).
+    Column pins live in a :class:`~repro.hardware.constraints.MonotonePinMap`
+    (bisected sorted structure, O(log k) legality checks) and committing a
+    stage removes only the executed edges, amortised O(k), instead of
+    re-deriving the candidate universe from scratch.  The produced stages
+    are identical to the reference planner's (same executed-edge set per
+    stage); only the in-stage gate emission order may differ, which is
+    irrelevant because all gates of a stage commute.
+:class:`CompatibilityGraph` / :func:`longest_path_stages`
+    The monotone-chain stage extraction of Alg. 2, relocated from the
+    quantum-simulation router so both routers draw their stage structure
+    from one kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.qaoa import normalise_edges
+from repro.exceptions import RoutingError, WorkloadError
+from repro.hardware.constraints import MonotonePinMap
+from repro.hardware.fpqa import SLMArray
+
+#: Sentinel for "this crossing would touch a non-edge or re-execute an edge".
+_ILLEGAL = object()
+
+
+class ArrayGeometry:
+    """Plain-list cache of an SLM array's qubit geometry.
+
+    ``SLMArray.position`` bounds-checks and divmods on every call; the
+    planners look coordinates up once per candidate crossing, so a compile
+    performs millions of lookups.  This cache turns each one into a list
+    index.
+    """
+
+    __slots__ = ("array", "rows", "cols", "num_qubits", "row", "col", "qubit_at")
+
+    def __init__(self, array: SLMArray):
+        self.array = array
+        self.rows = array.rows
+        self.cols = array.cols
+        self.num_qubits = array.num_qubits
+        positions = [array.position(q) for q in range(self.num_qubits)]
+        self.row = [r for r, _ in positions]
+        self.col = [c for _, c in positions]
+        self.qubit_at: list[list[int | None]] = [
+            [array.qubit_at(r, c) for c in range(self.cols)] for r in range(self.rows)
+        ]
+
+
+@dataclass
+class StagePlan:
+    """One Rydberg stage chosen by the greedy matcher."""
+
+    #: Edges executed in this stage, keyed by (ancilla data qubit, SLM qubit).
+    pairs: list[tuple[int, int]]
+    #: AOD column index -> SLM column it is parked over.
+    column_map: dict[int, int]
+    #: AOD row index -> SLM row it is parked over.
+    row_map: dict[int, int]
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """The executed edges in canonical (min, max) form."""
+        return {(a, b) if a < b else (b, a) for a, b in self.pairs}
+
+
+# ----------------------------------------------------------------------
+# reference planner (the seed implementation, kept as the oracle)
+# ----------------------------------------------------------------------
+def column_order_ok(column_map: dict[int, int], new_src: int, new_dst: int) -> bool:
+    """Adding ``new_src -> new_dst`` must keep the column mapping monotone."""
+    for src, dst in column_map.items():
+        if (src < new_src and dst >= new_dst) or (src > new_src and dst <= new_dst):
+            return False
+    return True
+
+
+def reference_plan_stage(
+    remaining: set[tuple[int, int]],
+    array: SLMArray,
+    *,
+    seed: tuple[int, int] | None = None,
+) -> StagePlan:
+    """Plan one Rydberg stage of Alg. 3 (full-rescan reference planner).
+
+    This is the seed implementation, preserved verbatim as the oracle for
+    the incremental planner's differential tests.  The planner pins AOD
+    rows to SLM rows and AOD columns to SLM columns greedily:
+
+    1. the seed edge (smallest unexecuted edge) pins its ancilla's row and
+       column onto its partner qubit;
+    2. additional columns are pinned whenever an unexecuted edge connects
+       an ancilla in an already-placed row to a qubit in that row's target
+       SLM row, provided the column order stays monotone and every cross
+       the new column forms with the placed rows is either empty or an
+       unexecuted edge (which then also executes in this stage);
+    3. the remaining AOD rows are swept outward from the seed row; each is
+       placed at the legal SLM row that realises the most additional
+       edges, or parked between rows if no legal placement exists.  After
+       a row is placed, step 2 runs again because the new row may enable
+       more column pins.
+
+    Crosses that would re-execute an already-scheduled edge or touch a
+    non-edge pair are unintended interactions and make a placement
+    illegal, exactly as the paper requires.
+    """
+    seed = min(remaining) if seed is None else seed
+    seed_src, seed_dst = seed
+    seed_row = array.row_of(seed_src)
+
+    row_map: dict[int, int] = {seed_row: array.row_of(seed_dst)}
+    column_map: dict[int, int] = {array.col_of(seed_src): array.col_of(seed_dst)}
+    pairs: list[tuple[int, int]] = [(seed_src, seed_dst)]
+    scheduled: set[tuple[int, int]] = {seed}
+
+    def cross_outcome(aod_row: int, slm_row: int, src_col: int, dst_col: int):
+        """None (no interaction), "illegal", or the (ancilla, site) pair."""
+        ancilla_qubit = array.qubit_at(aod_row, src_col)
+        site_qubit = array.qubit_at(slm_row, dst_col)
+        if ancilla_qubit is None or site_qubit is None:
+            return None
+        if ancilla_qubit == site_qubit:
+            return "illegal"
+        edge = (min(ancilla_qubit, site_qubit), max(ancilla_qubit, site_qubit))
+        if edge in scheduled or edge not in remaining:
+            return "illegal"
+        return (ancilla_qubit, site_qubit)
+
+    def commit(new_pairs: list[tuple[int, int]]) -> None:
+        for src, dst in new_pairs:
+            pairs.append((src, dst))
+            scheduled.add((min(src, dst), max(src, dst)))
+
+    def try_pin_column(src_col: int, dst_col: int) -> list[tuple[int, int]] | None:
+        """Pairs gained by pinning a column, or None if illegal."""
+        if src_col in column_map or dst_col in column_map.values():
+            return None
+        if not column_order_ok(column_map, src_col, dst_col):
+            return None
+        new_pairs: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for aod_row, slm_row in row_map.items():
+            outcome = cross_outcome(aod_row, slm_row, src_col, dst_col)
+            if outcome is None:
+                continue
+            if outcome == "illegal":
+                return None
+            edge = (min(outcome), max(outcome))
+            if edge in seen:
+                return None
+            seen.add(edge)
+            new_pairs.append(outcome)
+        return new_pairs
+
+    def pin_columns() -> None:
+        """Pin new columns enabled by the currently placed rows."""
+        progress = True
+        while progress and len(column_map) < array.cols:
+            progress = False
+            for edge in sorted(remaining - scheduled):
+                for src, dst in (edge, edge[::-1]):
+                    aod_row = array.row_of(src)
+                    if aod_row not in row_map or array.row_of(dst) != row_map[aod_row]:
+                        continue
+                    gained = try_pin_column(array.col_of(src), array.col_of(dst))
+                    if not gained:
+                        continue
+                    column_map[array.col_of(src)] = array.col_of(dst)
+                    commit(gained)
+                    progress = True
+                    break
+                if progress:
+                    break
+
+    def best_row_placement(aod_row: int, candidates) -> tuple[int, list[tuple[int, int]]] | None:
+        best: tuple[int, list[tuple[int, int]]] | None = None
+        for slm_row in candidates:
+            row_pairs: list[tuple[int, int]] = []
+            seen: set[tuple[int, int]] = set()
+            legal = True
+            for src_col, dst_col in column_map.items():
+                outcome = cross_outcome(aod_row, slm_row, src_col, dst_col)
+                if outcome is None:
+                    continue
+                if outcome == "illegal":
+                    legal = False
+                    break
+                edge = (min(outcome), max(outcome))
+                if edge in seen:
+                    legal = False
+                    break
+                seen.add(edge)
+                row_pairs.append(outcome)
+            if not legal or not row_pairs:
+                continue
+            if best is None or len(row_pairs) > len(best[1]):
+                best = (slm_row, row_pairs)
+        return best
+
+    pin_columns()
+
+    # sweep rows below the seed row downward, then rows above it upward
+    last_lower_y = row_map[seed_row]
+    for row in range(seed_row + 1, array.rows):
+        placement = best_row_placement(row, range(last_lower_y + 1, array.rows))
+        if placement is None:
+            continue
+        slm_row, row_pairs = placement
+        row_map[row] = slm_row
+        last_lower_y = slm_row
+        commit(row_pairs)
+        pin_columns()
+    last_upper_y = row_map[seed_row]
+    for row in range(seed_row - 1, -1, -1):
+        placement = best_row_placement(row, range(last_upper_y - 1, -1, -1))
+        if placement is None:
+            continue
+        slm_row, row_pairs = placement
+        row_map[row] = slm_row
+        last_upper_y = slm_row
+        commit(row_pairs)
+        pin_columns()
+
+    return StagePlan(pairs=pairs, column_map=column_map, row_map=row_map)
+
+
+def select_seed_edges(
+    ordered_remaining: Iterable[tuple[int, int]],
+    row_of,
+    seed_trials: int,
+) -> list[tuple[int, int]]:
+    """Seed candidates for one stage: the smallest remaining edge plus the
+    smallest edges whose first endpoint lies in a not-yet-seen SLM row.
+
+    ``ordered_remaining`` yields the unexecuted edges in ascending order;
+    ``row_of`` maps a qubit index to its SLM row (callable or sequence).
+    """
+    lookup = row_of if callable(row_of) else row_of.__getitem__
+    iterator = iter(ordered_remaining)
+    first = next(iterator)
+    seeds = [first]
+    seen_rows = {lookup(first[0])}
+    for edge in iterator:
+        if len(seeds) >= max(1, seed_trials):
+            break
+        row = lookup(edge[0])
+        if row not in seen_rows:
+            seeds.append(edge)
+            seen_rows.add(row)
+    return seeds
+
+
+def reference_plan_best_stage(
+    remaining: set[tuple[int, int]],
+    array: SLMArray,
+    *,
+    seed_trials: int = 4,
+) -> StagePlan:
+    """Plan one stage with the reference planner, trying a few seed edges.
+
+    The first candidate is always the smallest remaining edge (the paper's
+    choice); further candidates are the smallest edges whose first endpoint
+    lies in a different SLM row, which explores seeds the smallest-index
+    rule would starve.  The plan realising the most edges wins (ties go to
+    the earlier seed).
+    """
+    seeds = select_seed_edges(sorted(remaining), array.row_of, seed_trials)
+    best: StagePlan | None = None
+    for seed in seeds:
+        plan = reference_plan_stage(remaining, array, seed=seed)
+        if best is None or len(plan.pairs) > len(best.pairs):
+            best = plan
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# incremental planner
+# ----------------------------------------------------------------------
+class QAOAStagePlanner:
+    """Incrementally plan the Rydberg stages of a commuting two-qubit layer.
+
+    The planner owns the remaining-edge state across stages:
+
+    * ``_remaining`` / ``_remaining_sorted`` — the unexecuted edges, as a
+      set plus a lazily compacted sorted list (executed edges are skipped
+      on read and swept out once they outnumber the live ones, so seed
+      selection needs no per-stage sort and commits trigger no per-edge
+      list shifts);
+    * ``_orient_index`` — for every (AOD row, SLM row) pair, the edge
+      orientations that become pin candidates when that row placement
+      happens, pre-sorted in the reference planner's scan order.  Entries
+      of executed edges are compacted away lazily, so a stage commit costs
+      amortised O(k) for k executed edges.
+
+    Within one stage plan, a candidate is evaluated exactly once — at the
+    moment its row pair is placed.  This is equivalent to the reference
+    planner's repeated full rescans because every rejection is sticky: the
+    column pin map, the scheduled set and the row map only grow during a
+    stage, and each of the reference's failure conditions is monotone in
+    those structures, while an *accepted* candidate always realises at
+    least its own edge (its own crossing is part of the gained set).
+    Among the ``seed_trials`` candidate seeds, the plan realising the most
+    edges wins, ties going to the earlier seed, exactly like the reference.
+    """
+
+    def __init__(
+        self,
+        array: SLMArray,
+        edges: Iterable[tuple[int, int]],
+        *,
+        seed_trials: int = 4,
+    ):
+        self.geometry = ArrayGeometry(array)
+        edge_list = normalise_edges(edges)
+        for a, b in edge_list:
+            if a < 0 or b >= self.geometry.num_qubits:
+                raise WorkloadError(
+                    f"edge ({a}, {b}) outside register of {self.geometry.num_qubits} qubits"
+                )
+        self.seed_trials = seed_trials
+        self._remaining: set[tuple[int, int]] = set(edge_list)
+        self._remaining_sorted: list[tuple[int, int]] = edge_list  # normalise_edges sorts
+        self._executed_count = 0  # dead entries still in _remaining_sorted
+        # (aod_row, slm_row) -> [(edge, src, dst), ...] in reference scan order:
+        # ascending edge, orientation (min, max) before (max, min).
+        row = self.geometry.row
+        self._orient_index: dict[tuple[int, int], list[tuple[tuple[int, int], int, int]]] = {}
+        for edge in edge_list:
+            a, b = edge
+            for src, dst in ((a, b), (b, a)):
+                self._orient_index.setdefault((row[src], row[dst]), []).append((edge, src, dst))
+
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self._remaining)
+
+    @property
+    def num_remaining(self) -> int:
+        return len(self._remaining)
+
+    @property
+    def remaining_edges(self) -> set[tuple[int, int]]:
+        return set(self._remaining)
+
+    # ------------------------------------------------------------------
+    def plan_best_stage(self) -> StagePlan:
+        """Plan (but do not commit) the densest stage over the remaining edges."""
+        if not self._remaining:
+            raise RoutingError("no edges remain to plan a stage for")
+        live_in_order = (e for e in self._remaining_sorted if e in self._remaining)
+        seeds = select_seed_edges(live_in_order, self.geometry.row, self.seed_trials)
+        best: StagePlan | None = None
+        for seed in seeds:
+            plan = self._plan_stage(seed)
+            if best is None or len(plan.pairs) > len(best.pairs):
+                best = plan
+        return best
+
+    def commit(self, plan: StagePlan) -> None:
+        """Mark a stage's edges as executed (amortised O(k) for k edges).
+
+        Executed edges stay in the sorted list as dead entries (readers
+        skip them) until they outnumber the live ones, at which point one
+        linear sweep compacts the list — O(E) total over a full layer.
+        """
+        executed = plan.edge_set()
+        foreign = executed - self._remaining
+        if foreign:
+            raise RoutingError(f"stage executes edges that are not remaining: {sorted(foreign)}")
+        self._remaining -= executed
+        self._executed_count += len(executed)
+        if self._executed_count > len(self._remaining):
+            self._remaining_sorted = [e for e in self._remaining_sorted if e in self._remaining]
+            self._executed_count = 0
+
+    def plan_stages(self) -> Iterator[StagePlan]:
+        """Plan, commit and yield stages until every edge is executed."""
+        while self._remaining:
+            plan = self.plan_best_stage()
+            self.commit(plan)
+            yield plan
+
+    # ------------------------------------------------------------------
+    def _plan_stage(self, seed: tuple[int, int]) -> StagePlan:
+        geometry = self.geometry
+        row, col, qubit_at = geometry.row, geometry.col, geometry.qubit_at
+        remaining = self._remaining
+        max_pins = geometry.cols
+
+        seed_src, seed_dst = seed
+        seed_row = row[seed_src]
+        row_map: dict[int, int] = {seed_row: row[seed_dst]}
+        pins = MonotonePinMap()
+        pins.pin(col[seed_src], col[seed_dst])
+        pairs: list[tuple[int, int]] = [(seed_src, seed_dst)]
+        scheduled: set[tuple[int, int]] = {seed}
+
+        def cross_outcome(aod_row: int, slm_row: int, src_col: int, dst_col: int):
+            ancilla = qubit_at[aod_row][src_col]
+            site = qubit_at[slm_row][dst_col]
+            if ancilla is None or site is None:
+                return None
+            if ancilla == site:
+                return _ILLEGAL
+            edge = (ancilla, site) if ancilla < site else (site, ancilla)
+            if edge in scheduled or edge not in remaining:
+                return _ILLEGAL
+            return (ancilla, site)
+
+        def commit_pairs(new_pairs: list[tuple[int, int]]) -> None:
+            for src, dst in new_pairs:
+                pairs.append((src, dst))
+                scheduled.add((src, dst) if src < dst else (dst, src))
+
+        def pin_columns_for(aod_row: int, slm_row: int) -> None:
+            """Evaluate the candidates activated by placing ``aod_row``.
+
+            Only edges with an ancilla in ``aod_row`` and a partner in its
+            target SLM row can be pinned, and every previously activated
+            candidate is sticky-resolved, so this one pass over the row
+            pair's orientation bucket replaces the reference planner's
+            rescan of all remaining edges.
+            """
+            bucket = self._orient_index.get((aod_row, slm_row))
+            if not bucket:
+                return
+            live = [entry for entry in bucket if entry[0] in remaining]
+            if len(live) != len(bucket):
+                # compact executed edges away so later stages skip them
+                if live:
+                    self._orient_index[(aod_row, slm_row)] = live
+                else:
+                    del self._orient_index[(aod_row, slm_row)]
+                    return
+            for edge, src, dst in live:
+                if len(pins) >= max_pins:
+                    break
+                if edge in scheduled:
+                    continue
+                src_col, dst_col = col[src], col[dst]
+                if not pins.can_pin(src_col, dst_col):
+                    continue
+                gained: list[tuple[int, int]] = []
+                seen: set[tuple[int, int]] = set()
+                legal = True
+                for placed_row, target_row in row_map.items():
+                    outcome = cross_outcome(placed_row, target_row, src_col, dst_col)
+                    if outcome is None:
+                        continue
+                    if outcome is _ILLEGAL:
+                        legal = False
+                        break
+                    a, b = outcome
+                    key = (a, b) if a < b else (b, a)
+                    if key in seen:
+                        legal = False
+                        break
+                    seen.add(key)
+                    gained.append(outcome)
+                if not legal or not gained:
+                    continue
+                pins.pin(src_col, dst_col)
+                commit_pairs(gained)
+
+        def best_row_placement(
+            aod_row: int, candidates
+        ) -> tuple[int, list[tuple[int, int]]] | None:
+            best: tuple[int, list[tuple[int, int]]] | None = None
+            for slm_row in candidates:
+                row_pairs: list[tuple[int, int]] = []
+                seen: set[tuple[int, int]] = set()
+                legal = True
+                for src_col, dst_col in pins.items():
+                    outcome = cross_outcome(aod_row, slm_row, src_col, dst_col)
+                    if outcome is None:
+                        continue
+                    if outcome is _ILLEGAL:
+                        legal = False
+                        break
+                    a, b = outcome
+                    key = (a, b) if a < b else (b, a)
+                    if key in seen:
+                        legal = False
+                        break
+                    seen.add(key)
+                    row_pairs.append(outcome)
+                if not legal or not row_pairs:
+                    continue
+                if best is None or len(row_pairs) > len(best[1]):
+                    best = (slm_row, row_pairs)
+            return best
+
+        pin_columns_for(seed_row, row_map[seed_row])
+
+        # sweep rows below the seed row downward, then rows above it upward
+        last_lower_y = row_map[seed_row]
+        for aod_row in range(seed_row + 1, geometry.rows):
+            placement = best_row_placement(aod_row, range(last_lower_y + 1, geometry.rows))
+            if placement is None:
+                continue
+            slm_row, row_pairs = placement
+            row_map[aod_row] = slm_row
+            last_lower_y = slm_row
+            commit_pairs(row_pairs)
+            pin_columns_for(aod_row, slm_row)
+        last_upper_y = row_map[seed_row]
+        for aod_row in range(seed_row - 1, -1, -1):
+            placement = best_row_placement(aod_row, range(last_upper_y - 1, -1, -1))
+            if placement is None:
+                continue
+            slm_row, row_pairs = placement
+            row_map[aod_row] = slm_row
+            last_upper_y = slm_row
+            commit_pairs(row_pairs)
+            pin_columns_for(aod_row, slm_row)
+
+        return StagePlan(pairs=pairs, column_map=pins.as_dict(), row_map=row_map)
+
+
+# ----------------------------------------------------------------------
+# monotone-chain stage extraction (Alg. 2, shared with the qsim router)
+# ----------------------------------------------------------------------
+class CompatibilityGraph:
+    """Directed compatibility graph of Alg. 2.
+
+    Vertices are the string's non-root support qubits; there is an edge
+    ``a -> b`` when ``b``'s SLM position is in ``a``'s lower-right quadrant
+    (row and column both >=).  A directed path is a monotone chain that a
+    diagonal of AOD ancillas can serve in a single Rydberg stage.
+    """
+
+    def __init__(self, array: SLMArray, qubits: Iterable[int]):
+        self.array = array
+        self.nodes: list[int] = sorted(set(qubits))
+        self._positions = {q: array.position(q) for q in self.nodes}
+
+    def successors(self, qubit: int) -> list[int]:
+        row, col = self._positions[qubit]
+        return [
+            other
+            for other in self.nodes
+            if other != qubit
+            and self._positions[other][0] >= row
+            and self._positions[other][1] >= col
+        ]
+
+    def longest_path(self) -> list[int]:
+        """Longest monotone chain, via DP over nodes sorted by (row, col).
+
+        Ties are broken towards smaller qubit indices for determinism.
+        """
+        if not self.nodes:
+            return []
+        order = sorted(self.nodes, key=lambda q: (self._positions[q], q))
+        best_length: dict[int, int] = {}
+        best_next: dict[int, int | None] = {}
+        # process in reverse topological order (monotone coordinates)
+        for qubit in reversed(order):
+            best_length[qubit] = 1
+            best_next[qubit] = None
+            for successor in self.successors(qubit):
+                if best_length.get(successor, 0) + 1 > best_length[qubit]:
+                    best_length[qubit] = best_length[successor] + 1
+                    best_next[qubit] = successor
+        start = max(order, key=lambda q: (best_length[q], -q))
+        path = [start]
+        while best_next[path[-1]] is not None:
+            path.append(best_next[path[-1]])
+        return path
+
+    def remove(self, qubits: Iterable[int]) -> None:
+        removed = set(qubits)
+        self.nodes = [q for q in self.nodes if q not in removed]
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+
+def longest_path_stages(array: SLMArray, qubits: Sequence[int]) -> list[list[int]]:
+    """Partition the target qubits into longest-path stages (Alg. 2 loop)."""
+    graph = CompatibilityGraph(array, qubits)
+    stages: list[list[int]] = []
+    while graph:
+        path = graph.longest_path()
+        if not path:
+            raise RoutingError("longest-path extraction returned an empty path")
+        stages.append(path)
+        graph.remove(path)
+    return stages

@@ -2,6 +2,7 @@
 
 from repro.hardware.constraints import (
     GatePlacement,
+    MonotonePinMap,
     assign_aod_crosses,
     check_no_unintended_interactions,
     greedy_legal_subset,
@@ -41,6 +42,7 @@ __all__ = [
     "SLMArray",
     "AODGrid",
     "GatePlacement",
+    "MonotonePinMap",
     "placement_for_gate",
     "pair_is_compatible",
     "subset_is_legal",

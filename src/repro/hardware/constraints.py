@@ -181,6 +181,68 @@ class _MonotoneOrderIndex:
             self._max_target[source] = target
 
 
+class MonotonePinMap:
+    """Strictly increasing source->target pin assignment with bisected checks.
+
+    The QAOA stage planner pins AOD columns onto SLM columns; the hardware
+    constraint is that the pinned mapping must be strictly increasing
+    (AOD columns move as rigid lines and may neither cross nor merge).
+    Pins are kept in parallel sorted lists so a candidate pin is validated
+    against its two bisected neighbours in O(log k) instead of against
+    every existing pin — the same idea as :class:`_MonotoneOrderIndex`,
+    but for a strict bijective mapping.
+    """
+
+    __slots__ = ("_sources", "_targets", "_mapping")
+
+    def __init__(self) -> None:
+        self._sources: list[int] = []
+        self._targets: list[int] = []
+        self._mapping: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __contains__(self, source: int) -> bool:
+        return source in self._mapping
+
+    def target_of(self, source: int) -> int:
+        return self._mapping[source]
+
+    def can_pin(self, source: int, target: int) -> bool:
+        """True if adding ``source -> target`` keeps the map strictly monotone.
+
+        Rejects re-pinning an existing source, re-using an existing target,
+        and any pin that would reverse the order of the mapped lines.
+        """
+        pos = bisect_left(self._sources, source)
+        if pos < len(self._sources) and self._sources[pos] == source:
+            return False
+        if pos > 0 and self._targets[pos - 1] >= target:
+            return False
+        if pos < len(self._sources) and self._targets[pos] <= target:
+            return False
+        return True
+
+    def pin(self, source: int, target: int) -> None:
+        """Add a pin; raises :class:`RoutingError` if it would cross."""
+        if not self.can_pin(source, target):
+            raise RoutingError(
+                f"pin {source} -> {target} would cross or collide with an existing AOD column pin"
+            )
+        pos = bisect_left(self._sources, source)
+        self._sources.insert(pos, source)
+        self._targets.insert(pos, target)
+        self._mapping[source] = target
+
+    def items(self):
+        """(source, target) pairs in increasing source order."""
+        return zip(self._sources, self._targets)
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._mapping)
+
+
 def greedy_legal_subset(placements: Sequence[GatePlacement]) -> list[GatePlacement]:
     """Greedily grow a legal subset in the given candidate order (Alg. 1).
 

@@ -9,6 +9,7 @@ from repro.sim.statevector import (
 from repro.sim.verification import (
     ancilla_routed_cz_gates,
     expand_schedule_to_circuit,
+    first_amplitude_mismatch,
     verify_cz_routing_theorem,
     verify_schedule_equivalence,
 )
@@ -21,5 +22,6 @@ __all__ = [
     "verify_cz_routing_theorem",
     "ancilla_routed_cz_gates",
     "expand_schedule_to_circuit",
+    "first_amplitude_mismatch",
     "verify_schedule_equivalence",
 ]

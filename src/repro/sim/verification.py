@@ -125,6 +125,25 @@ def expand_schedule_to_circuit(schedule, num_data: int, num_ancilla: int) -> Qua
     return circuit
 
 
+def first_amplitude_mismatch(
+    expected: np.ndarray, actual: np.ndarray, *, atol: float = 1e-7
+) -> int | None:
+    """Index of the first amplitude where two states differ, or None.
+
+    The comparison is insensitive to a global phase: ``actual`` is rotated
+    by the overlap phase (the least-squares optimal global-phase alignment)
+    before the pointwise diff.  Returns the smallest basis-state index
+    whose amplitudes differ by more than ``atol`` (in absolute value).
+    """
+    overlap = np.vdot(expected, actual)
+    phase = overlap / abs(overlap) if abs(overlap) > atol else 1.0
+    deviation = np.abs(actual - phase * expected)
+    mismatched = np.flatnonzero(deviation > atol)
+    if mismatched.size == 0:
+        return None
+    return int(mismatched[0])
+
+
 def verify_schedule_equivalence(
     original: QuantumCircuit,
     schedule,
@@ -139,6 +158,12 @@ def verify_schedule_equivalence(
     applied to a random data state with ancillas in |0>, and compared to the
     original circuit's action on the data qubits.  All ancillas must return
     to |0> (disentangled) at the end.
+
+    Returns True when the schedule is equivalent.  Any mismatch raises
+    :class:`VerificationError` — an entangled ancilla, a data block that
+    lost norm, or a unitary mismatch, in which case the error message (and
+    its ``mismatch_index`` attribute) pins the first basis-state index
+    whose amplitude disagrees with the original circuit's.
     """
     num_data = original.num_qubits
     ancillas = num_ancilla if num_ancilla is not None else schedule.max_ancillas_used()
@@ -164,4 +189,15 @@ def verify_schedule_equivalence(
     if norm < 1 - 1e-6:
         raise VerificationError(f"data block lost norm: {norm}")
     overlap = abs(np.vdot(expected.data, data_block))
-    return bool(abs(overlap - 1.0) < atol)
+    if abs(overlap - 1.0) >= atol:
+        index = first_amplitude_mismatch(expected.data, data_block, atol=atol)
+        if index is None:  # pragma: no cover - overlap deviation implies a mismatch
+            index = int(np.argmax(np.abs(data_block - expected.data)))
+        error = VerificationError(
+            f"schedule does not implement the original circuit "
+            f"(overlap {overlap:.6f}): first mismatching amplitude at index {index} "
+            f"(basis state |{index:0{num_data}b}>)"
+        )
+        error.mismatch_index = index
+        raise error
+    return True

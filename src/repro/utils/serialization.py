@@ -30,6 +30,10 @@ from repro.hardware.fpqa import FPQAConfig
 
 _SCHEMA_VERSION = 1
 
+#: Metadata keys that vary run-to-run (wall-clock timings) and are dropped
+#: from canonical serialisations so golden files stay byte-stable.
+VOLATILE_METADATA_KEYS = frozenset({"compile_time_s"})
+
 
 def _gate_to_dict(gate: ScheduledGate) -> dict[str, Any]:
     return {
@@ -129,15 +133,24 @@ def config_to_dict(config: FPQAConfig) -> dict[str, Any]:
     }
 
 
-def schedule_to_dict(schedule: FPQASchedule) -> dict[str, Any]:
-    """Serialise a full schedule (config, stages, metadata, metrics)."""
+def schedule_to_dict(schedule: FPQASchedule, *, canonical: bool = False) -> dict[str, Any]:
+    """Serialise a full schedule (config, stages, metadata, metrics).
+
+    With ``canonical=True`` the volatile metadata keys (wall-clock compile
+    timings) are dropped, so serialising the same logical schedule twice —
+    or a deserialised round-trip of it — yields identical output.  Golden
+    regression files use this mode.
+    """
+    metadata = {k: v for k, v in schedule.metadata.items() if _is_jsonable(v)}
+    if canonical:
+        metadata = {k: v for k, v in metadata.items() if k not in VOLATILE_METADATA_KEYS}
     return {
         "schema_version": _SCHEMA_VERSION,
         "name": schedule.name,
         "num_data_qubits": schedule.num_data_qubits,
         "config": config_to_dict(schedule.config),
         "stages": [stage_to_dict(stage) for stage in schedule.stages],
-        "metadata": {k: v for k, v in schedule.metadata.items() if _is_jsonable(v)},
+        "metadata": metadata,
         "metrics": schedule.summary(),
     }
 
@@ -158,9 +171,17 @@ def schedule_from_dict(data: dict[str, Any]) -> FPQASchedule:
     return schedule
 
 
-def schedule_to_json(schedule: FPQASchedule, *, indent: int | None = 2) -> str:
-    """Serialise a schedule to a JSON string."""
-    return json.dumps(schedule_to_dict(schedule), indent=indent)
+def schedule_to_json(
+    schedule: FPQASchedule, *, indent: int | None = 2, canonical: bool = False
+) -> str:
+    """Serialise a schedule to a JSON string.
+
+    ``canonical=True`` additionally sorts keys and strips volatile metadata
+    so the output is byte-stable across runs (the golden-file format).
+    """
+    return json.dumps(
+        schedule_to_dict(schedule, canonical=canonical), indent=indent, sort_keys=canonical
+    )
 
 
 def schedule_from_json(text: str) -> FPQASchedule:

@@ -1,0 +1,66 @@
+"""Golden-schedule builders and regeneration entry point.
+
+The three golden files pin the exact stage structure the routers emit for
+small, fully deterministic inputs; the byte-level comparison in
+``tests/test_golden_schedules.py`` makes silent stage reordering (or any
+other schedule-shape drift) a visible test failure.
+
+To refresh after an *intentional* router change, re-run:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+then review the diff of ``tests/golden/*.json`` like any other code change.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.circuit import random_cx_circuit, random_pauli_strings
+from repro.core import GenericRouter, route_pauli_strings, route_qaoa
+from repro.utils.serialization import schedule_to_json
+from repro.workloads import ring_graph_edges
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+
+def build_generic_schedule():
+    """Generic router on a small random CX circuit (fixed seed)."""
+    return GenericRouter().compile(random_cx_circuit(4, 6, seed=3))
+
+
+def build_qsim_schedule():
+    """Quantum-simulation router on three random Pauli strings (fixed seed)."""
+    return route_pauli_strings(random_pauli_strings(5, 3, 0.6, seed=11))
+
+
+def build_qaoa_schedule():
+    """QAOA router on the 6-qubit ring graph."""
+    return route_qaoa(6, ring_graph_edges(6))
+
+
+GOLDEN_CASES = {
+    "generic_4q_6g": build_generic_schedule,
+    "qsim_5q_3strings": build_qsim_schedule,
+    "qaoa_6q_ring": build_qaoa_schedule,
+}
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+def render(name: str) -> str:
+    """Canonical byte-stable JSON for one golden case."""
+    return schedule_to_json(GOLDEN_CASES[name](), canonical=True) + "\n"
+
+
+def regenerate() -> None:
+    for name in GOLDEN_CASES:
+        path = golden_path(name)
+        path.write_text(render(name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    regenerate()

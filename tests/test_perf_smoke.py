@@ -17,9 +17,17 @@ import pytest
 
 from repro.circuit import random_cx_circuit
 from repro.core.generic_router import GenericRouter
+from repro.core.qaoa_router import QAOARouter
+from repro.workloads import regular_graph_edges
 
 #: Generous wall-clock budget (seconds) for the smoke compile.
 _CEILING_S = 2.0
+
+#: Ceiling for the 100-qubit QAOA cost-layer compile.  The incremental
+#: stage planner needs ~0.015 s; the seed O(front²) planner needed ~0.06 s
+#: on the same input and ~0.35 s on denser graphs, so 1 s fails loudly if a
+#: full-rescan planning loop sneaks back in while still tolerating slow CI.
+_QAOA_CEILING_S = 1.0
 
 
 @pytest.mark.perf
@@ -34,4 +42,21 @@ def test_midsize_compile_stays_fast():
         f"mid-size compile took {elapsed:.2f}s (ceiling {_CEILING_S}s); "
         "a quadratic hot path may have regressed — see "
         "benchmarks/bench_compile_speed.py and BENCH_compile.json"
+    )
+
+
+@pytest.mark.perf
+def test_qaoa_100q_cost_layer_stays_fast():
+    """100-qubit / 3-regular QAOA cost layer under a generous 1 s ceiling."""
+    edges = regular_graph_edges(100, 3, seed=7)
+    router = QAOARouter()
+    start = time.perf_counter()
+    schedule = router.compile(100, edges)
+    elapsed = time.perf_counter() - start
+    assert schedule.metadata["stages_per_layer"][0] > 0
+    assert schedule.num_two_qubit_gates() == 2 * 100 + len(edges)
+    assert elapsed < _QAOA_CEILING_S, (
+        f"100q QAOA cost-layer compile took {elapsed:.2f}s (ceiling "
+        f"{_QAOA_CEILING_S}s); an O(front²) stage-planning loop may have "
+        "regressed — see repro/core/stage_planner.py and BENCH_compile.json"
     )

@@ -152,6 +152,46 @@ def test_qaoa_router_schedules_every_edge_once(seed, num_qubits, probability):
     assert sorted(executed) == sorted(edges)
 
 
+# arbitrary (possibly dense, possibly disconnected) edge sets over <= 12 qubits
+_edge_sets = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=30,
+)
+
+
+@_SETTINGS
+@given(edges=_edge_sets, seed_trials=st.integers(1, 4))
+def test_qaoa_planner_never_crosses_aod_lines(edges, seed_trials):
+    """No stage plan maps two ancilla columns (or rows) across each other.
+
+    The AOD hardware moves rows and columns as rigid lines, so the planner
+    may never emit a stage whose column pins (or row placements) reverse
+    order — the no-crossing invariant every schedule relies on.
+    """
+    from repro.circuit.qaoa import normalise_edges
+    from repro.core import QAOAStagePlanner
+    from repro.hardware import FPQAConfig, SLMArray
+
+    num_qubits = 12
+    array = SLMArray(FPQAConfig.square_for(num_qubits), num_qubits)
+    planner = QAOAStagePlanner(array, edges, seed_trials=seed_trials)
+    executed: list[tuple[int, int]] = []
+    for plan in planner.plan_stages():
+        columns = sorted(plan.column_map.items())
+        for (src_a, dst_a), (src_b, dst_b) in zip(columns, columns[1:]):
+            assert src_a < src_b and dst_a < dst_b, "ancilla columns would cross"
+        rows = sorted(plan.row_map.items())
+        for (row_a, target_a), (row_b, target_b) in zip(rows, rows[1:]):
+            assert row_a < row_b and target_a < target_b, "AOD rows would cross"
+        # every executed pair is realised by a pinned row and column
+        for ancilla, site in plan.pairs:
+            assert plan.column_map[array.col_of(ancilla)] == array.col_of(site)
+            assert plan.row_map[array.row_of(ancilla)] == array.row_of(site)
+        executed.extend(plan.edge_set())
+    assert sorted(executed) == normalise_edges(edges)
+
+
 @_SETTINGS
 @given(copies=st.integers(0, 400))
 def test_fanout_layer_sizes_sum(copies):

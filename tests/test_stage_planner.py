@@ -1,0 +1,241 @@
+"""Differential verification of the shared stage-planning kernel.
+
+The incremental :class:`QAOAStagePlanner` must reproduce the seed
+full-rescan planner (:func:`reference_plan_stage` /
+:func:`reference_plan_best_stage`) stage for stage: same number of stages
+and the same executed-edge set in each stage.  These tests drive both
+planners over seeded random graphs and structured graphs and compare the
+trajectories, then check the routers wired to the kernel still compile
+schedules that are statevector-equivalent to the uncompiled circuits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuit import qaoa_cost_layer, random_pauli_strings, trotter_circuit
+from repro.circuit.qaoa import normalise_edges
+from repro.core import QAOARouter, QAOARouterOptions, route_pauli_strings, route_qaoa
+from repro.core.qsim_router import longest_path_stages as qsim_longest_path_stages
+from repro.core.stage_planner import (
+    ArrayGeometry,
+    QAOAStagePlanner,
+    longest_path_stages,
+    reference_plan_best_stage,
+    reference_plan_stage,
+)
+from repro.exceptions import RoutingError, WorkloadError
+from repro.hardware import FPQAConfig, MonotonePinMap, SLMArray
+from repro.sim import verify_schedule_equivalence
+from repro.workloads import random_graph_edges, regular_graph_edges, ring_graph_edges
+
+
+def _square_array(num_qubits: int) -> SLMArray:
+    return SLMArray(FPQAConfig.square_for(num_qubits), num_qubits)
+
+
+def reference_stage_sets(num_qubits, edges, *, seed_trials=4):
+    """Drive the reference planner to completion, returning per-stage edge sets."""
+    array = _square_array(num_qubits)
+    remaining = set(normalise_edges(edges))
+    stage_sets = []
+    while remaining:
+        plan = reference_plan_best_stage(remaining, array, seed_trials=seed_trials)
+        executed = plan.edge_set()
+        assert executed, "reference planner must always execute at least the seed edge"
+        stage_sets.append(executed)
+        remaining -= executed
+    return stage_sets
+
+
+def incremental_stage_sets(num_qubits, edges, *, seed_trials=4):
+    planner = QAOAStagePlanner(_square_array(num_qubits), edges, seed_trials=seed_trials)
+    return [plan.edge_set() for plan in planner.plan_stages()]
+
+
+# ----------------------------------------------------------------------
+# differential conformance: incremental planner == reference oracle
+# ----------------------------------------------------------------------
+class TestDifferentialConformance:
+    @pytest.mark.parametrize("num_qubits", range(4, 11))
+    @pytest.mark.parametrize("seed", [0, 1, 2, 7, 23])
+    @pytest.mark.parametrize("probability", [0.25, 0.5, 0.9])
+    def test_random_graphs_match_reference(self, num_qubits, seed, probability):
+        edges = random_graph_edges(num_qubits, probability, seed=seed)
+        if not edges:
+            pytest.skip("empty graph")
+        assert incremental_stage_sets(num_qubits, edges) == reference_stage_sets(
+            num_qubits, edges
+        )
+
+    @pytest.mark.parametrize("seed_trials", [1, 2, 4, 8])
+    def test_seed_trial_counts_match_reference(self, seed_trials):
+        edges = random_graph_edges(9, 0.5, seed=41)
+        assert incremental_stage_sets(9, edges, seed_trials=seed_trials) == (
+            reference_stage_sets(9, edges, seed_trials=seed_trials)
+        )
+
+    @pytest.mark.parametrize(
+        "num_qubits,edges_factory",
+        [
+            (6, lambda: ring_graph_edges(6)),
+            (24, lambda: regular_graph_edges(24, 3, seed=9)),
+            (30, lambda: regular_graph_edges(30, 4, seed=5)),
+            (25, lambda: random_graph_edges(25, 0.15, seed=13)),
+        ],
+    )
+    def test_structured_graphs_match_reference(self, num_qubits, edges_factory):
+        edges = edges_factory()
+        assert incremental_stage_sets(num_qubits, edges) == reference_stage_sets(
+            num_qubits, edges
+        )
+
+    def test_single_stage_plan_matches_reference(self):
+        """Beyond edge sets, a single plan pins the same rows and columns."""
+        edges = normalise_edges(random_graph_edges(8, 0.6, seed=3))
+        array = _square_array(8)
+        reference = reference_plan_stage(set(edges), array)
+        planner = QAOAStagePlanner(array, edges, seed_trials=1)
+        incremental = planner.plan_best_stage()
+        assert incremental.edge_set() == reference.edge_set()
+        assert incremental.column_map == reference.column_map
+        assert incremental.row_map == reference.row_map
+
+    def test_planner_executes_every_edge_exactly_once(self):
+        edges = normalise_edges(random_graph_edges(10, 0.7, seed=11))
+        executed = [e for s in incremental_stage_sets(10, edges) for e in s]
+        assert sorted(executed) == edges
+
+
+# ----------------------------------------------------------------------
+# routers wired to the kernel stay semantically correct
+# ----------------------------------------------------------------------
+class TestRouterEquivalence:
+    @pytest.mark.parametrize("seed", [5, 19, 57])
+    def test_qaoa_router_schedule_equivalent_to_circuit(self, seed):
+        edges = random_graph_edges(6, 0.5, seed=seed)
+        if not edges:
+            pytest.skip("empty graph")
+        schedule = route_qaoa(6, edges)
+        reference = qaoa_cost_layer(6, edges, gamma=0.7)
+        assert verify_schedule_equivalence(reference, schedule, seed=seed)
+
+    def test_qaoa_router_single_seed_trial_equivalent(self):
+        edges = random_graph_edges(5, 0.8, seed=3)
+        options = QAOARouterOptions(seed_trials=1)
+        schedule = QAOARouter(options=options).compile(5, edges)
+        reference = qaoa_cost_layer(5, edges, gamma=0.7)
+        assert verify_schedule_equivalence(reference, schedule, seed=29)
+
+    @pytest.mark.parametrize("seed", [2, 31])
+    def test_qsim_router_schedule_equivalent_to_circuit(self, seed):
+        strings = random_pauli_strings(4, 3, 0.6, seed=seed)
+        schedule = route_pauli_strings(strings)
+        reference = trotter_circuit(strings, 4)
+        assert verify_schedule_equivalence(reference, schedule, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# kernel building blocks
+# ----------------------------------------------------------------------
+class TestMonotonePinMap:
+    def test_accepts_strictly_increasing_pins(self):
+        pins = MonotonePinMap()
+        for src, dst in [(2, 3), (0, 1), (5, 8)]:
+            assert pins.can_pin(src, dst)
+            pins.pin(src, dst)
+        assert len(pins) == 3
+        assert list(pins.items()) == [(0, 1), (2, 3), (5, 8)]
+        assert pins.as_dict() == {0: 1, 2: 3, 5: 8}
+
+    def test_rejects_crossing_and_duplicate_pins(self):
+        pins = MonotonePinMap()
+        pins.pin(2, 4)
+        assert not pins.can_pin(2, 6)  # source already pinned
+        assert not pins.can_pin(1, 4)  # target already used
+        assert not pins.can_pin(1, 5)  # would cross: 1 < 2 but 5 >= 4
+        assert not pins.can_pin(3, 3)  # would cross: 3 > 2 but 3 <= 4
+        assert pins.can_pin(3, 5)
+        with pytest.raises(RoutingError):
+            pins.pin(1, 9)
+
+    def test_contains_and_target_of(self):
+        pins = MonotonePinMap()
+        pins.pin(4, 7)
+        assert 4 in pins
+        assert 5 not in pins
+        assert pins.target_of(4) == 7
+
+
+class TestArrayGeometry:
+    def test_matches_slm_array_lookups(self):
+        array = SLMArray(FPQAConfig(slm_rows=3, slm_cols=4), 10)
+        geometry = ArrayGeometry(array)
+        for q in range(10):
+            assert geometry.row[q] == array.row_of(q)
+            assert geometry.col[q] == array.col_of(q)
+        for r in range(3):
+            for c in range(4):
+                assert geometry.qubit_at[r][c] == array.qubit_at(r, c)
+
+
+class TestPlannerValidation:
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(WorkloadError):
+            QAOAStagePlanner(_square_array(4), [(0, 7)])
+
+    def test_rejects_negative_qubit_edge(self):
+        """Negative indices must not silently wrap around the geometry tables."""
+        with pytest.raises(WorkloadError):
+            QAOAStagePlanner(_square_array(16), [(-1, 2)])
+
+    def test_plan_on_exhausted_planner_raises(self):
+        planner = QAOAStagePlanner(_square_array(4), [(0, 1)])
+        list(planner.plan_stages())
+        assert not planner
+        with pytest.raises(RoutingError):
+            planner.plan_best_stage()
+
+    def test_commit_rejects_foreign_edges(self):
+        planner = QAOAStagePlanner(_square_array(4), [(0, 1), (2, 3)])
+        plan = planner.plan_best_stage()
+        planner.commit(plan)
+        with pytest.raises(RoutingError):
+            planner.commit(plan)  # already executed
+
+    def test_rejected_commit_leaves_state_untouched(self):
+        """A commit mixing live and foreign edges must not drop the live ones."""
+        from repro.core import StagePlan
+
+        planner = QAOAStagePlanner(_square_array(4), [(0, 1), (2, 3)])
+        stale = StagePlan(pairs=[(0, 1), (1, 2)], column_map={}, row_map={})
+        before = planner.remaining_edges
+        with pytest.raises(RoutingError):
+            planner.commit(stale)  # (1, 2) is not an edge of this planner
+        assert planner.remaining_edges == before
+
+    def test_remaining_bookkeeping(self):
+        edges = [(0, 1), (1, 2), (2, 3)]
+        planner = QAOAStagePlanner(_square_array(4), edges)
+        assert planner.num_remaining == 3
+        assert planner.remaining_edges == set(edges)
+        for plan in planner.plan_stages():
+            pass
+        assert planner.num_remaining == 0
+
+
+class TestChainExtractionRelocation:
+    def test_qsim_router_reexports_shared_kernel(self):
+        assert qsim_longest_path_stages is longest_path_stages
+
+    def test_longest_path_stage_partition(self):
+        array = SLMArray(FPQAConfig(slm_rows=3, slm_cols=3), 9)
+        stages = longest_path_stages(array, [0, 4, 8, 2, 6])
+        flat = sorted(q for stage in stages for q in stage)
+        assert flat == [0, 2, 4, 6, 8]
+        # a length-3 monotone chain through 0 and 8 exists and is extracted first
+        assert len(stages[0]) == 3
+        for stage in stages:
+            coordinates = [array.position(q) for q in stage]
+            for (r1, c1), (r2, c2) in zip(coordinates, coordinates[1:]):
+                assert r1 <= r2 and c1 <= c2  # monotone chain

@@ -10,6 +10,7 @@ from repro.core.schedule import (
     AncillaCreationStage,
     AncillaRecycleStage,
     FPQASchedule,
+    OneQubitStage,
     RydbergStage,
     ScheduledGate,
     aod,
@@ -98,7 +99,7 @@ class TestScheduleVerification:
             verify_schedule_equivalence(original, schedule, seed=12)
 
     def test_wrong_gate_detected(self):
-        """A schedule implementing the wrong unitary is reported as not equivalent."""
+        """A schedule implementing the wrong unitary raises with the mismatch index."""
         config = FPQAConfig(slm_rows=1, slm_cols=2)
         schedule = FPQASchedule(config=config, num_data_qubits=2)
         copies = [(slm(0), 0)]
@@ -106,4 +107,64 @@ class TestScheduleVerification:
         # CZ is missing entirely
         schedule.append(AncillaRecycleStage(copies=copies))
         original = QuantumCircuit(2).cz(0, 1)
-        assert not verify_schedule_equivalence(original, schedule, seed=13)
+        with pytest.raises(VerificationError, match="mismatching amplitude at index") as info:
+            verify_schedule_equivalence(original, schedule, seed=13)
+        # a missing CZ only flips the |11> amplitude's sign
+        assert info.value.mismatch_index == 3
+
+
+class TestMismatchReporting:
+    """Direct unit coverage of the first-mismatching-amplitude diagnostics."""
+
+    def _no_op_schedule(self, num_qubits: int) -> FPQASchedule:
+        config = FPQAConfig(slm_rows=1, slm_cols=max(2, num_qubits))
+        return FPQASchedule(config=config, num_data_qubits=num_qubits)
+
+    def test_mismatch_index_is_first_differing_basis_state(self):
+        """An empty schedule vs. a CZ circuit mismatches exactly at |11>."""
+        schedule = self._no_op_schedule(2)
+        original = QuantumCircuit(2).cz(0, 1)
+        with pytest.raises(VerificationError) as info:
+            verify_schedule_equivalence(original, schedule, seed=21)
+        assert info.value.mismatch_index == 3
+        assert "index 3" in str(info.value)
+        assert "|11>" in str(info.value)
+
+    def test_mismatch_message_reports_overlap(self):
+        schedule = self._no_op_schedule(2)
+        original = QuantumCircuit(2).cz(0, 1)
+        with pytest.raises(VerificationError, match="overlap"):
+            verify_schedule_equivalence(original, schedule, seed=22)
+
+    def test_equivalent_schedule_returns_true(self):
+        """The no-op schedule against the empty circuit still returns True."""
+        schedule = self._no_op_schedule(2)
+        assert verify_schedule_equivalence(QuantumCircuit(2), schedule, seed=23)
+
+    def test_first_amplitude_mismatch_helper(self):
+        import numpy as np
+
+        from repro.sim import first_amplitude_mismatch
+
+        expected = np.array([0.6, 0.8, 0.0, 0.0], dtype=complex)
+        # identical up to a global phase: no mismatch
+        assert first_amplitude_mismatch(expected, 1j * expected) is None
+        # sign flip on index 1 survives phase alignment (anchor is index 1)
+        flipped = np.array([0.6, -0.8, 0.0, 0.0], dtype=complex)
+        assert first_amplitude_mismatch(expected, flipped) == 0
+        # a mismatch away from the anchor reports its own index
+        bumped = np.array([0.6, 0.8, 0.1, 0.0], dtype=complex)
+        assert first_amplitude_mismatch(expected, bumped) == 2
+
+    def test_global_phase_is_not_a_mismatch(self):
+        """A schedule equal to the circuit up to global phase verifies clean."""
+        import math
+
+        config = FPQAConfig(slm_rows=1, slm_cols=2)
+        schedule = FPQASchedule(config=config, num_data_qubits=2)
+        # rz(theta) differs from the original's p(theta) by a global phase
+        schedule.append(
+            OneQubitStage(gates=[ScheduledGate("rz", (slm(0),), (math.pi / 3,))])
+        )
+        original = QuantumCircuit(2).add("p", (0,), (math.pi / 3,))
+        assert verify_schedule_equivalence(original, schedule, seed=24)
