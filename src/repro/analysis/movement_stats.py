@@ -5,11 +5,21 @@ displacement of every AOD atom, the X/Y trajectory of each atom over time,
 and histograms of (i) how many movements each atom performs, (ii) the total
 distance each atom travels, and (iii) its average speed.  This module
 computes the same series from the schedule's movement stages.
+
+The accumulation is array-native: :class:`MovementReport` flattens every
+segment of every trajectory into one set of NumPy arrays, computes all
+segment distances in a single vectorised pass, and reduces them to
+per-atom aggregates with ``np.bincount``.  The histograms then bin those
+aggregate arrays directly, so analysing a schedule is O(moves) NumPy work
+instead of a Python loop per atom per series.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
 
 from repro.core.schedule import FPQASchedule, MovementStage
 
@@ -49,7 +59,13 @@ class AtomTrajectory:
 
 @dataclass
 class MovementReport:
-    """All Fig. 9 series for one schedule."""
+    """All Fig. 9 series for one schedule.
+
+    The per-atom aggregate arrays (``atom_ids`` / ``atom_movement_counts``
+    / ``atom_total_distances``, all aligned index-wise) are derived from
+    the trajectories lazily, in one vectorised pass shared by every
+    histogram.
+    """
 
     schedule_name: str
     step_max_distances: list[float]
@@ -57,41 +73,75 @@ class MovementReport:
     site_spacing_um: float
     typical_step_duration_us: float
 
+    @cached_property
+    def _aggregates(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(atom ids, per-atom movement counts, per-atom total distances)."""
+        atom_ids = np.asarray(sorted(self.trajectories), dtype=np.intp)
+        if not atom_ids.size:
+            return atom_ids, np.empty(0, dtype=np.int64), np.empty(0)
+        segment_counts = [len(self.trajectories[a].segments) for a in atom_ids]
+        coords = np.asarray(
+            [
+                (*src, *dst)
+                for atom in atom_ids
+                for _, src, dst in self.trajectories[atom].segments
+            ],
+            dtype=float,
+        ).reshape(-1, 4)
+        dense = np.repeat(np.arange(atom_ids.size), segment_counts)
+        distances = np.hypot(coords[:, 2] - coords[:, 0], coords[:, 3] - coords[:, 1])
+        moved = (coords[:, 0:2] != coords[:, 2:4]).any(axis=1)
+        movement_counts = np.bincount(dense, weights=moved, minlength=atom_ids.size)
+        total_distances = np.bincount(dense, weights=distances, minlength=atom_ids.size)
+        return atom_ids, movement_counts.astype(np.int64), total_distances
+
+    @property
+    def atom_ids(self) -> np.ndarray:
+        """Ancilla ids in ascending order, aligned with the aggregate arrays."""
+        return self._aggregates[0]
+
+    @property
+    def atom_movement_counts(self) -> np.ndarray:
+        """Number of non-zero movements per atom."""
+        return self._aggregates[1]
+
+    @property
+    def atom_total_distances(self) -> np.ndarray:
+        """Total travel distance per atom (grid units)."""
+        return self._aggregates[2]
+
+    def atom_speeds_m_per_s(self) -> np.ndarray:
+        """Per-atom average speed, aligned with ``atom_ids`` (0 for still atoms)."""
+        moves = self.atom_movement_counts
+        if self.typical_step_duration_us <= 0:
+            return np.zeros(moves.shape)
+        metres = self.atom_total_distances * self.site_spacing_um * 1e-6
+        seconds = np.maximum(moves, 1) * self.typical_step_duration_us * 1e-6
+        return np.where(moves > 0, metres / seconds, 0.0)
+
     def movements_histogram(self) -> dict[int, int]:
         """Histogram: number of atoms vs number of movements performed."""
-        histogram: dict[int, int] = {}
-        for trajectory in self.trajectories.values():
-            histogram[trajectory.num_movements] = histogram.get(trajectory.num_movements, 0) + 1
-        return dict(sorted(histogram.items()))
+        values, counts = np.unique(self.atom_movement_counts, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}
 
     def distance_histogram(self, bin_size: float = 10.0) -> dict[float, int]:
         """Histogram of per-atom total travel distance (grid units, binned)."""
-        histogram: dict[float, int] = {}
-        for trajectory in self.trajectories.values():
-            bucket = round(trajectory.total_distance / bin_size) * bin_size
-            histogram[bucket] = histogram.get(bucket, 0) + 1
-        return dict(sorted(histogram.items()))
+        buckets = np.round(self.atom_total_distances / bin_size) * bin_size
+        values, counts = np.unique(buckets, return_counts=True)
+        return {float(v): int(c) for v, c in zip(values, counts)}
 
     def speed_histogram(self, bin_size_m_per_s: float = 0.01) -> dict[float, int]:
         """Histogram of per-atom average speeds (m/s, binned)."""
-        histogram: dict[float, int] = {}
-        for trajectory in self.trajectories.values():
-            speed = trajectory.average_speed_m_per_s(
-                self.site_spacing_um, self.typical_step_duration_us
-            )
-            if speed <= 0:
-                continue
-            bucket = round(speed / bin_size_m_per_s) * bin_size_m_per_s
-            histogram[bucket] = histogram.get(bucket, 0) + 1
-        return dict(sorted(histogram.items()))
+        speeds = self.atom_speeds_m_per_s()
+        speeds = speeds[speeds > 0]
+        buckets = np.round(speeds / bin_size_m_per_s) * bin_size_m_per_s
+        values, counts = np.unique(buckets, return_counts=True)
+        return {float(v): int(c) for v, c in zip(values, counts)}
 
     def mean_speed_m_per_s(self) -> float:
-        speeds = [
-            t.average_speed_m_per_s(self.site_spacing_um, self.typical_step_duration_us)
-            for t in self.trajectories.values()
-            if t.num_movements > 0
-        ]
-        return sum(speeds) / len(speeds) if speeds else 0.0
+        speeds = self.atom_speeds_m_per_s()
+        moving = speeds[self.atom_movement_counts > 0]
+        return float(moving.mean()) if moving.size else 0.0
 
     def summary(self) -> dict:
         return {

@@ -10,11 +10,23 @@ adjacent physical qubits, while minimising a look-ahead distance cost.
 The router also implements SABRE's reverse-traversal trick for improving
 the initial layout: route the circuit forward, then backward, reusing the
 final layout of each pass as the initial layout of the next.
+
+The swap search is array-native: a routing pass keeps the
+logical→physical mapping as a pair of int arrays and scores every SWAP
+candidate of a step in one batched NumPy evaluation — a
+(num_candidates × num_pairs) gather from the cached distance matrix with
+decay and extended-set weight applied as vector ops
+(:func:`score_swaps`).  The seed's scalar scorer survives verbatim as
+:func:`reference_score_swaps`, the oracle for the differential suite:
+both scorers produce bit-identical scores, so a router running with
+``SabreOptions(scorer="reference")`` chooses the same swap at every step
+and emits gate-identical routed circuits.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -38,6 +50,10 @@ class SabreOptions:
     seed: int | None = 11
     max_iterations_factor: int = 200
     layout_trials: int = 2
+    #: "vectorized" (batched NumPy scorer) or "reference" (the seed's scalar
+    #: per-candidate scorer) — both choose identical swaps; the reference
+    #: exists as the oracle for the differential tests.
+    scorer: str = "vectorized"
 
 
 @dataclass
@@ -68,11 +84,22 @@ class SabreRouter:
     def __init__(self, device: CouplingGraph, options: SabreOptions | None = None):
         self.device = device
         self.options = options or SabreOptions()
+        if self.options.scorer not in ("vectorized", "reference"):
+            raise RoutingError(
+                f"unknown SABRE scorer {self.options.scorer!r}; "
+                "expected 'vectorized' or 'reference'"
+            )
         # All-pairs BFS distances, shared by every routing pass (the layout
         # search alone runs 3 passes per trial).  CouplingGraph memoizes the
         # matrix too; holding it here additionally pins the array for the
         # router's lifetime and keeps _route_pass free of the lookup.
         self._distance_matrix = device.distance_matrix()
+        # Per-physical-qubit candidate swaps in canonical (min, max) form, so
+        # candidate generation is pure set union with no per-step min/max.
+        self._swap_tuples: list[list[tuple[int, int]]] = [
+            [(p, n) if p < n else (n, p) for n in sorted(device.neighbors(p))]
+            for p in range(device.num_qubits)
+        ]
 
     # ------------------------------------------------------------------
     # public API
@@ -146,12 +173,30 @@ class SabreRouter:
     def _route_pass(
         self, circuit: QuantumCircuit, layout: Layout
     ) -> tuple[list[Gate], Layout, int]:
-        """Single SABRE routing pass.  Returns (physical gates, final layout, #swaps)."""
+        """Single SABRE routing pass.  Returns (physical gates, final layout, #swaps).
+
+        The layout is held as two int arrays for the duration of the pass —
+        ``phys_of`` (logical → physical) and ``log_at`` (physical → logical,
+        -1 for empty traps) — so the scorer can gather distances for every
+        candidate swap in one vectorised pass instead of copying a
+        ``Layout`` per candidate.
+        """
         dag = DependencyDAG(circuit)
         dist = self._distance_matrix
         decay = np.ones(self.device.num_qubits)
         options = self.options
         rng = ensure_rng(options.seed)
+
+        mapping_dict = layout.as_dict()
+        phys_of = np.full(max(mapping_dict, default=-1) + 1, -1, dtype=np.intp)
+        log_at = np.full(self.device.num_qubits, -1, dtype=np.intp)
+        for logical, phys in mapping_dict.items():
+            phys_of[logical] = phys
+            log_at[phys] = logical
+        used_logicals = {q for gate in circuit.gates for q in gate.qubits}
+        unmapped = [q for q in used_logicals if q >= len(phys_of) or phys_of[q] < 0]
+        if unmapped:
+            raise RoutingError(f"layout does not map circuit qubits {sorted(unmapped)}")
 
         out_gates: list[Gate] = []
         num_swaps = 0
@@ -172,7 +217,8 @@ class SabreRouter:
                     executable.append(index)
                 elif gate.num_qubits == 2:
                     a, b = gate.qubits
-                    if self.device.are_adjacent(layout.physical(a), layout.physical(b)):
+                    # distance 1 in the cached all-pairs matrix == coupled
+                    if dist[phys_of[a], phys_of[b]] == 1:
                         executable.append(index)
                     else:
                         blocked_two_qubit.append(index)
@@ -183,7 +229,7 @@ class SabreRouter:
             if executable:
                 for index in executable:
                     gate = dag.gate(index)
-                    mapping = {q: layout.physical(q) for q in gate.qubits}
+                    mapping = {q: int(phys_of[q]) for q in gate.qubits}
                     out_gates.append(gate.remap(mapping))
                     dag.execute(index)
                 decay[:] = 1.0
@@ -197,16 +243,41 @@ class SabreRouter:
             if steps_since_progress % options.decay_reset_interval == 0:
                 decay[:] = 1.0
 
-            swap_candidates = self._swap_candidates(blocked_two_qubit, dag, layout)
+            swap_candidates = self._swap_candidates(blocked_two_qubit, dag, phys_of)
             if not swap_candidates:
                 raise RoutingError("no SWAP candidates available; device may be disconnected")
             extended = dag.lookahead(options.extended_set_size)
-            best_swap = self._choose_swap(
-                swap_candidates, blocked_two_qubit, extended, dag, layout, dist, decay, rng
-            )
-            phys_a, phys_b = best_swap
+            # blocked gates are 2-qubit by construction
+            front_pairs = [dag.gate(i).qubits for i in blocked_two_qubit]
+            extended_pairs = [g.qubits for g in map(dag.gate, extended) if g.num_qubits == 2]
+            if options.scorer == "reference":
+                scores = reference_score_swaps(
+                    swap_candidates,
+                    front_pairs,
+                    extended_pairs,
+                    Layout({q: int(p) for q, p in enumerate(phys_of) if p >= 0}),
+                    dist,
+                    decay,
+                    options.extended_set_weight,
+                )
+            else:
+                scores = score_swaps(
+                    swap_candidates,
+                    front_pairs,
+                    extended_pairs,
+                    phys_of,
+                    dist,
+                    decay,
+                    options.extended_set_weight,
+                )
+            phys_a, phys_b = swap_candidates[select_min_score(scores, rng)]
             out_gates.append(Gate("swap", (phys_a, phys_b)))
-            layout.swap_physical(phys_a, phys_b)
+            log_a, log_b = log_at[phys_a], log_at[phys_b]
+            log_at[phys_a], log_at[phys_b] = log_b, log_a
+            if log_a >= 0:
+                phys_of[log_a] = phys_b
+            if log_b >= 0:
+                phys_of[log_b] = phys_a
             num_swaps += 1
             decay[phys_a] += options.decay_increment
             decay[phys_b] += options.decay_increment
@@ -214,60 +285,118 @@ class SabreRouter:
                 raise RoutingError(
                     "SABRE made no progress for too long; the device graph may be disconnected"
                 )
-        return out_gates, layout, num_swaps
+        final_layout = Layout({q: int(p) for q, p in enumerate(phys_of) if p >= 0})
+        return out_gates, final_layout, num_swaps
 
     def _swap_candidates(
-        self, blocked: list[int], dag: DependencyDAG, layout: Layout
+        self, blocked: list[int], dag: DependencyDAG, phys_of: np.ndarray
     ) -> list[tuple[int, int]]:
         """SWAPs adjacent to any qubit involved in a blocked front gate."""
         candidates: set[tuple[int, int]] = set()
         for index in blocked:
             gate = dag.gate(index)
             for logical in gate.qubits:
-                phys = layout.physical(logical)
-                for nbr in self.device.neighbors(phys):
-                    candidates.add((min(phys, nbr), max(phys, nbr)))
+                candidates.update(self._swap_tuples[phys_of[logical]])
         return sorted(candidates)
 
-    def _choose_swap(
-        self,
-        candidates: list[tuple[int, int]],
-        front: list[int],
-        extended: list[int],
-        dag: DependencyDAG,
-        layout: Layout,
-        dist: np.ndarray,
-        decay: np.ndarray,
-        rng: np.random.Generator,
-    ) -> tuple[int, int]:
-        """Pick the SWAP minimising the SABRE look-ahead cost."""
-        front_pairs = [dag.gate(i).qubits for i in front if dag.gate(i).num_qubits == 2]
-        extended_pairs = [dag.gate(i).qubits for i in extended if dag.gate(i).num_qubits == 2]
-        options = self.options
-        best_score = np.inf
-        best: list[tuple[int, int]] = []
-        for phys_a, phys_b in candidates:
-            trial = layout.copy()
-            trial.swap_physical(phys_a, phys_b)
-            front_cost = sum(
-                dist[trial.physical(a), trial.physical(b)] for a, b in front_pairs
-            )
-            front_cost /= max(1, len(front_pairs))
-            if extended_pairs:
-                ext_cost = sum(
-                    dist[trial.physical(a), trial.physical(b)] for a, b in extended_pairs
-                ) / len(extended_pairs)
-            else:
-                ext_cost = 0.0
-            score = max(decay[phys_a], decay[phys_b]) * (
-                front_cost + options.extended_set_weight * ext_cost
-            )
-            if score < best_score - 1e-12:
-                best_score = score
-                best = [(phys_a, phys_b)]
-            elif abs(score - best_score) <= 1e-12:
-                best.append((phys_a, phys_b))
-        return best[int(rng.integers(len(best)))]
+
+def score_swaps(
+    candidates: Sequence[tuple[int, int]],
+    front_pairs: Sequence[tuple[int, int]],
+    extended_pairs: Sequence[tuple[int, int]],
+    phys_of: np.ndarray,
+    dist: np.ndarray,
+    decay: np.ndarray,
+    extended_set_weight: float,
+) -> np.ndarray:
+    """Batched SABRE look-ahead cost of every candidate swap.
+
+    One (num_candidates × num_pairs) gather from the distance matrix per
+    pair set: a candidate swap (u, v) only relocates the logical qubits on
+    u and v, so the post-swap physical position of a pair endpoint is its
+    current position with u and v exchanged — a pure ``np.where`` rewrite,
+    no mapping copies.  Scores are bit-identical to
+    :func:`reference_score_swaps`: distance sums are exact integers and the
+    per-candidate float expression applies the same operations in the same
+    order.
+    """
+    if not len(candidates):
+        return np.empty(0)
+    cand = np.asarray(candidates, dtype=np.intp)
+    swap_u = cand[:, 0:1]
+    swap_v = cand[:, 1:2]
+    num_front = len(front_pairs)
+    num_ext = len(extended_pairs)
+
+    # One flat endpoint vector for both pair sets: post-swap positions are
+    # the current positions with u and v exchanged per candidate row.
+    ends = phys_of[np.asarray(list(front_pairs) + list(extended_pairs), dtype=np.intp)]
+    ends = ends.reshape(1, -1)
+    swapped = np.where(ends == swap_u, swap_v, np.where(ends == swap_v, swap_u, ends))
+    pair_dist = dist[swapped[:, 0::2], swapped[:, 1::2]]
+
+    front_cost = pair_dist[:, :num_front].sum(axis=1, dtype=np.int64) / max(1, num_front)
+    if num_ext:
+        ext_cost = pair_dist[:, num_front:].sum(axis=1, dtype=np.int64) / num_ext
+    else:
+        ext_cost = 0.0
+    decay_factor = np.maximum(decay[cand[:, 0]], decay[cand[:, 1]])
+    return decay_factor * (front_cost + extended_set_weight * ext_cost)
+
+
+def reference_score_swaps(
+    candidates: Sequence[tuple[int, int]],
+    front_pairs: Sequence[tuple[int, int]],
+    extended_pairs: Sequence[tuple[int, int]],
+    layout: Layout,
+    dist: np.ndarray,
+    decay: np.ndarray,
+    extended_set_weight: float,
+) -> list[float]:
+    """The seed's scalar SABRE scorer (per-candidate layout copy + Python sums).
+
+    Kept verbatim as the oracle for :func:`score_swaps`'s differential
+    tests; a router constructed with ``SabreOptions(scorer="reference")``
+    routes entire circuits through it.
+    """
+    scores: list[float] = []
+    for phys_a, phys_b in candidates:
+        trial = layout.copy()
+        trial.swap_physical(phys_a, phys_b)
+        front_cost = sum(
+            dist[trial.physical(a), trial.physical(b)] for a, b in front_pairs
+        )
+        front_cost /= max(1, len(front_pairs))
+        if extended_pairs:
+            ext_cost = sum(
+                dist[trial.physical(a), trial.physical(b)] for a, b in extended_pairs
+            ) / len(extended_pairs)
+        else:
+            ext_cost = 0.0
+        scores.append(
+            max(decay[phys_a], decay[phys_b]) * (front_cost + extended_set_weight * ext_cost)
+        )
+    return scores
+
+
+def select_min_score(scores: Sequence[float] | np.ndarray, rng: np.random.Generator) -> int:
+    """Index of the minimum score, ties broken uniformly with the pass RNG.
+
+    Reproduces the seed's sequential scan exactly — including its tolerance
+    semantics and its single ``rng.integers`` draw per step — so both
+    scorers consume identical randomness and pick identical swaps.
+    """
+    if isinstance(scores, np.ndarray):
+        scores = scores.tolist()  # exact float64 -> float; plain-float compares
+    best_score = np.inf
+    best: list[int] = []
+    for index, score in enumerate(scores):
+        if score < best_score - 1e-12:
+            best_score = score
+            best = [index]
+        elif abs(score - best_score) <= 1e-12:
+            best.append(index)
+    return best[int(rng.integers(len(best)))]
 
 
 def _reverse_two_qubit_structure(circuit: QuantumCircuit) -> QuantumCircuit:

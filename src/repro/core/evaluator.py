@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.core.schedule import FPQASchedule
 from repro.hardware.fpqa import FPQAConfig
@@ -52,13 +55,25 @@ class FidelityModel:
             t0_s=config.t0_us * 1e-6,
         )
 
+    def movement_time_s(self, movement_distances: Sequence[float] | np.ndarray) -> float:
+        """Total characteristic movement time, Σᵢ T0·√Dᵢ, in one NumPy pass.
+
+        Accepts any iterable of distances (list, array, generator).
+        """
+        if not isinstance(movement_distances, (np.ndarray, list, tuple)):
+            movement_distances = list(movement_distances)
+        distances = np.asarray(movement_distances, dtype=float)
+        if distances.size == 0:
+            return 0.0
+        return float(self.t0_s * np.sqrt(np.maximum(distances, 0.0)).sum())
+
     def success_probability(
         self,
         *,
         num_atoms: int,
         depth: int,
         num_one_qubit_gates: int,
-        movement_distances: list[float],
+        movement_distances: Sequence[float] | np.ndarray,
     ) -> float:
         """Estimated probability that the whole circuit executes without error."""
         if num_atoms < 0 or depth < 0 or num_one_qubit_gates < 0:
@@ -66,9 +81,38 @@ class FidelityModel:
         gate_term = (self.two_qubit_fidelity ** (num_atoms * depth)) * (
             self.one_qubit_fidelity ** num_one_qubit_gates
         )
-        movement_time = sum(self.t0_s * math.sqrt(max(d, 0.0)) for d in movement_distances)
-        decoherence_term = math.exp(-num_atoms * movement_time / self.t2_s)
+        decoherence_term = math.exp(
+            -num_atoms * self.movement_time_s(movement_distances) / self.t2_s
+        )
         return float(gate_term * decoherence_term)
+
+    def success_probability_batch(
+        self,
+        *,
+        num_atoms: int,
+        depth: int,
+        num_one_qubit_gates: int,
+        movement_distances: Sequence[float] | np.ndarray,
+        two_qubit_fidelities: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 5 over a whole sweep of 2-qubit gate fidelities at once.
+
+        The schedule-dependent terms (1-qubit gate fidelity power and the
+        movement decoherence factor) are computed once; only the 2-qubit
+        gate term varies across the sweep, so the result is one vectorised
+        power — the scalar :meth:`success_probability` applied pointwise
+        (NumPy's SIMD ``pow`` may round the last ulp differently from the
+        scalar libm ``pow``; everything else is operation-identical).
+        """
+        if num_atoms < 0 or depth < 0 or num_one_qubit_gates < 0:
+            raise ValueError("fidelity model inputs must be non-negative")
+        fidelities = np.asarray(two_qubit_fidelities, dtype=float)
+        one_qubit_term = self.one_qubit_fidelity ** num_one_qubit_gates
+        decoherence_term = math.exp(
+            -num_atoms * self.movement_time_s(movement_distances) / self.t2_s
+        )
+        gate_term = np.power(fidelities, num_atoms * depth) * one_qubit_term
+        return gate_term * decoherence_term
 
     def error_rate(self, **kwargs) -> float:
         """1 - success probability (Eq. 5's epsilon)."""
@@ -145,21 +189,21 @@ class PerformanceEvaluator:
         )
 
     def error_rate_vs_two_qubit_error(
-        self, schedule: FPQASchedule, two_qubit_error_rates: list[float]
+        self, schedule: FPQASchedule, two_qubit_error_rates: Sequence[float]
     ) -> list[tuple[float, float]]:
-        """Sweep the 2-qubit gate error rate and report the overall error (Fig. 15a)."""
-        points: list[tuple[float, float]] = []
-        depth = schedule.two_qubit_depth()
-        num_atoms = schedule.total_qubits_used()
-        one_qubit = schedule.num_one_qubit_gates()
-        distances = schedule.movement_distances()
-        for error in two_qubit_error_rates:
-            model = FidelityModel.from_config(schedule.config, two_qubit_fidelity=1.0 - error)
-            overall = model.error_rate(
-                num_atoms=num_atoms,
-                depth=depth,
-                num_one_qubit_gates=one_qubit,
-                movement_distances=distances,
-            )
-            points.append((float(error), float(overall)))
-        return points
+        """Sweep the 2-qubit gate error rate and report the overall error (Fig. 15a).
+
+        The schedule is walked once for its static metrics; the whole sweep
+        is then a single vectorised Eq. 5 evaluation instead of one model
+        re-walk per point.
+        """
+        errors = np.asarray(two_qubit_error_rates, dtype=float)
+        model = FidelityModel.from_config(schedule.config)
+        success = model.success_probability_batch(
+            num_atoms=schedule.total_qubits_used(),
+            depth=schedule.two_qubit_depth(),
+            num_one_qubit_gates=schedule.num_one_qubit_gates(),
+            movement_distances=schedule.movement_distances(),
+            two_qubit_fidelities=1.0 - errors,
+        )
+        return [(float(error), float(1.0 - s)) for error, s in zip(errors, success)]

@@ -79,7 +79,12 @@ def total_movement_distance(steps: Iterable[MovementStep]) -> float:
 
 
 def movement_statistics(steps: Iterable[MovementStep]) -> dict[str, float]:
-    """Aggregate statistics used by the Fig. 9 analysis."""
+    """Aggregate statistics used by the Fig. 9 analysis.
+
+    The iterable is materialised exactly once, so one-shot iterables
+    (e.g. a lazily filtered ``schedule.movement_steps()`` stream) produce
+    the same result as lists.
+    """
     steps = list(steps)
     per_step_max = [s.max_distance for s in steps]
     per_step_total = [s.total_distance for s in steps]

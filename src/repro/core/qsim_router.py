@@ -38,7 +38,11 @@ from typing import Sequence
 
 from repro.circuit.pauli import PauliString
 from repro.core.movement import AtomMove, MovementStep
-from repro.core.stage_planner import CompatibilityGraph, longest_path_stages
+from repro.core.stage_planner import (
+    CompatibilityGraph,
+    longest_path_stages,
+    reference_longest_path_stages,
+)
 from repro.core.schedule import (
     AncillaCreationStage,
     AncillaRecycleStage,
@@ -61,6 +65,7 @@ __all__ = [
     "fanout_depth",
     "fanout_layer_sizes",
     "longest_path_stages",
+    "reference_longest_path_stages",
     "route_pauli_strings",
 ]
 

@@ -560,12 +560,24 @@ class CompatibilityGraph:
     ``a -> b`` when ``b``'s SLM position is in ``a``'s lower-right quadrant
     (row and column both >=).  A directed path is a monotone chain that a
     diagonal of AOD ancillas can serve in a single Rydberg stage.
+
+    Construction builds the topological order (nodes sorted by
+    (row, col, qubit) — every edge points strictly forward in it because
+    SLM positions are unique) and the ascending-index successor lists once.
+    :meth:`longest_path` is then a single O(V+E) sweep over that order, and
+    the per-stage extraction loop touches each vertex and edge a constant
+    amortised number of times instead of re-scanning all nodes per vertex
+    (the seed's O(V²) inner loop, retained as
+    :meth:`reference_longest_path` for the differential tests).
     """
 
     def __init__(self, array: SLMArray, qubits: Iterable[int]):
         self.array = array
         self.nodes: list[int] = sorted(set(qubits))
         self._positions = {q: array.position(q) for q in self.nodes}
+        self._topo: list[int] = sorted(self.nodes, key=lambda q: (self._positions[q], q))
+        self._succ: dict[int, list[int]] = {q: self.successors(q) for q in self.nodes}
+        self._live: set[int] = set(self.nodes)
 
     def successors(self, qubit: int) -> list[int]:
         row, col = self._positions[qubit]
@@ -578,9 +590,50 @@ class CompatibilityGraph:
         ]
 
     def longest_path(self) -> list[int]:
-        """Longest monotone chain, via DP over nodes sorted by (row, col).
+        """Longest monotone chain, via one O(V+E) topological-order DP.
 
-        Ties are broken towards smaller qubit indices for determinism.
+        Ties are broken towards smaller qubit indices for determinism —
+        identical output to :meth:`reference_longest_path`: successor lists
+        preserve the reference's ascending-index scan order, so the
+        strict-improvement rule picks the same ``best_next``, and the start
+        vertex maximises the same (length, -qubit) key.
+        """
+        if not self.nodes:
+            return []
+        live = self._live
+        if len(self._topo) != len(live):
+            self._topo = [q for q in self._topo if q in live]
+        best_length: dict[int, int] = {}
+        best_next: dict[int, int | None] = {}
+        # Successors come strictly later in the topological order, so their
+        # DP values are already final when a vertex is processed in reverse.
+        for qubit in reversed(self._topo):
+            length = 1
+            nxt: int | None = None
+            successors = self._succ[qubit]
+            live_successors = [s for s in successors if s in live]
+            if len(live_successors) != len(successors):
+                # compact removed vertices away; each dead edge is dropped
+                # once, keeping the whole extraction loop O(V+E) amortised
+                self._succ[qubit] = live_successors
+            for successor in live_successors:
+                if best_length[successor] + 1 > length:
+                    length = best_length[successor] + 1
+                    nxt = successor
+            best_length[qubit] = length
+            best_next[qubit] = nxt
+        start = max(self._topo, key=lambda q: (best_length[q], -q))
+        path = [start]
+        while best_next[path[-1]] is not None:
+            path.append(best_next[path[-1]])
+        return path
+
+    def reference_longest_path(self) -> list[int]:
+        """The seed's longest-chain DP (per-call O(V²) successor scans).
+
+        Kept verbatim as the oracle for :meth:`longest_path`'s differential
+        tests; :func:`reference_longest_path_stages` drives whole stage
+        extractions through it.
         """
         if not self.nodes:
             return []
@@ -604,19 +657,30 @@ class CompatibilityGraph:
     def remove(self, qubits: Iterable[int]) -> None:
         removed = set(qubits)
         self.nodes = [q for q in self.nodes if q not in removed]
+        self._live.difference_update(removed)
 
     def __bool__(self) -> bool:
         return bool(self.nodes)
 
 
-def longest_path_stages(array: SLMArray, qubits: Sequence[int]) -> list[list[int]]:
-    """Partition the target qubits into longest-path stages (Alg. 2 loop)."""
+def _extract_stages(array: SLMArray, qubits: Sequence[int], *, reference: bool) -> list[list[int]]:
+    """The Alg. 2 extraction loop, parameterised by which DP finds each path."""
     graph = CompatibilityGraph(array, qubits)
     stages: list[list[int]] = []
     while graph:
-        path = graph.longest_path()
+        path = graph.reference_longest_path() if reference else graph.longest_path()
         if not path:
             raise RoutingError("longest-path extraction returned an empty path")
         stages.append(path)
         graph.remove(path)
     return stages
+
+
+def longest_path_stages(array: SLMArray, qubits: Sequence[int]) -> list[list[int]]:
+    """Partition the target qubits into longest-path stages (Alg. 2 loop)."""
+    return _extract_stages(array, qubits, reference=False)
+
+
+def reference_longest_path_stages(array: SLMArray, qubits: Sequence[int]) -> list[list[int]]:
+    """Stage extraction driven by the seed O(V²) DP (differential oracle)."""
+    return _extract_stages(array, qubits, reference=True)

@@ -97,6 +97,34 @@ class TestMovementReport:
         report = movement_report(generic_schedule)
         assert len(report.step_max_distances) == len(generic_schedule.movement_steps())
 
+    def test_array_aggregates_match_trajectories(self, qaoa_schedule):
+        """The bincount-reduced per-atom arrays agree with each trajectory."""
+        report = movement_report(qaoa_schedule)
+        assert list(report.atom_ids) == sorted(report.trajectories)
+        for atom, moves, distance in zip(
+            report.atom_ids, report.atom_movement_counts, report.atom_total_distances
+        ):
+            trajectory = report.trajectories[int(atom)]
+            assert int(moves) == trajectory.num_movements
+            assert float(distance) == pytest.approx(trajectory.total_distance)
+
+    def test_reports_compare_equal(self, qaoa_schedule):
+        """Regression: ndarray fields must not break MovementReport equality."""
+        assert movement_report(qaoa_schedule) == movement_report(qaoa_schedule)
+        from repro.analysis.movement_stats import MovementReport
+
+        empty = MovementReport("s", [], {}, 1.0, 1.0)
+        assert empty == MovementReport("s", [], {}, 1.0, 1.0)
+        assert empty != movement_report(qaoa_schedule)
+
+    def test_histograms_count_every_atom(self, qaoa_schedule):
+        report = movement_report(qaoa_schedule)
+        num_atoms = len(report.trajectories)
+        assert sum(report.movements_histogram().values()) == num_atoms
+        assert sum(report.distance_histogram().values()) == num_atoms
+        moving = int((report.atom_movement_counts > 0).sum())
+        assert sum(report.speed_histogram().values()) == moving
+
 
 class TestTimeline:
     def test_timeline_covers_execution_time(self, qaoa_schedule):

@@ -61,6 +61,48 @@ class TestFidelityModel:
                 num_atoms=-1, depth=1, num_one_qubit_gates=0, movement_distances=[]
             )
 
+    def test_batch_matches_scalar_pointwise(self):
+        """The vectorised sweep equals per-point scalar models (seed semantics)."""
+        import numpy as np
+
+        model = FidelityModel()
+        kwargs = dict(num_atoms=9, depth=14, num_one_qubit_gates=21, movement_distances=[0.5, 2.0, 9.0])
+        fidelities = np.linspace(0.9, 0.999, 25)
+        batch = model.success_probability_batch(two_qubit_fidelities=fidelities, **kwargs)
+        for fidelity, batched in zip(fidelities, batch):
+            scalar_model = FidelityModel(two_qubit_fidelity=float(fidelity))
+            # SIMD vs scalar libm pow may differ in the last ulp
+            assert batched == pytest.approx(scalar_model.success_probability(**kwargs), rel=1e-14)
+
+    def test_batch_rejects_negative_inputs(self):
+        with pytest.raises(ValueError):
+            FidelityModel().success_probability_batch(
+                num_atoms=1,
+                depth=-1,
+                num_one_qubit_gates=0,
+                movement_distances=[],
+                two_qubit_fidelities=[0.99],
+            )
+
+    def test_success_probability_accepts_arrays(self):
+        import numpy as np
+
+        model = FidelityModel()
+        from_list = model.success_probability(
+            num_atoms=5, depth=4, num_one_qubit_gates=3, movement_distances=[1.0, 4.0]
+        )
+        from_array = model.success_probability(
+            num_atoms=5, depth=4, num_one_qubit_gates=3, movement_distances=np.array([1.0, 4.0])
+        )
+        assert from_list == from_array
+        from_generator = model.success_probability(
+            num_atoms=5, depth=4, num_one_qubit_gates=3, movement_distances=iter([1.0, 4.0])
+        )
+        assert from_generator == from_list
+        assert model.movement_time_s([]) == 0.0
+        assert model.movement_time_s(d for d in ()) == 0.0
+        assert model.movement_time_s([4.0]) == pytest.approx(2 * model.t0_s)
+
     def test_from_config(self):
         config = FPQAConfig(slm_rows=2, slm_cols=2, two_qubit_fidelity=0.98, t2_s=2.0)
         model = FidelityModel.from_config(config)

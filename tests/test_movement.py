@@ -67,3 +67,15 @@ class TestStatistics:
         stats = movement_statistics([])
         assert stats["num_steps"] == 0
         assert stats["mean_step_distance"] == 0.0
+
+    def test_statistics_accept_a_generator(self):
+        """A one-shot iterable must produce the same statistics as a list.
+
+        Regression guard: an implementation that iterates its argument more
+        than once sees an exhausted generator and silently reports zeros.
+        """
+        from_list = movement_statistics(self._steps())
+        from_generator = movement_statistics(step for step in self._steps())
+        assert from_generator == from_list
+        assert from_generator["num_steps"] == 2
+        assert from_generator["total_max_distance"] > 0

@@ -15,9 +15,12 @@ import time
 
 import pytest
 
+from repro.baselines.layout import trivial_layout
+from repro.baselines.sabre import SabreOptions, SabreRouter
 from repro.circuit import random_cx_circuit
 from repro.core.generic_router import GenericRouter
 from repro.core.qaoa_router import QAOARouter
+from repro.hardware import grid_device
 from repro.workloads import regular_graph_edges
 
 #: Generous wall-clock budget (seconds) for the smoke compile.
@@ -28,6 +31,12 @@ _CEILING_S = 2.0
 #: on the same input and ~0.35 s on denser graphs, so 1 s fails loudly if a
 #: full-rescan planning loop sneaks back in while still tolerating slow CI.
 _QAOA_CEILING_S = 1.0
+
+#: Ceiling for the SABRE baseline's 100-qubit / 500-gate route.  The
+#: vectorised scorer needs ~0.3 s; the scalar per-candidate scorer needed
+#: ~2.4 s, so 1.5 s fails loudly if a quadratic (per-candidate layout copy
+#: or Python pair sum) scoring loop sneaks back in.
+_SABRE_CEILING_S = 1.5
 
 
 @pytest.mark.perf
@@ -59,4 +68,22 @@ def test_qaoa_100q_cost_layer_stays_fast():
         f"100q QAOA cost-layer compile took {elapsed:.2f}s (ceiling "
         f"{_QAOA_CEILING_S}s); an O(front²) stage-planning loop may have "
         "regressed — see repro/core/stage_planner.py and BENCH_compile.json"
+    )
+
+
+@pytest.mark.perf
+def test_sabre_100q_route_stays_fast():
+    """SABRE baseline 100q/500g route under a generous 1.5 s ceiling."""
+    circuit = random_cx_circuit(100, 500, seed=42)
+    device = grid_device(10, 10)
+    router = SabreRouter(device, SabreOptions(layout_trials=1))
+    layout = trivial_layout(circuit, device)
+    start = time.perf_counter()
+    routed = router.run(circuit, layout)
+    elapsed = time.perf_counter() - start
+    assert routed.num_swaps > 0
+    assert elapsed < _SABRE_CEILING_S, (
+        f"SABRE 100q/500g route took {elapsed:.2f}s (ceiling {_SABRE_CEILING_S}s); "
+        "the vectorized swap scorer may have regressed to a per-candidate "
+        "Python loop — see repro/baselines/sabre.py and BENCH_compile.json"
     )

@@ -130,6 +130,74 @@ def _unpermute_state(state: Statevector, logical_to_physical: dict[int, int], nu
     return out
 
 
+class TestVectorizedScorerDifferential:
+    """The batched NumPy scorer must reproduce the seed scalar scorer exactly."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_routed_circuits_gate_identical_across_seeds(self, seed):
+        """Route ≥10 seeded random circuits with both scorers: identical output."""
+        device = grid_device(4, 4) if seed % 2 else ring_device(9)
+        num_qubits = 9 if device.num_qubits == 9 else 12
+        circuit = decompose_to_cx(random_cx_circuit(num_qubits, 40 + 5 * seed, seed=seed))
+        vectorized = SabreRouter(device, SabreOptions(layout_trials=2)).run(circuit)
+        reference = SabreRouter(device, SabreOptions(layout_trials=2, scorer="reference")).run(
+            circuit
+        )
+        assert vectorized.num_swaps == reference.num_swaps
+        assert vectorized.initial_layout == reference.initial_layout
+        assert vectorized.final_layout == reference.final_layout
+        assert len(vectorized.circuit.gates) == len(reference.circuit.gates)
+        for fast_gate, ref_gate in zip(vectorized.circuit.gates, reference.circuit.gates):
+            assert fast_gate.name == ref_gate.name
+            assert fast_gate.qubits == ref_gate.qubits
+            assert fast_gate.params == ref_gate.params
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_scores_bitwise_identical(self, seed):
+        """Direct oracle check: score_swaps == reference_score_swaps bit for bit."""
+        from repro.baselines.layout import Layout
+        from repro.baselines.sabre import reference_score_swaps, score_swaps
+
+        rng = np.random.default_rng(seed)
+        device = grid_device(5, 5)
+        dist = device.distance_matrix()
+        permutation = rng.permutation(device.num_qubits)
+        phys_of = np.asarray(permutation[:20], dtype=np.intp)
+        layout = Layout({q: int(p) for q, p in enumerate(phys_of)})
+        decay = 1.0 + rng.integers(0, 5, size=device.num_qubits) * 0.001
+        candidates = [tuple(sorted(map(int, rng.choice(device.num_qubits, 2, replace=False)))) for _ in range(12)]
+        front_pairs = [tuple(map(int, rng.choice(20, 2, replace=False))) for _ in range(4)]
+        extended_pairs = [tuple(map(int, rng.choice(20, 2, replace=False))) for _ in range(8)]
+        for ext in (extended_pairs, []):
+            fast = score_swaps(candidates, front_pairs, ext, phys_of, dist, decay, 0.5)
+            oracle = reference_score_swaps(candidates, front_pairs, ext, layout, dist, decay, 0.5)
+            assert fast.tolist() == oracle
+
+    def test_empty_candidate_list_scores_empty(self):
+        from repro.baselines.layout import Layout
+        from repro.baselines.sabre import reference_score_swaps, score_swaps
+
+        device = grid_device(3, 3)
+        dist = device.distance_matrix()
+        phys_of = np.arange(4, dtype=np.intp)
+        decay = np.ones(device.num_qubits)
+        fast = score_swaps([], [(0, 1)], [], phys_of, dist, decay, 0.5)
+        oracle = reference_score_swaps([], [(0, 1)], [], Layout.trivial(4), dist, decay, 0.5)
+        assert fast.tolist() == oracle == []
+
+    def test_unknown_scorer_rejected(self):
+        with pytest.raises(RoutingError):
+            SabreRouter(linear_device(3), SabreOptions(scorer="bogus"))
+
+    def test_unmapped_circuit_qubit_rejected(self):
+        from repro.baselines.layout import Layout
+
+        device = linear_device(4)
+        circuit = QuantumCircuit(4).cx(0, 3)
+        with pytest.raises(RoutingError):
+            SabreRouter(device).run(circuit, Layout({0: 0, 1: 1}))
+
+
 class TestLayoutSearch:
     def test_find_initial_layout_reduces_swaps(self):
         device = grid_device(3, 3)

@@ -19,8 +19,10 @@ from repro.core import QAOARouter, QAOARouterOptions, route_pauli_strings, route
 from repro.core.qsim_router import longest_path_stages as qsim_longest_path_stages
 from repro.core.stage_planner import (
     ArrayGeometry,
+    CompatibilityGraph,
     QAOAStagePlanner,
     longest_path_stages,
+    reference_longest_path_stages,
     reference_plan_best_stage,
     reference_plan_stage,
 )
@@ -239,3 +241,39 @@ class TestChainExtractionRelocation:
             coordinates = [array.position(q) for q in stage]
             for (r1, c1), (r2, c2) in zip(coordinates, coordinates[1:]):
                 assert r1 <= r2 and c1 <= c2  # monotone chain
+
+
+class TestLongestPathDifferential:
+    """The O(V+E) topological DP must reproduce the seed O(V²) DP exactly."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_target_sets_match_reference(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(2, 10))
+        cols = int(rng.integers(2, 10))
+        num_qubits = rows * cols
+        array = SLMArray(FPQAConfig(slm_rows=rows, slm_cols=cols), num_qubits)
+        size = int(rng.integers(1, num_qubits + 1))
+        qubits = [int(q) for q in rng.choice(num_qubits, size=size, replace=False)]
+        assert longest_path_stages(array, qubits) == reference_longest_path_stages(array, qubits)
+
+    def test_stagewise_paths_match_reference(self):
+        """Both DPs agree stage by stage, not just on the final partition."""
+        array = SLMArray(FPQAConfig(slm_rows=5, slm_cols=5), 25)
+        qubits = [0, 3, 6, 7, 11, 12, 16, 18, 21, 24]
+        fast = CompatibilityGraph(array, qubits)
+        reference = CompatibilityGraph(array, qubits)
+        while fast:
+            fast_path = fast.longest_path()
+            assert fast_path == reference.reference_longest_path()
+            fast.remove(fast_path)
+            reference.remove(fast_path)
+        assert not reference
+
+    def test_single_and_empty_sets(self):
+        array = SLMArray(FPQAConfig(slm_rows=3, slm_cols=3), 9)
+        assert CompatibilityGraph(array, []).longest_path() == []
+        assert longest_path_stages(array, [5]) == [[5]]
+        assert reference_longest_path_stages(array, [5]) == [[5]]
