@@ -25,6 +25,12 @@ call, so interpreter/cache warmup is not attributed to the compiler), and
 ``sabre_num_swaps[num_qubits]`` to the SWAP count of the SABRE route at
 that size (a correctness fingerprint: a scorer change that alters swap
 counts shows up in the trajectory alongside its timing).
+
+Each entry also records the *batched* DSE headline: ``dse_fig14`` times the
+Fig. 14 grid (3 workload families × 5 array widths at 50 qubits) through
+the compile farm, serial reference oracle vs process-pool executor, and
+``headline_dse_fig14_s`` is the parallel wall clock.  ``--no-dse`` skips
+it; ``--dse-jobs N`` caps the worker processes.
 """
 
 from __future__ import annotations
@@ -32,18 +38,20 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import time
 from pathlib import Path
 
 from repro.baselines.layout import trivial_layout
 from repro.baselines.sabre import SabreOptions, SabreRouter
 from repro.circuit import random_cx_circuit
+from repro.core import available_workers, sweep_grid
 from repro.core.generic_router import GenericRouter
 from repro.core.qaoa_router import QAOARouter
 from repro.core.qsim_router import QSimRouter
 from repro.hardware import grid_device
 from repro.utils.profiling import TrajectoryRecorder, time_call
 from repro.utils.reporting import format_table
-from repro.workloads import qsim_workload, random_graph_edges
+from repro.workloads import fig14_workload_specs, qsim_workload, random_graph_edges
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 TRAJECTORY_PATH = REPO_ROOT / "BENCH_compile.json"
@@ -55,6 +63,14 @@ SIZES = (20, 40, 70, 100)
 GATE_FACTOR = 5
 REPEATS = 3
 SEED = 42
+
+#: The Fig. 14 DSE headline: 3 workload families × 5 widths through the
+#: compile farm (see repro/core/farm.py).  ``headline_dse_fig14_s`` is the
+#: parallel-farm wall clock of this grid; ``dse_fig14.serial_s`` is the
+#: serial reference oracle on the same grid, so the trajectory records the
+#: batching speedup alongside the single-compile headlines.
+DSE_NUM_QUBITS = 50
+DSE_WIDTHS = (8, 16, 32, 64, 128)
 
 
 def _grid_side(num_qubits: int) -> int:
@@ -94,12 +110,43 @@ def _bench_sabre(num_qubits: int, gate_factor: int, repeats: int) -> tuple[float
     return seconds, routed.num_swaps
 
 
+def _bench_dse_fig14(max_workers: int | None = None) -> dict:
+    """Serial vs parallel wall clock of the Fig. 14 compile-farm grid."""
+    specs = fig14_workload_specs(DSE_NUM_QUBITS)
+    timings: dict[str, float] = {}
+    sweeps = {}
+    for executor in ("reference", "process"):
+        start = time.perf_counter()
+        sweeps[executor] = sweep_grid(
+            specs, widths=DSE_WIDTHS, executor=executor, max_workers=max_workers
+        )
+        timings[executor] = time.perf_counter() - start
+    if sweeps["reference"].as_series() != sweeps["process"].as_series():
+        raise AssertionError(
+            "serial and parallel farm executors disagree — see tests/test_farm.py"
+        )
+    workers = max_workers or available_workers()
+    return {
+        "num_qubits": DSE_NUM_QUBITS,
+        "widths": list(DSE_WIDTHS),
+        "num_jobs": sweeps["process"].meta["num_jobs"],
+        "workers": workers,
+        "serial_s": round(timings["reference"], 6),
+        "parallel_s": round(timings["process"], 6),
+        "speedup": round(timings["reference"] / timings["process"], 3)
+        if timings["process"] > 0
+        else None,
+    }
+
+
 def run_compile_speed_sweep(
     *,
     sizes: tuple[int, ...] | list[int] = SIZES,
     gate_factor: int = GATE_FACTOR,
     repeats: int = REPEATS,
     include_sabre: bool = True,
+    include_dse: bool = True,
+    dse_workers: int | None = None,
 ) -> dict:
     """Sweep all routers over ``sizes``; append to the trajectory file."""
     results: dict[str, dict[str, float]] = {"generic": {}, "qsim": {}, "qaoa": {}}
@@ -126,6 +173,10 @@ def run_compile_speed_sweep(
     if include_sabre:
         entry["sabre_num_swaps"] = sabre_num_swaps
         entry["headline_sabre_100q_500g_s"] = results["sabre"].get("100")
+    if include_dse:
+        dse = _bench_dse_fig14(dse_workers)
+        entry["dse_fig14"] = dse
+        entry["headline_dse_fig14_s"] = dse["parallel_s"]
     recorder = TrajectoryRecorder(TRAJECTORY_PATH, "compile_speed")
     recorder.record(entry)
     return entry
@@ -142,6 +193,13 @@ def _print_entry(entry: dict) -> None:
     if "sabre_num_swaps" in entry:
         swaps = ", ".join(f"{size}q: {n}" for size, n in entry["sabre_num_swaps"].items())
         print(f"sabre swaps — {swaps}")
+    if "dse_fig14" in entry:
+        dse = entry["dse_fig14"]
+        print(
+            f"dse fig14 ({dse['num_qubits']}q, {dse['num_jobs']} jobs, "
+            f"{dse['workers']} workers) — serial {dse['serial_s']:.3f}s, "
+            f"parallel {dse['parallel_s']:.3f}s ({dse['speedup']}x)"
+        )
     print(f"trajectory: {TRAJECTORY_PATH}")
 
 
@@ -157,6 +215,8 @@ def test_compile_speed_sweep():
         assert len(last["results"][router]) >= 4, f"missing sizes for {router}"
     assert len(last["sabre_num_swaps"]) >= 4
     assert all(n > 0 for n in last["sabre_num_swaps"].values())
+    assert last["headline_dse_fig14_s"] > 0
+    assert last["dse_fig14"]["serial_s"] > 0
 
 
 def _parse_args() -> argparse.Namespace:
@@ -184,6 +244,17 @@ def _parse_args() -> argparse.Namespace:
         action="store_true",
         help="skip the SABRE baseline",
     )
+    parser.add_argument(
+        "--no-dse",
+        action="store_true",
+        help="skip the Fig. 14 compile-farm DSE headline",
+    )
+    parser.add_argument(
+        "--dse-jobs",
+        type=int,
+        default=None,
+        help=f"worker processes for the DSE farm (default: all {available_workers()})",
+    )
     return parser.parse_args()
 
 
@@ -195,5 +266,7 @@ if __name__ == "__main__":
             gate_factor=args.gate_factor,
             repeats=args.repeats,
             include_sabre=not args.no_sabre,
+            include_dse=not args.no_dse,
+            dse_workers=args.dse_jobs,
         )
     )

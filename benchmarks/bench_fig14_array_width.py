@@ -1,45 +1,102 @@
-"""Fig. 14 — compiled circuit depth vs FPQA array width.
+"""Fig. 14 — compiled circuit depth vs FPQA array width, on the compile farm.
 
 For each workload family (random circuits, quantum simulation, QAOA) the
 qubits are arranged in rectangular arrays of width 8-128 columns and the
 same workload is recompiled for every width.  The paper finds that QAOA
 prefers the widest array while random and quantum-simulation workloads peak
 at moderate widths — the router-in-the-loop design-space exploration knob.
+
+The whole ``workloads × widths`` grid runs as one batch through
+:class:`repro.core.farm.CompileFarm`.  Run as a script to race the serial
+``reference`` oracle against the parallel ``process`` executor:
+
+    PYTHONPATH=src python benchmarks/bench_fig14_array_width.py
+    PYTHONPATH=src python benchmarks/bench_fig14_array_width.py \
+        --executor process --jobs 4
+    PYTHONPATH=src python benchmarks/bench_fig14_array_width.py --executor both
+
+``--executor both`` (the default) reports serial vs parallel wall-clock
+side by side and checks the two backends produced identical design points.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import time
 
-from repro.core import QPilotCompiler, sweep_array_width
-from repro.workloads import qsim_workload, random_circuit_workload, random_graph_edges
+from repro.core import available_workers, sweep_grid
+from repro.workloads import fig14_workload_specs
 
-from .conftest import FULL_SCALE, NUM_PAULI_STRINGS, save_table
-
-NUM_QUBITS = 100 if FULL_SCALE else 50
+NUM_QUBITS_DEFAULT = 50
+NUM_QUBITS_FULL = 100
 WIDTHS = (8, 16, 32, 64, 128)
 
 
-def _sweep(workload_kind: str):
-    if workload_kind == "random":
-        circuit = random_circuit_workload(NUM_QUBITS, 10, seed=31)
-        compile_fn = lambda compiler: compiler.compile_circuit(circuit)  # noqa: E731
-    elif workload_kind == "qsim":
-        strings = qsim_workload(NUM_QUBITS, 0.3, num_strings=NUM_PAULI_STRINGS, seed=32)
-        compile_fn = lambda compiler: compiler.compile_pauli_strings(strings)  # noqa: E731
-    else:
-        edges = random_graph_edges(NUM_QUBITS, 0.3, seed=33)
-        compile_fn = lambda compiler: compiler.compile_qaoa(NUM_QUBITS, edges)  # noqa: E731
-    return sweep_array_width(compile_fn, NUM_QUBITS, widths=WIDTHS, workload_name=workload_kind)
+def run_fig14_sweep(
+    *,
+    num_qubits: int = NUM_QUBITS_DEFAULT,
+    num_pauli_strings: int = 20,
+    widths: tuple[int, ...] = WIDTHS,
+    executor: str = "reference",
+    max_workers: int | None = None,
+):
+    """One full Fig. 14 grid (3 workloads × widths) through the farm."""
+    return sweep_grid(
+        fig14_workload_specs(num_qubits, num_pauli_strings=num_pauli_strings),
+        widths=widths,
+        executor=executor,
+        max_workers=max_workers,
+        name="fig14",
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (collected by the benchmark harness)
+
+try:
+    from .conftest import FULL_SCALE, NUM_PAULI_STRINGS, save_table
+except ImportError:
+    # Collected as a top-level module (pytest without package mode) or run
+    # as a script: load the sibling conftest by path.
+    import importlib.util
+    from pathlib import Path
+
+    _spec = importlib.util.spec_from_file_location(
+        "bench_conftest", Path(__file__).resolve().parent / "conftest.py"
+    )
+    _conftest = importlib.util.module_from_spec(_spec)
+    _spec.loader.exec_module(_conftest)
+    FULL_SCALE = _conftest.FULL_SCALE
+    NUM_PAULI_STRINGS = _conftest.NUM_PAULI_STRINGS
+    save_table = _conftest.save_table
+
+NUM_QUBITS = NUM_QUBITS_FULL if FULL_SCALE else NUM_QUBITS_DEFAULT
+
+import pytest
 
 
 @pytest.mark.parametrize("workload_kind", ["random", "qsim", "qaoa"])
 def test_fig14_array_width(benchmark, workload_kind):
     """Regenerate one workload family's width-vs-depth curve."""
-    sweep = benchmark.pedantic(_sweep, args=(workload_kind,), iterations=1, rounds=1)
+    specs = {
+        spec.name: spec
+        for spec in fig14_workload_specs(NUM_QUBITS, num_pauli_strings=NUM_PAULI_STRINGS)
+    }
+
+    def compile_family():
+        return sweep_grid(
+            specs[workload_kind], widths=WIDTHS, executor="reference", name=workload_kind
+        )
+
+    sweep = benchmark.pedantic(compile_family, iterations=1, rounds=1)
 
     rows = [
-        {"workload": workload_kind, "qubits": NUM_QUBITS, "width": point.width, "depth": point.depth}
+        {
+            "workload": workload_kind,
+            "qubits": NUM_QUBITS,
+            "width": point.width,
+            "depth": point.depth,
+        }
         for point in sweep.points
     ]
     best = sweep.best("depth")
@@ -51,8 +108,89 @@ def test_fig14_array_width(benchmark, workload_kind):
         title=f"Fig. 14 — depth vs array width ({workload_kind}, {NUM_QUBITS} qubits)",
     )
 
-    # shape checks: every width compiles, and the depth actually varies with
-    # the width (the trade-off the figure is about)
+    # shape checks: every width compiles, and the depth actually varies
+    # with the width (the trade-off the figure is about)
     depths = [point.depth for point in sweep.points]
     assert all(depth > 0 for depth in depths)
     assert max(depths) > min(depths)
+
+
+# ---------------------------------------------------------------------------
+# script entry point: serial vs parallel wall-clock comparison
+
+def _parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--qubits", type=int, default=NUM_QUBITS_DEFAULT)
+    parser.add_argument(
+        "--widths",
+        type=lambda text: tuple(int(part) for part in text.split(",") if part),
+        default=WIDTHS,
+        help=f"comma-separated widths (default: {','.join(map(str, WIDTHS))})",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("reference", "process", "both"),
+        default="both",
+        help="farm backend; 'both' races serial vs parallel (default)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=f"worker processes for the process executor (default: all {available_workers()})",
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    from repro.utils.reporting import format_table
+
+    args = _parse_args()
+    executors = ("reference", "process") if args.executor == "both" else (args.executor,)
+    sweeps = {}
+    rows = []
+    for executor in executors:
+        start = time.perf_counter()
+        sweep = run_fig14_sweep(
+            num_qubits=args.qubits,
+            num_pauli_strings=NUM_PAULI_STRINGS,
+            widths=args.widths,
+            executor=executor,
+            max_workers=args.jobs,
+        )
+        wall = time.perf_counter() - start
+        sweeps[executor] = sweep
+        rows.append(
+            {
+                "executor": executor,
+                "jobs": sweep.meta["num_unique_jobs"],
+                "workers": 1 if executor == "reference" else (args.jobs or available_workers()),
+                "wall_s": round(wall, 3),
+            }
+        )
+    if len(rows) == 2:
+        serial, parallel = rows
+        speedup = serial["wall_s"] / parallel["wall_s"] if parallel["wall_s"] > 0 else float("inf")
+        for row in rows:
+            row["speedup"] = f"{speedup:.2f}x" if row is parallel else ""
+        identical = (
+            sweeps["reference"].as_series() == sweeps["process"].as_series()
+        )
+        print(f"serial and parallel design points identical: {identical}")
+        assert identical, "executor oracle violated — see tests/test_farm.py"
+
+    print(
+        format_table(
+            rows, title=f"Fig. 14 sweep wall-clock ({args.qubits} qubits, {len(args.widths)} widths)"
+        )
+    )
+    sweep = sweeps[executors[-1]]
+    depth_rows = [
+        {"workload": p.axes["workload"], "width": p.width, "depth": p.depth}
+        for p in sweep.points
+    ]
+    print(format_table(depth_rows, title="depth vs array width"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,4 @@
-"""Router-in-the-loop design-space exploration (Fig. 14).
+"""Router-in-the-loop design-space exploration (Fig. 14), farm-backed.
 
 The compiler supports exploring FPQA architecture parameters by compiling
 the same workload against a family of candidate configurations and scoring
@@ -6,107 +6,358 @@ each with the fast performance evaluator.  The paper's study sweeps the
 array *width* (number of SLM/AOD columns) over {8, 16, 32, 64, 128} and
 reports the compiled circuit depth; the optimum width differs per workload,
 exposing the trade-off between in-row and cross-row parallelism.
+
+Sweeps are batched through :mod:`repro.core.farm`: describe workloads as
+picklable :class:`~repro.core.farm.WorkloadSpec` values and the grid of
+``(workload, width, config axis, router options)`` cells fans out across a
+process pool (``executor="process"``) or runs through the deterministic
+serial oracle (``executor="reference"``).  Both executors produce
+identical design points — the differential suite in ``tests/test_farm.py``
+pins that.  The pre-farm closure API (``compile_fn(compiler)``) keeps
+working: :func:`sweep_array_width` accepts either a closure (compiled
+in-process, exactly the old semantics) or a :class:`WorkloadSpec`.
 """
 
 from __future__ import annotations
 
+import itertools
+import json
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.compiler import CompilationResult, QPilotCompiler
+from repro.core.farm import (
+    CompileFarm,
+    FarmJob,
+    FarmOptions,
+    PointMetrics,
+    WorkloadSpec,
+)
 from repro.exceptions import QPilotError
 from repro.hardware.fpqa import FPQAConfig
+from repro.utils.serialization import config_to_dict
+
+_SWEEP_SCHEMA_VERSION = 1
+
+#: Sweep-level keys that vary run-to-run or per-backend (wall clocks,
+#: worker counts, executor choice) without changing the logical sweep, and
+#: are stripped from canonical serialisations, mirroring
+#: :data:`repro.utils.serialization.VOLATILE_METADATA_KEYS`.  The executor
+#: oracle guarantees serial and parallel runs of the same grid are the
+#: same logical sweep, so their canonical JSON must be byte-identical.
+VOLATILE_SWEEP_META_KEYS = frozenset(
+    {"wall_s", "max_workers", "executor", "requested_executor"}
+)
+
+#: The paper's Fig. 14 width grid.
+DEFAULT_WIDTHS: tuple[int, ...] = (8, 16, 32, 64, 128)
 
 
 @dataclass
 class DesignPoint:
-    """One candidate architecture and its compiled metrics."""
+    """One candidate architecture and its compiled metrics.
+
+    Farm-produced points carry only :class:`PointMetrics` (schedules stay
+    in the worker); closure-path points also keep the full
+    :class:`CompilationResult` for backwards compatibility.
+    """
 
     width: int
     config: FPQAConfig
-    result: CompilationResult
+    result: CompilationResult | None = None
+    metrics: PointMetrics | None = None
+    axes: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.metrics is None:
+            if self.result is None:
+                raise QPilotError("DesignPoint needs a CompilationResult or PointMetrics")
+            self.metrics = PointMetrics.from_result(self.result)
 
     @property
     def depth(self) -> int:
-        return self.result.depth
+        return self.metrics.depth
 
     @property
     def error_rate(self) -> float:
-        return self.result.evaluation.error_rate
+        return self.metrics.error_rate
+
+    @property
+    def compile_time_s(self) -> float | None:
+        return self.metrics.compile_time_s
+
+    @property
+    def num_two_qubit_gates(self) -> int:
+        return self.metrics.num_two_qubit_gates
+
+    @property
+    def sabre_num_swaps(self) -> int | None:
+        return self.metrics.sabre_num_swaps
 
     def summary(self) -> dict:
-        data = self.result.summary()
+        data = (
+            self.result.summary()
+            if self.result is not None
+            else {
+                "depth": self.depth,
+                "error_rate": round(self.error_rate, 6),
+                "2q_gates": self.num_two_qubit_gates,
+            }
+        )
         data["width"] = self.width
+        data.update(self.axes)
         return data
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "width": self.width,
+            "axes": dict(self.axes),
+            "config": config_to_dict(self.config),
+            "metrics": self.metrics.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DesignPoint":
+        return cls(
+            width=int(data["width"]),
+            config=FPQAConfig(**data["config"]),
+            metrics=PointMetrics.from_dict(data["metrics"]),
+            axes=dict(data.get("axes", {})),
+        )
+
+
+#: Metric extractors understood by :meth:`SweepResult.best`.
+_METRICS: dict[str, Callable[[DesignPoint], float]] = {
+    "depth": lambda p: p.depth,
+    "error_rate": lambda p: p.error_rate,
+    "compile_time": lambda p: p.compile_time_s,
+}
 
 
 @dataclass
 class SweepResult:
-    """Result of sweeping the array width for one workload."""
+    """Result of sweeping a design-space grid for one or more workloads."""
 
     workload_name: str
     points: list[DesignPoint] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def best(self, metric: str = "depth") -> DesignPoint:
-        """Design point minimising the requested metric."""
+        """Design point minimising ``metric``; ties go to the smallest width.
+
+        Metrics: ``depth``, ``error_rate`` and ``compile_time``.  The
+        smallest-width tie-break makes ``best`` deterministic and
+        independent of sweep order (narrower arrays are the cheaper
+        hardware, so they win a draw).
+        """
         if not self.points:
             raise QPilotError("empty design-space sweep")
-        if metric == "depth":
-            return min(self.points, key=lambda p: p.depth)
-        if metric == "error_rate":
-            return min(self.points, key=lambda p: p.error_rate)
-        raise QPilotError(f"unknown sweep metric {metric!r}")
+        extract = _METRICS.get(metric)
+        if extract is None:
+            raise QPilotError(
+                f"unknown sweep metric {metric!r}; expected one of {sorted(_METRICS)}"
+            )
+        values = [extract(point) for point in self.points]
+        if any(value is None for value in values):
+            raise QPilotError(f"metric {metric!r} unavailable on some design points")
+        return min(zip(values, self.points), key=lambda pair: (pair[0], pair[1].width))[1]
 
     def as_series(self) -> list[tuple[int, int]]:
         """(width, depth) pairs in sweep order — the Fig. 14 curves."""
         return [(p.width, p.depth) for p in self.points]
 
+    def by_workload(self) -> dict[str, "SweepResult"]:
+        """Split a multi-workload grid into one SweepResult per workload."""
+        groups: dict[str, SweepResult] = {}
+        for point in self.points:
+            name = point.axes.get("workload", self.workload_name)
+            groups.setdefault(name, SweepResult(name, meta=dict(self.meta))).points.append(point)
+        return groups
+
+    # -- serialisation (DSE trajectory archiving) -----------------------
+    def to_dict(self, *, canonical: bool = False) -> dict[str, Any]:
+        meta = {k: v for k, v in self.meta.items()}
+        points = [point.to_dict() for point in self.points]
+        if canonical:
+            meta = {k: v for k, v in meta.items() if k not in VOLATILE_SWEEP_META_KEYS}
+            for point in points:
+                point["metrics"]["compile_time_s"] = None
+        return {
+            "schema_version": _SWEEP_SCHEMA_VERSION,
+            "workload_name": self.workload_name,
+            "meta": meta,
+            "points": points,
+        }
+
+    def to_json(self, *, indent: int | None = 2, canonical: bool = False) -> str:
+        """JSON with canonical (sorted) key order, like the golden schedules.
+
+        ``canonical=True`` additionally strips volatile wall-clock fields
+        so that serialising the same logical sweep twice — or a
+        round-trip of it — is byte-identical.
+        """
+        return json.dumps(self.to_dict(canonical=canonical), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepResult":
+        if data.get("schema_version") != _SWEEP_SCHEMA_VERSION:
+            raise QPilotError(
+                f"unsupported sweep schema version {data.get('schema_version')!r}"
+            )
+        return cls(
+            workload_name=data.get("workload_name", "sweep"),
+            points=[DesignPoint.from_dict(p) for p in data.get("points", [])],
+            meta=dict(data.get("meta", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SweepResult":
+        return cls.from_dict(json.loads(text))
+
 
 WorkloadCompiler = Callable[[QPilotCompiler], CompilationResult]
 
 
-def sweep_array_width(
-    compile_fn: WorkloadCompiler,
-    num_qubits: int,
+def _width_config(num_qubits: int, width: int, base_kwargs: dict, axis_kwargs: dict) -> FPQAConfig:
+    return FPQAConfig.with_width(num_qubits, int(width), **{**base_kwargs, **axis_kwargs})
+
+
+def sweep_grid(
+    workloads: WorkloadSpec | Sequence[WorkloadSpec],
     *,
-    widths: Sequence[int] = (8, 16, 32, 64, 128),
-    workload_name: str = "workload",
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    base_config_kwargs: Mapping[str, Any] | None = None,
+    config_axes: Mapping[str, Sequence[Any]] | None = None,
+    option_sets: Sequence[FarmOptions] | None = None,
+    executor: str = "reference",
+    max_workers: int | None = None,
+    name: str = "grid",
+) -> SweepResult:
+    """Batched multi-dimensional design-space sweep through the compile farm.
+
+    Generalises :func:`sweep_array_width` to a full grid:
+    ``workloads × widths × config_axes × option_sets``.  ``config_axes``
+    maps :class:`FPQAConfig` field names to candidate values (Cartesian
+    product, e.g. ``{"two_qubit_fidelity": (0.99, 0.995)}``);
+    ``option_sets`` is the router axis — one :class:`FarmOptions` per
+    router variant.  Workload-side axes (gate factor, Pauli probability,
+    graph density) are expressed as multiple :class:`WorkloadSpec` entries.
+
+    Every grid cell becomes one :class:`FarmJob`; duplicate cells are
+    memoised and ``executor="process"`` fans the rest across worker
+    processes.  Points appear in deterministic grid order (workload-major)
+    regardless of executor.
+    """
+    specs = [workloads] if isinstance(workloads, WorkloadSpec) else list(workloads)
+    if not specs:
+        raise QPilotError("sweep_grid needs at least one workload")
+    base_kwargs = dict(base_config_kwargs or {})
+    axes = {key: list(values) for key, values in (config_axes or {}).items()}
+    options = list(option_sets) if option_sets else [FarmOptions()]
+    axis_names = list(axes)
+    axis_combos = list(itertools.product(*axes.values())) if axes else [()]
+
+    jobs: list[FarmJob] = []
+    point_axes: list[dict[str, Any]] = []
+    widths_list = [int(w) for w in widths]
+    for spec, width, combo, opts in itertools.product(specs, widths_list, axis_combos, options):
+        axis_kwargs = dict(zip(axis_names, combo))
+        config = _width_config(spec.num_qubits, width, base_kwargs, axis_kwargs)
+        jobs.append(FarmJob(workload=spec, config=config, options=opts))
+        cell = {"workload": spec.name, **axis_kwargs}
+        if len(options) > 1 or opts.label != "default":
+            cell["options"] = opts.label
+        point_axes.append(cell)
+
+    farm = CompileFarm(executor, max_workers=max_workers)
+    metrics = farm.run(jobs)
+    points = [
+        DesignPoint(width=job.config.slm_cols, config=job.config, metrics=m, axes=cell)
+        for job, m, cell in zip(jobs, metrics, point_axes)
+    ]
+    meta = {
+        "widths": widths_list,
+        "workloads": [spec.name for spec in specs],
+        **farm.last_stats,
+    }
+    return SweepResult(workload_name=name, points=points, meta=meta)
+
+
+def sweep_array_width(
+    workload: WorkloadCompiler | WorkloadSpec,
+    num_qubits: int | None = None,
+    *,
+    widths: Sequence[int] = DEFAULT_WIDTHS,
+    workload_name: str | None = None,
     base_config_kwargs: dict | None = None,
+    executor: str = "reference",
+    max_workers: int | None = None,
 ) -> SweepResult:
     """Compile one workload against FPQA arrays of different widths.
 
     Parameters
     ----------
-    compile_fn:
-        Callback receiving a :class:`QPilotCompiler` already configured for
-        one candidate width and returning the compilation result.  This lets
-        the same sweep drive any router.
+    workload:
+        Either a :class:`WorkloadSpec` (batched through the compile farm;
+        set ``executor="process"`` to parallelise) or, for backwards
+        compatibility, a closure receiving a :class:`QPilotCompiler`
+        already configured for one candidate width and returning the
+        compilation result.  Closures cannot cross process boundaries, so
+        they always compile serially in-process (the old semantics,
+        including full ``CompilationResult`` objects on every point).
     num_qubits:
         Number of data qubits; the row count of each candidate array is
-        derived from it.
+        derived from it.  Optional for specs (they know their size).
     widths:
         Candidate column counts (the paper sweeps 8..128).
     """
+    if isinstance(workload, WorkloadSpec):
+        if num_qubits is not None and num_qubits != workload.num_qubits:
+            raise QPilotError(
+                f"num_qubits={num_qubits} contradicts the workload spec's "
+                f"{workload.num_qubits} qubits; specs carry their own size"
+            )
+        sweep = sweep_grid(
+            workload,
+            widths=widths,
+            base_config_kwargs=base_config_kwargs,
+            executor=executor,
+            max_workers=max_workers,
+            name=workload_name or workload.name,
+        )
+        for point in sweep.points:
+            point.axes.pop("workload", None)
+        return sweep
+
+    if num_qubits is None:
+        raise QPilotError("num_qubits is required with a closure-based workload")
     base_kwargs = base_config_kwargs or {}
-    result = SweepResult(workload_name=workload_name)
+    result = SweepResult(workload_name=workload_name or "workload")
     for width in widths:
         config = FPQAConfig.with_width(num_qubits, int(width), **base_kwargs)
         compiler = QPilotCompiler(config)
-        compilation = compile_fn(compiler)
+        compilation = workload(compiler)
         result.points.append(DesignPoint(width=int(width), config=config, result=compilation))
     return result
 
 
 def architecture_search(
-    compile_fn: WorkloadCompiler,
-    num_qubits: int,
+    workload: WorkloadCompiler | WorkloadSpec,
+    num_qubits: int | None = None,
     *,
-    widths: Sequence[int] = (8, 16, 32, 64, 128),
+    widths: Sequence[int] = DEFAULT_WIDTHS,
     metric: str = "depth",
-    workload_name: str = "workload",
+    workload_name: str | None = None,
+    executor: str = "reference",
+    max_workers: int | None = None,
 ) -> DesignPoint:
     """Convenience wrapper: sweep the widths and return the best design point."""
     sweep = sweep_array_width(
-        compile_fn, num_qubits, widths=widths, workload_name=workload_name
+        workload,
+        num_qubits,
+        widths=widths,
+        workload_name=workload_name,
+        executor=executor,
+        max_workers=max_workers,
     )
     return sweep.best(metric)

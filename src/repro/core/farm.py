@@ -1,0 +1,487 @@
+"""Compile-farm: batched, parallel router-in-the-loop compilation.
+
+Design-space exploration (the Fig. 14 study) recompiles the *same*
+workload against many candidate FPQA configurations.  After PRs 1-3 made
+each single compile fast, the remaining order of magnitude comes from
+batching: a sweep is an embarrassingly parallel grid of independent
+compilations, so the farm fans them out across a
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Three pieces make that possible:
+
+* :class:`WorkloadSpec` — a declarative, picklable description of one
+  workload (random circuit / Pauli strings / QAOA graph).  The heavy
+  workload object is built *lazily inside the worker process* from a few
+  scalars, so jobs cross process boundaries as tiny messages instead of
+  pickled circuits.  Specs replace the closure-only ``compile_fn`` API
+  (closures cannot be pickled); the legacy closure path survives as a
+  compatibility shim in :func:`repro.core.dse.sweep_array_width`.
+* :class:`FarmJob` — one grid cell: ``(WorkloadSpec, FPQAConfig,
+  FarmOptions)``.  Duplicate cells are memoised by a
+  ``(workload fingerprint, config, options)`` key and compiled once.
+* :class:`CompileFarm` — the executor.  ``executor="process"`` fans jobs
+  across worker processes; ``executor="reference"`` is the deterministic
+  in-process serial backend that runs the *same* job function in
+  submission order — the oracle the differential suite pins the parallel
+  backend against (the ROADMAP oracle pattern applied to batching).
+
+Per-config immutables are shared, not re-built per job: every worker
+process warms the gate-matrix ``lru_cache`` in its initialiser and keeps
+module-level caches of built workloads (keyed by fingerprint) and SABRE
+routers (whose all-pairs distance matrix is the expensive part), so a
+sweep of W widths pays for each workload build and each distance matrix
+once per worker instead of once per grid cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterable, Sequence
+
+from repro.core.compiler import CompilationResult, QPilotCompiler
+from repro.core.generic_router import GenericRouterOptions
+from repro.core.qaoa_router import QAOARouterOptions
+from repro.core.qsim_router import QSimRouterOptions
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+
+#: Workload families the farm understands.
+WORKLOAD_KINDS = ("circuit", "qsim", "qaoa")
+
+
+def _canonical_params(params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    """Sorted, tuple-ified (hashable) view of a params dict."""
+
+    def freeze(value):
+        if isinstance(value, (list, tuple)):
+            return tuple(freeze(v) for v in value)
+        return value
+
+    return tuple(sorted((k, freeze(v)) for k, v in params.items()))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative, picklable description of one workload.
+
+    The spec stores only scalars (sizes, probabilities, seeds, edge lists)
+    and builds the actual workload object on demand with :meth:`build` —
+    in a farm, inside the worker process.  Construction is deterministic:
+    equal specs always build equal workloads, which is what makes the
+    parallel/serial differential oracle meaningful.
+    """
+
+    kind: str
+    name: str
+    num_qubits: int
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in WORKLOAD_KINDS:
+            raise QPilotError(
+                f"unknown workload kind {self.kind!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        if self.num_qubits < 1:
+            raise QPilotError("workload needs at least one qubit")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def random_circuit(
+        cls, num_qubits: int, gate_multiple: int, *, seed: int = 2024, name: str | None = None
+    ) -> "WorkloadSpec":
+        """Random circuit with ``gate_multiple * num_qubits`` CX gates (Fig. 11)."""
+        return cls(
+            kind="circuit",
+            name=name or f"random_{gate_multiple}x_{num_qubits}q",
+            num_qubits=num_qubits,
+            params=_canonical_params({"gate_multiple": int(gate_multiple), "seed": int(seed)}),
+        )
+
+    @classmethod
+    def qsim(
+        cls,
+        num_qubits: int,
+        pauli_probability: float,
+        *,
+        num_strings: int = 100,
+        seed: int = 2024,
+        name: str | None = None,
+    ) -> "WorkloadSpec":
+        """Quantum-simulation workload of random Pauli strings (Fig. 12)."""
+        return cls(
+            kind="qsim",
+            name=name or f"qsim_p{pauli_probability}_{num_qubits}q",
+            num_qubits=num_qubits,
+            params=_canonical_params(
+                {
+                    "pauli_probability": float(pauli_probability),
+                    "num_strings": int(num_strings),
+                    "seed": int(seed),
+                }
+            ),
+        )
+
+    @classmethod
+    def qaoa_random_graph(
+        cls,
+        num_qubits: int,
+        edge_probability: float,
+        *,
+        seed: int = 2024,
+        layers: int = 1,
+        name: str | None = None,
+    ) -> "WorkloadSpec":
+        """QAOA on an Erdős–Rényi G(n, p) graph (Fig. 13)."""
+        return cls(
+            kind="qaoa",
+            name=name or f"qaoa_p{edge_probability}_{num_qubits}q",
+            num_qubits=num_qubits,
+            params=_canonical_params(
+                {
+                    "graph": "random",
+                    "edge_probability": float(edge_probability),
+                    "seed": int(seed),
+                    "layers": int(layers),
+                }
+            ),
+        )
+
+    @classmethod
+    def qaoa_regular_graph(
+        cls,
+        num_qubits: int,
+        degree: int,
+        *,
+        seed: int = 2024,
+        layers: int = 1,
+        name: str | None = None,
+    ) -> "WorkloadSpec":
+        """QAOA on a random d-regular graph (Fig. 13)."""
+        return cls(
+            kind="qaoa",
+            name=name or f"qaoa_{degree}reg_{num_qubits}q",
+            num_qubits=num_qubits,
+            params=_canonical_params(
+                {
+                    "graph": "regular",
+                    "degree": int(degree),
+                    "seed": int(seed),
+                    "layers": int(layers),
+                }
+            ),
+        )
+
+    @classmethod
+    def qaoa_edges(
+        cls,
+        num_qubits: int,
+        edges: Iterable[tuple[int, int]],
+        *,
+        layers: int = 1,
+        name: str | None = None,
+    ) -> "WorkloadSpec":
+        """QAOA on an explicit edge list."""
+        edge_tuple = tuple(sorted((min(a, b), max(a, b)) for a, b in edges))
+        return cls(
+            kind="qaoa",
+            name=name or f"qaoa_edges_{num_qubits}q",
+            num_qubits=num_qubits,
+            params=_canonical_params({"graph": "edges", "edges": edge_tuple, "layers": layers}),
+        )
+
+    # -- materialisation ------------------------------------------------
+    def param(self, key: str, default=None):
+        for k, v in self.params:
+            if k == key:
+                return v
+        return default
+
+    def build(self):
+        """Materialise the workload object (circuit / strings / edge list)."""
+        if self.kind == "circuit":
+            from repro.circuit.random_circuits import random_cx_circuit
+
+            return random_cx_circuit(
+                self.num_qubits,
+                self.param("gate_multiple") * self.num_qubits,
+                seed=self.param("seed"),
+            )
+        if self.kind == "qsim":
+            from repro.circuit.pauli import random_pauli_strings
+
+            return random_pauli_strings(
+                self.num_qubits,
+                self.param("num_strings"),
+                self.param("pauli_probability"),
+                seed=self.param("seed"),
+            )
+        graph = self.param("graph")
+        if graph == "edges":
+            return [tuple(edge) for edge in self.param("edges")]
+        if graph == "regular":
+            from repro.workloads.graphs import regular_graph_edges
+
+            return regular_graph_edges(
+                self.num_qubits, self.param("degree"), seed=self.param("seed")
+            )
+        from repro.workloads.graphs import random_graph_edges
+
+        return random_graph_edges(
+            self.num_qubits, self.param("edge_probability"), seed=self.param("seed")
+        )
+
+    def compile_with(self, compiler: QPilotCompiler, built=None) -> CompilationResult:
+        """Compile this workload with the right router of ``compiler``."""
+        workload = self.build() if built is None else built
+        if self.kind == "circuit":
+            return compiler.compile_circuit(workload)
+        if self.kind == "qsim":
+            return compiler.compile_pauli_strings(workload)
+        return compiler.compile_qaoa(
+            self.num_qubits, workload, layers=int(self.param("layers", 1))
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash — the workload axis of the farm's memo key."""
+        payload = json.dumps(
+            {"kind": self.kind, "num_qubits": self.num_qubits, "params": self.params},
+            sort_keys=True,
+            default=list,
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class FarmOptions:
+    """Router knobs + extras for one farm job (the grid's *router axis*).
+
+    ``label`` names the option set in sweep axes; ``include_sabre`` also
+    routes circuit-kind workloads through the SABRE baseline on the
+    smallest square grid device and records the swap count, so design
+    points carry a baseline fingerprint.
+    """
+
+    label: str = "default"
+    generic: GenericRouterOptions | None = None
+    qsim: QSimRouterOptions | None = None
+    qaoa: QAOARouterOptions | None = None
+    include_sabre: bool = False
+
+    def key(self) -> str:
+        """Canonical memo key (dataclass reprs are deterministic)."""
+        return repr((self.generic, self.qsim, self.qaoa, self.include_sabre))
+
+
+@dataclass(frozen=True)
+class FarmJob:
+    """One grid cell: compile ``workload`` on ``config`` with ``options``."""
+
+    workload: WorkloadSpec
+    config: FPQAConfig
+    options: FarmOptions = field(default_factory=FarmOptions)
+
+    def key(self) -> tuple:
+        """Memo key: jobs with equal keys produce identical metrics."""
+        return (self.workload.fingerprint(), self.config, self.options.key())
+
+
+@dataclass(frozen=True)
+class PointMetrics:
+    """Compact, picklable metrics of one compiled design point.
+
+    Workers return these instead of full schedules so results cross the
+    process boundary as a few floats.  All values except the wall-clock
+    ``compile_time_s`` are deterministic functions of the job.
+    """
+
+    depth: int
+    error_rate: float
+    success_probability: float
+    num_two_qubit_gates: int
+    num_one_qubit_gates: int
+    num_atoms: int
+    total_movement_distance: float
+    execution_time_us: float
+    average_parallelism: float
+    compile_time_s: float | None = None
+    sabre_num_swaps: int | None = None
+
+    @classmethod
+    def from_result(
+        cls, result: CompilationResult, *, sabre_num_swaps: int | None = None
+    ) -> "PointMetrics":
+        ev = result.evaluation
+        return cls(
+            depth=ev.depth,
+            error_rate=ev.error_rate,
+            success_probability=ev.success_probability,
+            num_two_qubit_gates=ev.num_two_qubit_gates,
+            num_one_qubit_gates=ev.num_one_qubit_gates,
+            num_atoms=ev.num_atoms,
+            total_movement_distance=ev.total_movement_distance,
+            execution_time_us=ev.execution_time_us,
+            average_parallelism=ev.average_parallelism,
+            compile_time_s=ev.compile_time_s,
+            sabre_num_swaps=sabre_num_swaps,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PointMetrics":
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in names})
+
+    def deterministic(self) -> "PointMetrics":
+        """Copy with the volatile wall-clock field cleared (for comparisons)."""
+        return replace(self, compile_time_s=None)
+
+
+# ---------------------------------------------------------------------------
+# Worker side: module-level so it pickles by reference, with per-process
+# caches of the expensive immutables.
+
+#: Built workloads keyed by spec fingerprint (one build per worker, not per job).
+_WORKLOAD_CACHE: dict[str, Any] = {}
+#: SABRE routers keyed by grid side; each holds the cached all-pairs distance matrix.
+_SABRE_ROUTER_CACHE: dict[int, Any] = {}
+_CACHE_LIMIT = 64
+
+
+def _cached_workload(spec: WorkloadSpec):
+    key = spec.fingerprint()
+    if key not in _WORKLOAD_CACHE:
+        if len(_WORKLOAD_CACHE) >= _CACHE_LIMIT:
+            _WORKLOAD_CACHE.clear()
+        _WORKLOAD_CACHE[key] = spec.build()
+    return _WORKLOAD_CACHE[key]
+
+
+def _sabre_swap_count(spec: WorkloadSpec, circuit) -> int:
+    """Route a circuit workload through the SABRE baseline; cache the router."""
+    import math
+
+    from repro.baselines.layout import trivial_layout
+    from repro.baselines.sabre import SabreOptions, SabreRouter
+    from repro.hardware import grid_device
+
+    side = int(math.ceil(math.sqrt(spec.num_qubits)))
+    router = _SABRE_ROUTER_CACHE.get(side)
+    if router is None:
+        router = SabreRouter(grid_device(side, side), SabreOptions(layout_trials=1))
+        if len(_SABRE_ROUTER_CACHE) >= _CACHE_LIMIT:
+            _SABRE_ROUTER_CACHE.clear()
+        _SABRE_ROUTER_CACHE[side] = router
+    layout = trivial_layout(circuit, router.device)
+    return router.run(circuit, layout).num_swaps
+
+
+def _worker_init() -> None:
+    """Per-worker initialiser: warm the shared gate-matrix caches once."""
+    from repro.circuit.gate import gate_diagonal, gate_matrix_readonly
+
+    for name in ("h", "x", "cx", "cz", "swap"):
+        gate_matrix_readonly(name)
+        gate_diagonal(name)
+
+
+def compile_farm_job(job: FarmJob) -> PointMetrics:
+    """Compile one grid cell and return its metrics (runs in the worker)."""
+    options = job.options
+    compiler = QPilotCompiler(
+        job.config,
+        generic_options=options.generic,
+        qsim_options=options.qsim,
+        qaoa_options=options.qaoa,
+    )
+    workload = _cached_workload(job.workload)
+    start = time.perf_counter()
+    result = job.workload.compile_with(compiler, built=workload)
+    elapsed = time.perf_counter() - start
+    sabre_swaps = None
+    if options.include_sabre and job.workload.kind == "circuit":
+        sabre_swaps = _sabre_swap_count(job.workload, workload)
+    metrics = PointMetrics.from_result(result, sabre_num_swaps=sabre_swaps)
+    if metrics.compile_time_s is None:
+        metrics = replace(metrics, compile_time_s=elapsed)
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Executor side.
+
+#: Executor backends: the serial one is the deterministic oracle the
+#: differential suite pins the process pool against.
+EXECUTORS = ("reference", "serial", "process", "parallel")
+
+
+def available_workers() -> int:
+    """Worker processes a ``process`` farm would use by default.
+
+    Prefers the scheduler affinity mask (which honours cgroup/container
+    CPU limits) over the raw host core count.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class CompileFarm:
+    """Batch executor for grids of :class:`FarmJob` compilations.
+
+    ``run`` memoises duplicate jobs by :meth:`FarmJob.key` (each unique
+    cell compiles once) and preserves submission order in the returned
+    list regardless of executor, so serial and parallel runs are
+    positionally comparable.
+    """
+
+    def __init__(self, executor: str = "process", *, max_workers: int | None = None):
+        if executor not in EXECUTORS:
+            raise QPilotError(f"unknown farm executor {executor!r}; expected one of {EXECUTORS}")
+        self.executor = "reference" if executor == "serial" else (
+            "process" if executor == "parallel" else executor
+        )
+        self.max_workers = max_workers
+        self.last_stats: dict[str, Any] = {}
+
+    def run(self, jobs: Sequence[FarmJob]) -> list[PointMetrics]:
+        jobs = list(jobs)
+        unique: dict[tuple, int] = {}
+        unique_jobs: list[FarmJob] = []
+        slots: list[int] = []
+        for job in jobs:
+            key = job.key()
+            if key not in unique:
+                unique[key] = len(unique_jobs)
+                unique_jobs.append(job)
+            slots.append(unique[key])
+
+        start = time.perf_counter()
+        if self.executor == "reference" or len(unique_jobs) <= 1:
+            # A single unique job gains nothing from a pool; run it in-process
+            # and report the backend that actually ran.
+            backend, workers = "reference", 1
+            unique_results = [compile_farm_job(job) for job in unique_jobs]
+        else:
+            backend = "process"
+            workers = min(self.max_workers or available_workers(), len(unique_jobs))
+            with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
+                unique_results = list(pool.map(compile_farm_job, unique_jobs))
+        wall = time.perf_counter() - start
+
+        self.last_stats = {
+            "executor": backend,
+            "requested_executor": self.executor,
+            "num_jobs": len(jobs),
+            "num_unique_jobs": len(unique_jobs),
+            "wall_s": wall,
+            "max_workers": workers,
+        }
+        return [unique_results[slot] for slot in slots]

@@ -84,6 +84,28 @@ def qsim_workload(
     return random_pauli_strings(num_qubits, num_strings, pauli_probability, seed=seed)
 
 
+def fig14_workload_specs(num_qubits: int, *, num_pauli_strings: int = 20) -> list:
+    """The Fig. 14 DSE grid's three workload families as compile-farm specs.
+
+    One declarative, picklable :class:`~repro.core.farm.WorkloadSpec` per
+    family (random circuit at 10× gates, p=0.3 quantum simulation, p=0.3
+    QAOA graph), with the fixed seeds the benchmark suite pins.  Shared by
+    ``benchmarks/bench_fig14_array_width.py``,
+    ``benchmarks/bench_compile_speed.py`` (the ``headline_dse_fig14_s``
+    field) and the DSE perf smoke test, so all three always measure the
+    same grid.
+    """
+    from repro.core.farm import WorkloadSpec
+
+    return [
+        WorkloadSpec.random_circuit(num_qubits, 10, seed=31, name="random"),
+        WorkloadSpec.qsim(
+            num_qubits, 0.3, num_strings=num_pauli_strings, seed=32, name="qsim"
+        ),
+        WorkloadSpec.qaoa_random_graph(num_qubits, 0.3, seed=33, name="qaoa"),
+    ]
+
+
 def scaled_qsim_suite(
     sizes: tuple[int, ...] = PAPER_QUBIT_SIZES,
     probabilities: tuple[float, ...] = (0.1, 0.5),

@@ -1,0 +1,178 @@
+"""SweepResult semantics: metrics, deterministic tie-breaking, JSON archive."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import PointMetrics, SweepResult, WorkloadSpec, sweep_grid
+from repro.core.dse import DesignPoint
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+
+
+def make_point(
+    width: int,
+    *,
+    depth: int,
+    error_rate: float = 0.1,
+    compile_time_s: float | None = 0.5,
+    axes: dict | None = None,
+) -> DesignPoint:
+    metrics = PointMetrics(
+        depth=depth,
+        error_rate=error_rate,
+        success_probability=1.0 - error_rate,
+        num_two_qubit_gates=depth * 2,
+        num_one_qubit_gates=4,
+        num_atoms=width,
+        total_movement_distance=3.5,
+        execution_time_us=12.0,
+        average_parallelism=1.5,
+        compile_time_s=compile_time_s,
+    )
+    return DesignPoint(
+        width=width, config=FPQAConfig.with_width(width, width), metrics=metrics, axes=axes or {}
+    )
+
+
+class TestBestMetric:
+    def test_best_depth_breaks_ties_on_smallest_width(self):
+        sweep = SweepResult(
+            "ties",
+            points=[
+                make_point(64, depth=10),
+                make_point(8, depth=10),
+                make_point(16, depth=10),
+                make_point(32, depth=12),
+            ],
+        )
+        assert sweep.best("depth").width == 8
+
+    def test_best_depth_prefers_minimum_over_tiebreak(self):
+        sweep = SweepResult("d", points=[make_point(8, depth=12), make_point(64, depth=9)])
+        assert sweep.best("depth").width == 64
+
+    def test_best_error_rate(self):
+        sweep = SweepResult(
+            "e",
+            points=[
+                make_point(8, depth=5, error_rate=0.3),
+                make_point(16, depth=9, error_rate=0.1),
+                make_point(32, depth=9, error_rate=0.1),
+            ],
+        )
+        best = sweep.best("error_rate")
+        assert best.width == 16  # tie on error_rate -> smallest width
+
+    def test_best_compile_time(self):
+        sweep = SweepResult(
+            "c",
+            points=[
+                make_point(8, depth=5, compile_time_s=0.9),
+                make_point(16, depth=9, compile_time_s=0.2),
+            ],
+        )
+        assert sweep.best("compile_time").width == 16
+
+    def test_best_compile_time_requires_timings(self):
+        sweep = SweepResult("c", points=[make_point(8, depth=5, compile_time_s=None)])
+        with pytest.raises(QPilotError):
+            sweep.best("compile_time")
+
+    def test_unknown_metric_raises(self):
+        sweep = SweepResult("u", points=[make_point(8, depth=5)])
+        with pytest.raises(QPilotError):
+            sweep.best("latency")
+
+    def test_empty_sweep_raises(self):
+        with pytest.raises(QPilotError):
+            SweepResult("empty").best()
+
+    def test_design_point_requires_metrics_or_result(self):
+        with pytest.raises(QPilotError):
+            DesignPoint(width=8, config=FPQAConfig.with_width(8, 8))
+
+
+class TestJsonRoundTrip:
+    @pytest.fixture()
+    def sweep(self) -> SweepResult:
+        return SweepResult(
+            "archive",
+            points=[
+                make_point(8, depth=7, axes={"workload": "a"}),
+                make_point(16, depth=5, axes={"workload": "b", "two_qubit_fidelity": 0.99}),
+            ],
+            meta={"widths": [8, 16], "executor": "reference", "wall_s": 1.23, "max_workers": 4},
+        )
+
+    def test_round_trip_preserves_everything_durable(self, sweep):
+        clone = SweepResult.from_json(sweep.to_json())
+        assert clone.workload_name == sweep.workload_name
+        assert clone.as_series() == sweep.as_series()
+        assert [p.axes for p in clone.points] == [p.axes for p in sweep.points]
+        assert [p.metrics for p in clone.points] == [p.metrics for p in sweep.points]
+        assert [p.config for p in clone.points] == [p.config for p in sweep.points]
+        assert clone.meta == sweep.meta
+
+    def test_canonical_form_is_byte_stable_and_sorted(self, sweep):
+        canonical = sweep.to_json(canonical=True)
+        round_tripped = SweepResult.from_json(canonical).to_json(canonical=True)
+        assert canonical == round_tripped
+        # volatile wall-clock fields are stripped, keys are sorted
+        data = json.loads(canonical)
+        assert "wall_s" not in data["meta"]
+        assert "max_workers" not in data["meta"]
+        assert "executor" not in data["meta"]
+        assert all(p["metrics"]["compile_time_s"] is None for p in data["points"])
+        assert canonical == json.dumps(data, indent=2, sort_keys=True)
+
+    def test_non_canonical_keeps_wall_clock_fields(self, sweep):
+        data = json.loads(sweep.to_json())
+        assert data["meta"]["wall_s"] == 1.23
+        assert data["points"][0]["metrics"]["compile_time_s"] == 0.5
+
+    def test_unsupported_schema_version_raises(self, sweep):
+        data = json.loads(sweep.to_json())
+        data["schema_version"] = 99
+        with pytest.raises(QPilotError):
+            SweepResult.from_dict(data)
+
+    def test_compiled_sweep_round_trips(self):
+        spec = WorkloadSpec.qaoa_random_graph(12, 0.3, seed=5)
+        sweep = sweep_grid(spec, widths=(4, 12), executor="reference")
+        clone = SweepResult.from_json(sweep.to_json())
+        assert clone.as_series() == sweep.as_series()
+        assert clone.to_json(canonical=True) == sweep.to_json(canonical=True)
+
+    def test_canonical_json_identical_across_executors(self):
+        """The executor oracle extends to archives: same grid, same bytes."""
+        spec = WorkloadSpec.random_circuit(10, 3, seed=8)
+        reference = sweep_grid(spec, widths=(4, 8), executor="reference")
+        parallel = sweep_grid(spec, widths=(4, 8), executor="process")
+        assert reference.to_json(canonical=True) == parallel.to_json(canonical=True)
+
+
+class TestGrouping:
+    def test_by_workload_splits_points(self):
+        sweep = SweepResult(
+            "grid",
+            points=[
+                make_point(8, depth=7, axes={"workload": "a"}),
+                make_point(16, depth=5, axes={"workload": "b"}),
+                make_point(16, depth=6, axes={"workload": "a"}),
+            ],
+        )
+        groups = sweep.by_workload()
+        assert sorted(groups) == ["a", "b"]
+        assert groups["a"].as_series() == [(8, 7), (16, 6)]
+        assert groups["b"].as_series() == [(16, 5)]
+
+    def test_grid_meta_records_farm_stats(self):
+        spec = WorkloadSpec.random_circuit(10, 3, seed=2)
+        sweep = sweep_grid(spec, widths=(4, 4, 8), executor="reference")
+        assert sweep.meta["executor"] == "reference"
+        assert sweep.meta["num_jobs"] == 3
+        assert sweep.meta["num_unique_jobs"] == 2  # duplicate width memoised
+        assert sweep.meta["wall_s"] >= 0.0

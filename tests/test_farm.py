@@ -1,0 +1,232 @@
+"""Compile-farm tests: WorkloadSpec, memoisation, and the executor oracle.
+
+The load-bearing suite here is the differential one: the parallel
+``process`` executor must produce design points identical (depth,
+error_rate, swap counts — everything except wall-clock fields) to the
+deterministic in-process ``reference`` executor, over all three example
+workload families and seeded random grids.  This is the ROADMAP oracle
+pattern applied to batching: the serial backend is the oracle, the
+process pool is the fast path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    CompileFarm,
+    FarmJob,
+    FarmOptions,
+    QPilotCompiler,
+    WorkloadSpec,
+    sweep_array_width,
+    sweep_grid,
+)
+from repro.core.qaoa_router import QAOARouterOptions
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+
+#: The three example workload families at a differential-friendly size.
+FAMILY_SPECS = [
+    WorkloadSpec.random_circuit(16, 5, seed=31),
+    WorkloadSpec.qsim(16, 0.3, num_strings=10, seed=32),
+    WorkloadSpec.qaoa_random_graph(16, 0.3, seed=33),
+]
+WIDTHS = (4, 8, 16)
+
+
+def deterministic_metrics(sweep):
+    """Per-point metrics with the volatile wall-clock field cleared."""
+    return [point.metrics.deterministic() for point in sweep.points]
+
+
+class TestWorkloadSpec:
+    def test_specs_pickle_round_trip(self):
+        for spec in FAMILY_SPECS:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert clone.fingerprint() == spec.fingerprint()
+
+    def test_farm_job_pickles(self):
+        job = FarmJob(
+            workload=FAMILY_SPECS[0],
+            config=FPQAConfig.with_width(16, 8),
+            options=FarmOptions(include_sabre=True),
+        )
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.key() == job.key()
+
+    def test_fingerprint_distinguishes_params(self):
+        a = WorkloadSpec.random_circuit(16, 5, seed=1)
+        b = WorkloadSpec.random_circuit(16, 5, seed=2)
+        c = WorkloadSpec.random_circuit(16, 6, seed=1)
+        assert len({a.fingerprint(), b.fingerprint(), c.fingerprint()}) == 3
+        assert a.fingerprint() == WorkloadSpec.random_circuit(16, 5, seed=1).fingerprint()
+
+    def test_fingerprint_ignores_display_name(self):
+        a = WorkloadSpec.qsim(12, 0.2, seed=9, name="alpha")
+        b = WorkloadSpec.qsim(12, 0.2, seed=9, name="beta")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_build_is_deterministic(self):
+        circuit_a = FAMILY_SPECS[0].build()
+        circuit_b = FAMILY_SPECS[0].build()
+        assert [str(g) for g in circuit_a.gates] == [str(g) for g in circuit_b.gates]
+        strings_a = FAMILY_SPECS[1].build()
+        strings_b = FAMILY_SPECS[1].build()
+        assert [s.label for s in strings_a] == [s.label for s in strings_b]
+        assert FAMILY_SPECS[2].build() == FAMILY_SPECS[2].build()
+
+    def test_qaoa_edges_spec_builds_exact_edges(self):
+        edges = [(0, 1), (2, 1), (3, 0)]
+        spec = WorkloadSpec.qaoa_edges(4, edges)
+        assert spec.build() == [(0, 1), (0, 3), (1, 2)]
+
+    def test_qaoa_regular_graph_spec(self):
+        spec = WorkloadSpec.qaoa_regular_graph(10, 3, seed=4)
+        edges = spec.build()
+        degree = {v: 0 for v in range(10)}
+        for a, b in edges:
+            degree[a] += 1
+            degree[b] += 1
+        assert set(degree.values()) == {3}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(QPilotError):
+            WorkloadSpec(kind="molecule", name="x", num_qubits=4)
+
+    def test_compile_with_matches_direct_compiler_call(self):
+        config = FPQAConfig.with_width(16, 8)
+        spec = FAMILY_SPECS[0]
+        farm_result = spec.compile_with(QPilotCompiler(config))
+        direct_result = QPilotCompiler(config).compile_circuit(spec.build())
+        assert farm_result.depth == direct_result.depth
+        assert farm_result.evaluation.error_rate == direct_result.evaluation.error_rate
+
+
+class TestCompileFarm:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(QPilotError):
+            CompileFarm("threads")
+
+    def test_duplicate_jobs_are_memoised(self):
+        config = FPQAConfig.with_width(16, 8)
+        job = FarmJob(workload=FAMILY_SPECS[0], config=config)
+        farm = CompileFarm("reference")
+        results = farm.run([job, job, job])
+        assert farm.last_stats["num_jobs"] == 3
+        assert farm.last_stats["num_unique_jobs"] == 1
+        assert results[0] is results[1] is results[2]
+
+    def test_memo_key_separates_configs_and_options(self):
+        spec = FAMILY_SPECS[2]
+        narrow = FarmJob(workload=spec, config=FPQAConfig.with_width(16, 4))
+        wide = FarmJob(workload=spec, config=FPQAConfig.with_width(16, 16))
+        tuned = FarmJob(
+            workload=spec,
+            config=FPQAConfig.with_width(16, 4),
+            options=FarmOptions(label="seed1", qaoa=QAOARouterOptions(seed_trials=1)),
+        )
+        farm = CompileFarm("reference")
+        farm.run([narrow, wide, tuned, narrow])
+        assert farm.last_stats["num_unique_jobs"] == 3
+
+    def test_single_job_process_farm_reports_serial_backend(self):
+        """A pool is pointless for one unique job; stats must say what ran."""
+        job = FarmJob(workload=FAMILY_SPECS[0], config=FPQAConfig.with_width(16, 8))
+        farm = CompileFarm("process", max_workers=8)
+        farm.run([job, job])
+        assert farm.last_stats["executor"] == "reference"
+        assert farm.last_stats["requested_executor"] == "process"
+        assert farm.last_stats["max_workers"] == 1
+
+    def test_run_preserves_submission_order(self):
+        spec = FAMILY_SPECS[0]
+        jobs = [
+            FarmJob(workload=spec, config=FPQAConfig.with_width(16, width))
+            for width in (16, 4, 8)
+        ]
+        farm = CompileFarm("reference")
+        results = farm.run(jobs)
+        expected = [CompileFarm("reference").run([job])[0].depth for job in jobs]
+        assert [m.depth for m in results] == expected
+
+
+class TestExecutorOracle:
+    """Parallel farm vs the serial reference oracle: identical design points."""
+
+    def test_three_families_identical_series_and_metrics(self):
+        options = [FarmOptions(include_sabre=True)]
+        reference = sweep_grid(
+            FAMILY_SPECS, widths=WIDTHS, option_sets=options, executor="reference"
+        )
+        parallel = sweep_grid(
+            FAMILY_SPECS, widths=WIDTHS, option_sets=options, executor="process"
+        )
+        assert reference.as_series() == parallel.as_series()
+        assert deterministic_metrics(reference) == deterministic_metrics(parallel)
+        # the SABRE baseline fingerprint crossed the process boundary intact
+        circuit_points = [
+            p for p in parallel.points if p.axes["workload"] == FAMILY_SPECS[0].name
+        ]
+        assert all(p.sabre_num_swaps > 0 for p in circuit_points)
+
+    def test_per_family_sweeps_match(self):
+        for spec in FAMILY_SPECS:
+            reference = sweep_array_width(spec, widths=WIDTHS, executor="reference")
+            parallel = sweep_array_width(spec, widths=WIDTHS, executor="process")
+            assert reference.as_series() == parallel.as_series(), spec.name
+            assert deterministic_metrics(reference) == deterministic_metrics(parallel)
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_seeded_random_grids_match(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        specs = [
+            WorkloadSpec.random_circuit(
+                int(rng.integers(8, 20)), int(rng.integers(2, 6)), seed=seed
+            ),
+            WorkloadSpec.qsim(
+                int(rng.integers(8, 20)),
+                float(rng.uniform(0.1, 0.5)),
+                num_strings=int(rng.integers(5, 12)),
+                seed=seed + 1,
+            ),
+            WorkloadSpec.qaoa_random_graph(
+                int(rng.integers(8, 20)), float(rng.uniform(0.1, 0.4)), seed=seed + 2
+            ),
+        ]
+        widths = (4, 9, 25)
+        axes = {"two_qubit_fidelity": (0.99, 0.995)}
+        reference = sweep_grid(specs, widths=widths, config_axes=axes, executor="reference")
+        parallel = sweep_grid(specs, widths=widths, config_axes=axes, executor="process")
+        assert reference.as_series() == parallel.as_series()
+        assert deterministic_metrics(reference) == deterministic_metrics(parallel)
+        assert [p.axes for p in reference.points] == [p.axes for p in parallel.points]
+
+    def test_spec_path_rejects_contradictory_num_qubits(self):
+        with pytest.raises(QPilotError):
+            sweep_array_width(FAMILY_SPECS[0], 100, widths=WIDTHS)
+        # matching or omitted num_qubits is fine
+        sweep = sweep_array_width(FAMILY_SPECS[0], FAMILY_SPECS[0].num_qubits, widths=(4,))
+        assert sweep.points[0].width == 4
+
+    def test_closure_shim_matches_spec_path(self):
+        """The legacy closure API and the farm compile identically."""
+        spec = FAMILY_SPECS[2]
+        edges = spec.build()
+
+        def compile_fn(compiler: QPilotCompiler):
+            return compiler.compile_qaoa(spec.num_qubits, edges)
+
+        legacy = sweep_array_width(
+            compile_fn, spec.num_qubits, widths=WIDTHS, workload_name=spec.name
+        )
+        farmed = sweep_array_width(spec, widths=WIDTHS, executor="process")
+        assert legacy.as_series() == farmed.as_series()
+        assert [p.error_rate for p in legacy.points] == [p.error_rate for p in farmed.points]
+        # closure path keeps full results for backwards compatibility
+        assert all(p.result is not None for p in legacy.points)

@@ -18,10 +18,11 @@ import pytest
 from repro.baselines.layout import trivial_layout
 from repro.baselines.sabre import SabreOptions, SabreRouter
 from repro.circuit import random_cx_circuit
+from repro.core import sweep_grid
 from repro.core.generic_router import GenericRouter
 from repro.core.qaoa_router import QAOARouter
 from repro.hardware import grid_device
-from repro.workloads import regular_graph_edges
+from repro.workloads import fig14_workload_specs, regular_graph_edges
 
 #: Generous wall-clock budget (seconds) for the smoke compile.
 _CEILING_S = 2.0
@@ -37,6 +38,13 @@ _QAOA_CEILING_S = 1.0
 #: ~2.4 s, so 1.5 s fails loudly if a quadratic (per-candidate layout copy
 #: or Python pair sum) scoring loop sneaks back in.
 _SABRE_CEILING_S = 1.5
+
+#: Ceiling for the Fig. 14 DSE grid (3 workload families × 5 widths at
+#: 50 qubits) through the compile farm's serial reference executor.  The
+#: whole batch needs ~0.3 s; 5 s fails loudly if per-job overhead (workload
+#: rebuilds per cell, lost memoisation) or a router regression sneaks in,
+#: while still tolerating slow single-core CI runners.
+_DSE_CEILING_S = 5.0
 
 
 @pytest.mark.perf
@@ -86,4 +94,21 @@ def test_sabre_100q_route_stays_fast():
         f"SABRE 100q/500g route took {elapsed:.2f}s (ceiling {_SABRE_CEILING_S}s); "
         "the vectorized swap scorer may have regressed to a per-candidate "
         "Python loop — see repro/baselines/sabre.py and BENCH_compile.json"
+    )
+
+
+@pytest.mark.perf
+def test_dse_fig14_sweep_stays_fast():
+    """50-qubit, 3-workload Fig. 14 farm sweep under a generous 5 s ceiling."""
+    specs = fig14_workload_specs(50)
+    start = time.perf_counter()
+    sweep = sweep_grid(specs, widths=(8, 16, 32, 64, 128), executor="reference")
+    elapsed = time.perf_counter() - start
+    assert len(sweep.points) == 15
+    assert all(point.depth > 0 for point in sweep.points)
+    assert elapsed < _DSE_CEILING_S, (
+        f"Fig. 14 DSE sweep took {elapsed:.2f}s (ceiling {_DSE_CEILING_S}s); "
+        "the compile farm's batching (workload memoisation, per-worker "
+        "caches) may have regressed — see repro/core/farm.py and the "
+        "dse_fig14 field in BENCH_compile.json"
     )
