@@ -31,6 +31,14 @@ Fig. 14 grid (3 workload families × 5 array widths at 50 qubits) through
 the compile farm, serial reference oracle vs process-pool executor, and
 ``headline_dse_fig14_s`` is the parallel wall clock.  ``--no-dse`` skips
 it; ``--dse-jobs N`` caps the worker processes.
+
+The *service* headline (PR 5) runs a small request grid twice through
+:class:`repro.service.CompileService` against a fresh temp store: the cold
+pass compiles and persists, the warm pass must be answered entirely from
+the content-addressed schedule store.  ``headline_service_cache_hit_rate``
+is the warm-pass hit rate (1.0 when the cache serves every repeat) and the
+``service`` object records cold/warm wall clocks and the speedup.
+``--no-service`` skips it.
 """
 
 from __future__ import annotations
@@ -71,6 +79,12 @@ SEED = 42
 #: batching speedup alongside the single-compile headlines.
 DSE_NUM_QUBITS = 50
 DSE_WIDTHS = (8, 16, 32, 64, 128)
+
+#: The compile-service headline grid: 3 workload families × 2 widths at a
+#: size where the cold compiles stay cheap — the interesting number is the
+#: warm-pass cache hit rate, not the compile time.
+SERVICE_NUM_QUBITS = 20
+SERVICE_WIDTHS = (5, 10)
 
 
 def _grid_side(num_qubits: int) -> int:
@@ -139,6 +153,39 @@ def _bench_dse_fig14(max_workers: int | None = None) -> dict:
     }
 
 
+def _bench_service(max_workers: int | None = None) -> dict:
+    """Cold vs warm pass of a request grid through the compile service."""
+    import tempfile
+
+    from repro.service import CompileRequest, CompileService
+
+    specs = fig14_workload_specs(SERVICE_NUM_QUBITS)
+    requests = [
+        CompileRequest.for_width(spec, width) for spec in specs for width in SERVICE_WIDTHS
+    ]
+    with tempfile.TemporaryDirectory(prefix="qpilot-bench-store-") as store_dir:
+        service = CompileService(store_dir, executor="thread", max_workers=max_workers)
+        timings: dict[str, float] = {}
+        for label in ("cold", "warm"):
+            start = time.perf_counter()
+            service.submit_all(requests)
+            tickets = service.drain()
+            timings[label] = time.perf_counter() - start
+        warm_hits = sum(1 for ticket in tickets if ticket.response.source == "cache")
+    hit_rate = warm_hits / len(requests)
+    return {
+        "num_qubits": SERVICE_NUM_QUBITS,
+        "widths": list(SERVICE_WIDTHS),
+        "num_requests": len(requests),
+        "cold_s": round(timings["cold"], 6),
+        "warm_s": round(timings["warm"], 6),
+        "warm_cache_hit_rate": hit_rate,
+        "speedup": round(timings["cold"] / timings["warm"], 3)
+        if timings["warm"] > 0
+        else None,
+    }
+
+
 def run_compile_speed_sweep(
     *,
     sizes: tuple[int, ...] | list[int] = SIZES,
@@ -146,6 +193,7 @@ def run_compile_speed_sweep(
     repeats: int = REPEATS,
     include_sabre: bool = True,
     include_dse: bool = True,
+    include_service: bool = True,
     dse_workers: int | None = None,
 ) -> dict:
     """Sweep all routers over ``sizes``; append to the trajectory file."""
@@ -177,6 +225,10 @@ def run_compile_speed_sweep(
         dse = _bench_dse_fig14(dse_workers)
         entry["dse_fig14"] = dse
         entry["headline_dse_fig14_s"] = dse["parallel_s"]
+    if include_service:
+        service = _bench_service(dse_workers)
+        entry["service"] = service
+        entry["headline_service_cache_hit_rate"] = service["warm_cache_hit_rate"]
     recorder = TrajectoryRecorder(TRAJECTORY_PATH, "compile_speed")
     recorder.record(entry)
     return entry
@@ -200,6 +252,13 @@ def _print_entry(entry: dict) -> None:
             f"{dse['workers']} workers) — serial {dse['serial_s']:.3f}s, "
             f"parallel {dse['parallel_s']:.3f}s ({dse['speedup']}x)"
         )
+    if "service" in entry:
+        svc = entry["service"]
+        print(
+            f"service ({svc['num_qubits']}q, {svc['num_requests']} requests) — "
+            f"cold {svc['cold_s']:.3f}s, warm {svc['warm_s']:.3f}s "
+            f"({svc['speedup']}x, warm hit rate {svc['warm_cache_hit_rate']:.2f})"
+        )
     print(f"trajectory: {TRAJECTORY_PATH}")
 
 
@@ -217,6 +276,8 @@ def test_compile_speed_sweep():
     assert all(n > 0 for n in last["sabre_num_swaps"].values())
     assert last["headline_dse_fig14_s"] > 0
     assert last["dse_fig14"]["serial_s"] > 0
+    assert last["headline_service_cache_hit_rate"] == 1.0
+    assert last["service"]["cold_s"] > 0
 
 
 def _parse_args() -> argparse.Namespace:
@@ -250,6 +311,11 @@ def _parse_args() -> argparse.Namespace:
         help="skip the Fig. 14 compile-farm DSE headline",
     )
     parser.add_argument(
+        "--no-service",
+        action="store_true",
+        help="skip the compile-service cache headline",
+    )
+    parser.add_argument(
         "--dse-jobs",
         type=int,
         default=None,
@@ -267,6 +333,7 @@ if __name__ == "__main__":
             repeats=args.repeats,
             include_sabre=not args.no_sabre,
             include_dse=not args.no_dse,
+            include_service=not args.no_service,
             dse_workers=args.dse_jobs,
         )
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.compiler import CompilationResult, QPilotCompiler
 from repro.core.farm import (
@@ -232,7 +232,8 @@ def sweep_grid(
     executor: str = "reference",
     max_workers: int | None = None,
     name: str = "grid",
-) -> SweepResult:
+    stream: bool = False,
+) -> SweepResult | Iterator[DesignPoint]:
     """Batched multi-dimensional design-space sweep through the compile farm.
 
     Generalises :func:`sweep_array_width` to a full grid:
@@ -245,8 +246,15 @@ def sweep_grid(
 
     Every grid cell becomes one :class:`FarmJob`; duplicate cells are
     memoised and ``executor="process"`` fans the rest across worker
-    processes.  Points appear in deterministic grid order (workload-major)
-    regardless of executor.
+    processes (``"thread"`` across threads).  Points appear in
+    deterministic grid order (workload-major) regardless of executor.
+
+    With ``stream=True`` the function returns an *iterator* of
+    :class:`DesignPoint` values instead of a :class:`SweepResult`,
+    yielding each point as its compile finishes (completion order on
+    pooled executors) — grids too large to hold in memory flow through
+    one point at a time.  Collect into a sweep later with
+    ``SweepResult(name, points=list(iterator))`` if it does fit.
     """
     specs = [workloads] if isinstance(workloads, WorkloadSpec) else list(workloads)
     if not specs:
@@ -270,6 +278,19 @@ def sweep_grid(
         point_axes.append(cell)
 
     farm = CompileFarm(executor, max_workers=max_workers)
+    if stream:
+
+        def generate() -> Iterator[DesignPoint]:
+            for index, metrics in farm.iter_results(jobs):
+                job = jobs[index]
+                yield DesignPoint(
+                    width=job.config.slm_cols,
+                    config=job.config,
+                    metrics=metrics,
+                    axes=point_axes[index],
+                )
+
+        return generate()
     metrics = farm.run(jobs)
     points = [
         DesignPoint(width=job.config.slm_cols, config=job.config, metrics=m, axes=cell)

@@ -31,6 +31,19 @@ module-level caches of built workloads (keyed by fingerprint) and SABRE
 routers (whose all-pairs distance matrix is the expensive part), so a
 sweep of W widths pays for each workload build and each distance matrix
 once per worker instead of once per grid cell.
+
+Two service-facing extensions (PR 5) ride on the same job model:
+
+* ``executor="thread"`` fans jobs across a
+  :class:`~concurrent.futures.ThreadPoolExecutor` — no process-spawn or
+  pickling cost, which suits a long-lived compile service whose traffic
+  is dominated by cache lookups and other IO.  It joins the same
+  executor-oracle differential suite as the process backend.
+* :meth:`CompileFarm.iter_results` streams ``(index, result)`` pairs as
+  jobs finish instead of materialising the whole grid, so sweeps too
+  large to hold in memory can be consumed incrementally
+  (``sweep_grid(..., stream=True)`` builds on it).  ``run`` is a thin
+  order-restoring wrapper around it.
 """
 
 from __future__ import annotations
@@ -39,9 +52,9 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.core.compiler import CompilationResult, QPilotCompiler
 from repro.core.generic_router import GenericRouterOptions
@@ -289,6 +302,25 @@ class FarmJob:
         """Memo key: jobs with equal keys produce identical metrics."""
         return (self.workload.fingerprint(), self.config, self.options.key())
 
+    def digest(self) -> str:
+        """Content-addressed sha1 of :meth:`key` — the schedule-store key.
+
+        Two jobs share a digest exactly when they share a memo key, so a
+        disk cache addressed by digest answers any repeat of a grid cell
+        the farm would have memoised in memory.
+        """
+        from repro.utils.serialization import config_to_dict
+
+        payload = json.dumps(
+            {
+                "workload": self.workload.fingerprint(),
+                "config": config_to_dict(self.config),
+                "options": self.options.key(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha1(payload.encode()).hexdigest()
+
 
 @dataclass(frozen=True)
 class PointMetrics:
@@ -343,6 +375,25 @@ class PointMetrics:
         return replace(self, compile_time_s=None)
 
 
+@dataclass(frozen=True)
+class FarmJobResult:
+    """A compiled grid cell *with* its schedule, for service/store use.
+
+    The default farm path returns bare :class:`PointMetrics` (schedules
+    stay in the worker); the compile service needs the schedule itself to
+    persist it, so ``CompileFarm.run(..., with_schedules=True)`` returns
+    these instead.  ``schedule`` is the canonical serialised dict
+    (:func:`repro.utils.serialization.schedule_to_dict` with
+    ``canonical=True``) — a plain JSON-compatible payload that crosses
+    process boundaries cheaply and is byte-stable across identical
+    compiles, which is what makes the content-addressed store testable.
+    """
+
+    metrics: PointMetrics
+    router: str
+    schedule: dict[str, Any]
+
+
 # ---------------------------------------------------------------------------
 # Worker side: module-level so it pickles by reference, with per-process
 # caches of the expensive immutables.
@@ -355,12 +406,17 @@ _CACHE_LIMIT = 64
 
 
 def _cached_workload(spec: WorkloadSpec):
+    # thread executor shares this cache across workers: hold the built
+    # workload in a local so a concurrent clear() can't turn the final
+    # lookup into a KeyError
     key = spec.fingerprint()
-    if key not in _WORKLOAD_CACHE:
+    workload = _WORKLOAD_CACHE.get(key)
+    if workload is None:
+        workload = spec.build()
         if len(_WORKLOAD_CACHE) >= _CACHE_LIMIT:
             _WORKLOAD_CACHE.clear()
-        _WORKLOAD_CACHE[key] = spec.build()
-    return _WORKLOAD_CACHE[key]
+        _WORKLOAD_CACHE[key] = workload
+    return workload
 
 
 def _sabre_swap_count(spec: WorkloadSpec, circuit) -> int:
@@ -391,8 +447,8 @@ def _worker_init() -> None:
         gate_diagonal(name)
 
 
-def compile_farm_job(job: FarmJob) -> PointMetrics:
-    """Compile one grid cell and return its metrics (runs in the worker)."""
+def _compile_job(job: FarmJob) -> tuple[CompilationResult, PointMetrics]:
+    """Compile one grid cell; shared body of the two worker entry points."""
     options = job.options
     compiler = QPilotCompiler(
         job.config,
@@ -410,15 +466,45 @@ def compile_farm_job(job: FarmJob) -> PointMetrics:
     metrics = PointMetrics.from_result(result, sabre_num_swaps=sabre_swaps)
     if metrics.compile_time_s is None:
         metrics = replace(metrics, compile_time_s=elapsed)
-    return metrics
+    return result, metrics
+
+
+def compile_farm_job(job: FarmJob) -> PointMetrics:
+    """Compile one grid cell and return its metrics (runs in the worker)."""
+    return _compile_job(job)[1]
+
+
+def compile_farm_job_with_schedule(job: FarmJob) -> FarmJobResult:
+    """Compile one grid cell and return metrics *plus* the canonical schedule.
+
+    The schedule is serialised to its canonical dict inside the worker, so
+    only JSON-compatible data crosses the process boundary.
+    """
+    from repro.utils.serialization import schedule_to_dict
+
+    result, metrics = _compile_job(job)
+    return FarmJobResult(
+        metrics=metrics,
+        router=result.router,
+        schedule=schedule_to_dict(result.schedule, canonical=True),
+    )
 
 
 # ---------------------------------------------------------------------------
 # Executor side.
 
 #: Executor backends: the serial one is the deterministic oracle the
-#: differential suite pins the process pool against.
-EXECUTORS = ("reference", "serial", "process", "parallel")
+#: differential suite pins the pooled backends against.  ``thread`` keeps
+#: everything in-process (no spawn/pickle cost — the compile-service
+#: backend); ``process`` fans across worker processes.
+EXECUTORS = ("reference", "serial", "process", "parallel", "thread", "threads")
+
+#: Aliases accepted by :class:`CompileFarm` -> canonical backend name.
+_EXECUTOR_ALIASES = {
+    "serial": "reference",
+    "parallel": "process",
+    "threads": "thread",
+}
 
 
 def available_workers() -> int:
@@ -439,41 +525,77 @@ class CompileFarm:
     ``run`` memoises duplicate jobs by :meth:`FarmJob.key` (each unique
     cell compiles once) and preserves submission order in the returned
     list regardless of executor, so serial and parallel runs are
-    positionally comparable.
+    positionally comparable.  :meth:`iter_results` is the streaming
+    variant: it yields ``(index, result)`` pairs as jobs finish, holding
+    only in-flight results in memory.
     """
 
     def __init__(self, executor: str = "process", *, max_workers: int | None = None):
         if executor not in EXECUTORS:
             raise QPilotError(f"unknown farm executor {executor!r}; expected one of {EXECUTORS}")
-        self.executor = "reference" if executor == "serial" else (
-            "process" if executor == "parallel" else executor
-        )
+        self.executor = _EXECUTOR_ALIASES.get(executor, executor)
         self.max_workers = max_workers
         self.last_stats: dict[str, Any] = {}
 
-    def run(self, jobs: Sequence[FarmJob]) -> list[PointMetrics]:
+    def iter_results(
+        self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
+    ) -> Iterator[tuple[int, PointMetrics | FarmJobResult]]:
+        """Stream ``(index, result)`` pairs as jobs finish.
+
+        ``index`` is the job's position in ``jobs``; memoised duplicates
+        are yielded (with the shared result object) as soon as their
+        unique cell finishes.  Pooled backends yield in completion order,
+        the ``reference`` oracle in submission order — every *pair* is
+        deterministic either way, only the interleaving differs.  Grids
+        too large to hold as a list can be consumed incrementally;
+        ``last_stats`` is populated once the iterator is exhausted.
+
+        With ``with_schedules=True`` each result is a
+        :class:`FarmJobResult` carrying the canonical schedule dict.
+        """
         jobs = list(jobs)
         unique: dict[tuple, int] = {}
         unique_jobs: list[FarmJob] = []
-        slots: list[int] = []
-        for job in jobs:
+        indices_by_unique: list[list[int]] = []
+        for index, job in enumerate(jobs):
             key = job.key()
             if key not in unique:
                 unique[key] = len(unique_jobs)
                 unique_jobs.append(job)
-            slots.append(unique[key])
+                indices_by_unique.append([])
+            indices_by_unique[unique[key]].append(index)
+
+        job_fn = compile_farm_job_with_schedule if with_schedules else compile_farm_job
 
         start = time.perf_counter()
         if self.executor == "reference" or len(unique_jobs) <= 1:
-            # A single unique job gains nothing from a pool; run it in-process
-            # and report the backend that actually ran.
+            # A single unique job gains nothing from a pool; run it
+            # in-process and report the backend that actually ran.
             backend, workers = "reference", 1
-            unique_results = [compile_farm_job(job) for job in unique_jobs]
+            for slot, job in enumerate(unique_jobs):
+                result = job_fn(job)
+                for index in indices_by_unique[slot]:
+                    yield index, result
         else:
-            backend = "process"
+            backend = self.executor
             workers = min(self.max_workers or available_workers(), len(unique_jobs))
-            with ProcessPoolExecutor(max_workers=workers, initializer=_worker_init) as pool:
-                unique_results = list(pool.map(compile_farm_job, unique_jobs))
+            if backend == "thread":
+                _worker_init()  # threads share this process's gate-matrix caches
+                pool = ThreadPoolExecutor(max_workers=workers)
+            else:
+                pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+            try:
+                futures = {
+                    pool.submit(job_fn, job): slot for slot, job in enumerate(unique_jobs)
+                }
+                for future in as_completed(futures):
+                    result = future.result()
+                    for index in indices_by_unique[futures[future]]:
+                        yield index, result
+            finally:
+                # an abandoned stream (consumer closed the generator early)
+                # must cancel the queued remainder of the grid, not compile it
+                pool.shutdown(wait=True, cancel_futures=True)
         wall = time.perf_counter() - start
 
         self.last_stats = {
@@ -484,4 +606,12 @@ class CompileFarm:
             "wall_s": wall,
             "max_workers": workers,
         }
-        return [unique_results[slot] for slot in slots]
+
+    def run(
+        self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
+    ) -> list[PointMetrics | FarmJobResult]:
+        jobs = list(jobs)
+        results: list[Any] = [None] * len(jobs)
+        for index, result in self.iter_results(jobs, with_schedules=with_schedules):
+            results[index] = result
+        return results

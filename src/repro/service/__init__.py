@@ -1,0 +1,45 @@
+"""Compile-as-a-service layer on top of the compiler and the farm.
+
+The service subsystem (PR 5) packages the one-shot compiler behind a
+long-lived serving interface, the way a production deployment would run
+it:
+
+* :mod:`repro.service.store` — :class:`ScheduleStore`, a disk-backed,
+  content-addressed cache of canonical-JSON schedules keyed by the
+  farm's ``(workload fingerprint, config, options)`` sha1 digest;
+* :mod:`repro.service.queue` — :class:`CompileRequest` tickets and the
+  deduplicating FIFO :class:`JobQueue` (identical in-flight requests
+  coalesce);
+* :mod:`repro.service.service` — :class:`CompileService`, the loop that
+  answers warm keys from the store, farms cold keys (thread, process or
+  reference executor) and streams responses incrementally;
+* :mod:`repro.service.cli` — ``python -m repro.service`` command line.
+
+Quick start::
+
+    from repro.core import WorkloadSpec
+    from repro.service import CompileRequest, CompileService
+
+    service = CompileService("/tmp/qpilot-store")
+    request = CompileRequest.for_width(WorkloadSpec.random_circuit(16, 5), 8)
+    cold = service.compile(request)     # routed, persisted
+    warm = service.compile(request)     # answered from disk, zero routing
+    assert warm.cached and warm.schedule == cold.schedule
+    print(service.stats.to_dict())
+"""
+
+from repro.service.queue import CompileRequest, JobQueue, QueuedJob
+from repro.service.service import CompileResponse, CompileService, ServiceStats
+from repro.service.store import ScheduleStore, StoreEntry, StoreStats
+
+__all__ = [
+    "CompileRequest",
+    "CompileResponse",
+    "CompileService",
+    "JobQueue",
+    "QueuedJob",
+    "ScheduleStore",
+    "ServiceStats",
+    "StoreEntry",
+    "StoreStats",
+]

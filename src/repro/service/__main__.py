@@ -1,0 +1,7 @@
+"""``python -m repro.service`` — compile-service command line."""
+
+import sys
+
+from repro.service.cli import main
+
+sys.exit(main())

@@ -1,0 +1,201 @@
+"""Command-line front end of the compile service.
+
+Usage (with ``PYTHONPATH=src`` or the package installed)::
+
+    python -m repro.service compile --store /tmp/qpilot-store \
+        --kind circuit --qubits 16 --gate-multiple 5 --width 8
+
+    python -m repro.service sweep --store /tmp/qpilot-store \
+        --kind qaoa --qubits 16 --edge-probability 0.3 --widths 4,8,16
+
+    python -m repro.service stats --store /tmp/qpilot-store
+    python -m repro.service clear --store /tmp/qpilot-store
+
+``compile`` submits one request and reports whether it was served from
+the content-addressed store or freshly routed; ``sweep`` streams one
+request per width, printing each design point as it resolves.  Both
+print service statistics afterwards (``--json`` for machine-readable
+output).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.farm import WorkloadSpec
+from repro.service.queue import CompileRequest
+from repro.service.service import CompileService
+from repro.service.store import ScheduleStore
+
+
+def _comma_ints(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part)
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kind",
+        choices=("circuit", "qsim", "qaoa"),
+        default="circuit",
+        help="workload family (default: circuit)",
+    )
+    parser.add_argument("--qubits", type=int, default=16, help="number of data qubits")
+    parser.add_argument("--seed", type=int, default=2024, help="workload RNG seed")
+    parser.add_argument(
+        "--gate-multiple", type=int, default=5, help="[circuit] CX gates per qubit"
+    )
+    parser.add_argument(
+        "--pauli-probability", type=float, default=0.3, help="[qsim] per-qubit Pauli weight"
+    )
+    parser.add_argument(
+        "--num-strings", type=int, default=20, help="[qsim] number of Pauli strings"
+    )
+    parser.add_argument(
+        "--edge-probability", type=float, default=0.3, help="[qaoa] G(n, p) edge probability"
+    )
+
+
+def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+    if args.kind == "circuit":
+        return WorkloadSpec.random_circuit(args.qubits, args.gate_multiple, seed=args.seed)
+    if args.kind == "qsim":
+        return WorkloadSpec.qsim(
+            args.qubits, args.pauli_probability, num_strings=args.num_strings, seed=args.seed
+        )
+    return WorkloadSpec.qaoa_random_graph(args.qubits, args.edge_probability, seed=args.seed)
+
+
+def _stats_dict(service: CompileService) -> dict:
+    stats = service.stats.to_dict()
+    stats["store"] = service.store.stats.to_dict()
+    return stats
+
+
+def _print_stats(service: CompileService) -> None:
+    stats = _stats_dict(service)
+    hit_rate = stats["cache_hit_rate"]
+    print(
+        f"service: {stats['completed']} completed, "
+        f"{stats['cache_hits']} cache hits / {stats['cache_misses']} misses "
+        f"(hit rate {hit_rate if hit_rate is None else round(hit_rate, 3)}), "
+        f"{stats['farm_dispatches']} farm dispatches"
+    )
+
+
+def _response_dict(response) -> dict:
+    m = response.metrics
+    return {
+        "source": response.source,
+        "digest": response.digest,
+        "router": response.router,
+        "width": response.schedule["config"]["slm_cols"],
+        "depth": m.depth,
+        "error_rate": m.error_rate,
+    }
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
+    request = CompileRequest.for_width(_workload_from_args(args), args.width)
+    response = service.compile(request)
+    if args.json:
+        payload = _response_dict(response)
+        payload["stats"] = _stats_dict(service)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    m = response.metrics
+    print(
+        f"{response.source}: {request.workload.name} @ width {args.width} "
+        f"[{response.router}] depth={m.depth} error_rate={m.error_rate:.4f} "
+        f"digest={response.digest[:12]}"
+    )
+    _print_stats(service)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
+    workload = _workload_from_args(args)
+    requests = [CompileRequest.for_width(workload, width) for width in args.widths]
+    if args.json:
+        payload = {"points": [_response_dict(r) for r in service.stream(requests)]}
+        payload["stats"] = _stats_dict(service)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for response in service.stream(requests):
+        m = response.metrics
+        print(
+            f"{response.source}: width {response.schedule['config']['slm_cols']} "
+            f"depth={m.depth} error_rate={m.error_rate:.4f}"
+        )
+    _print_stats(service)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    store = ScheduleStore(args.store)
+    data = {"root": str(store.root), "entries": len(store)}
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True))
+    else:
+        print(f"store {data['root']}: {data['entries']} entries")
+    return 0
+
+
+def _cmd_clear(args: argparse.Namespace) -> int:
+    removed = ScheduleStore(args.store).clear()
+    print(f"removed {removed} entries")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.service", description=__doc__.splitlines()[0]
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_cmd = commands.add_parser("compile", help="compile one request through the service")
+    _add_workload_arguments(compile_cmd)
+    compile_cmd.add_argument("--width", type=int, default=8, help="array width (SLM columns)")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    sweep_cmd = commands.add_parser("sweep", help="stream a width sweep through the service")
+    _add_workload_arguments(sweep_cmd)
+    sweep_cmd.add_argument(
+        "--widths",
+        type=_comma_ints,
+        default=(4, 8, 16),
+        help="comma-separated array widths (default: 4,8,16)",
+    )
+    sweep_cmd.set_defaults(func=_cmd_sweep)
+
+    stats_cmd = commands.add_parser("stats", help="inspect a schedule store")
+    stats_cmd.set_defaults(func=_cmd_stats)
+
+    clear_cmd = commands.add_parser("clear", help="empty a schedule store")
+    clear_cmd.set_defaults(func=_cmd_clear)
+
+    for sub in (compile_cmd, sweep_cmd, stats_cmd, clear_cmd):
+        sub.add_argument("--store", required=True, help="schedule-store directory")
+        sub.add_argument("--json", action="store_true", help="machine-readable output")
+    for sub in (compile_cmd, sweep_cmd):
+        sub.add_argument(
+            "--executor",
+            choices=("thread", "process", "reference"),
+            default="thread",
+            help="farm backend for cache misses (default: thread)",
+        )
+        sub.add_argument("--jobs", type=int, default=None, help="farm pool width")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Compile requests and the deduplicating job queue.
+
+Clients describe work as :class:`CompileRequest` values — a picklable
+:class:`~repro.core.farm.WorkloadSpec` plus the target
+:class:`~repro.hardware.fpqa.FPQAConfig` and router
+:class:`~repro.core.farm.FarmOptions` — exactly the farm's job model, so
+a request *is* a grid cell and inherits its content-addressed digest.
+
+:class:`JobQueue` is the service's admission layer.  Submitting a
+request returns a :class:`QueuedJob` ticket; submitting an *identical*
+request (same digest) while the first is still pending coalesces onto
+the same ticket instead of queueing duplicate work — the in-flight
+analogue of the farm's memoisation and the store's disk cache.  The
+queue is FIFO over unique digests, so service throughput is fair in
+submission order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.farm import FarmJob, FarmOptions, WorkloadSpec
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+
+#: Lifecycle states of a queued job.
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One client request: compile ``workload`` on ``config`` with ``options``."""
+
+    workload: WorkloadSpec
+    config: FPQAConfig
+    options: FarmOptions = field(default_factory=FarmOptions)
+
+    def job(self) -> FarmJob:
+        """The farm job this request maps to."""
+        return FarmJob(workload=self.workload, config=self.config, options=self.options)
+
+    def digest(self) -> str:
+        """Content-addressed key shared with the farm memo and the store."""
+        return self.job().digest()
+
+    @classmethod
+    def for_width(
+        cls,
+        workload: WorkloadSpec,
+        width: int,
+        *,
+        options: FarmOptions | None = None,
+        **config_kwargs: Any,
+    ) -> "CompileRequest":
+        """Request the workload on the standard array of a given width."""
+        config = FPQAConfig.with_width(workload.num_qubits, int(width), **config_kwargs)
+        return cls(workload=workload, config=config, options=options or FarmOptions())
+
+
+@dataclass
+class QueuedJob:
+    """Ticket for one unique in-flight request.
+
+    ``submissions`` counts how many client requests coalesced onto this
+    ticket; ``response`` is filled by the service when the job resolves
+    (a ``CompileResponse``), ``error`` when it fails.
+    """
+
+    request: CompileRequest
+    digest: str
+    status: str = PENDING
+    submissions: int = 1
+    response: Any = None
+    error: str | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.status == DONE
+
+    def resolve(self, response: Any) -> None:
+        self.status = DONE
+        self.response = response
+
+    def fail(self, error: str) -> None:
+        self.status = FAILED
+        self.error = error
+
+
+class JobQueue:
+    """FIFO queue of unique compile requests with in-flight coalescing."""
+
+    def __init__(self) -> None:
+        self._pending: "OrderedDict[str, QueuedJob]" = OrderedDict()
+        self.submitted = 0
+        self.coalesced = 0
+
+    @property
+    def depth(self) -> int:
+        """Unique requests currently waiting."""
+        return len(self._pending)
+
+    def submit(self, request: CompileRequest) -> QueuedJob:
+        """Enqueue a request, coalescing onto an identical pending one."""
+        self.submitted += 1
+        digest = request.digest()
+        ticket = self._pending.get(digest)
+        if ticket is not None:
+            ticket.submissions += 1
+            self.coalesced += 1
+            return ticket
+        ticket = QueuedJob(request=request, digest=digest)
+        self._pending[digest] = ticket
+        return ticket
+
+    def submit_all(self, requests: Iterable[CompileRequest]) -> list[QueuedJob]:
+        """Enqueue many requests; tickets are returned per *submission*
+        (coalesced duplicates share a ticket object)."""
+        return [self.submit(request) for request in requests]
+
+    def pop_batch(self, limit: int | None = None) -> list[QueuedJob]:
+        """Dequeue up to ``limit`` tickets in FIFO order (all if None)."""
+        if limit is not None and limit < 1:
+            raise QPilotError("pop_batch limit must be at least 1")
+        count = self.depth if limit is None else min(limit, self.depth)
+        return [self._pending.popitem(last=False)[1] for _ in range(count)]

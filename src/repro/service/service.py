@@ -1,0 +1,308 @@
+"""The compile service: queue + content-addressed store + compile farm.
+
+:class:`CompileService` turns the one-shot in-process compiler into a
+long-lived serving layer:
+
+* clients :meth:`~CompileService.submit` :class:`CompileRequest` tickets
+  (identical in-flight requests coalesce in the :class:`JobQueue`);
+* :meth:`~CompileService.process_batch` drains the queue — warm keys are
+  answered straight from the :class:`ScheduleStore` (zero router
+  invocations), cold keys are dispatched through the
+  :class:`~repro.core.farm.CompileFarm` once and persisted;
+* :meth:`~CompileService.stream` is the incremental path: responses are
+  yielded as they resolve (cache hits immediately, compiles as each
+  finishes), so arbitrarily large request sweeps flow through without
+  materialising the grid.
+
+``ServiceStats`` aggregates the serving picture: request counts,
+coalescing, cache hit rate, farm dispatches, queue depth and throughput.
+The differential guarantees compose: the farm's executor oracle makes
+every backend produce byte-identical canonical schedules, and the store
+persists exactly those bytes — so a cache hit is indistinguishable from
+a recompile, which is what makes caching *correct* and not just fast.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.core.farm import CompileFarm, FarmJobResult, PointMetrics
+from repro.core.schedule import FPQASchedule
+from repro.exceptions import QPilotError
+from repro.service.queue import FAILED, CompileRequest, JobQueue, QueuedJob
+from repro.service.store import ScheduleStore, StoreEntry
+from repro.utils.serialization import canonical_json, schedule_from_dict
+
+#: Where a response came from.
+SOURCE_CACHE = "cache"
+SOURCE_COMPILED = "compiled"
+
+#: Requests consumed per :meth:`CompileService.stream` chunk when neither
+#: ``chunk_size`` nor the service ``batch_size`` is set.
+DEFAULT_STREAM_CHUNK = 32
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """What the service hands back for one resolved request."""
+
+    digest: str
+    router: str
+    metrics: PointMetrics
+    schedule: dict[str, Any]
+    source: str
+
+    @property
+    def cached(self) -> bool:
+        return self.source == SOURCE_CACHE
+
+    def schedule_json(self) -> str:
+        """Canonical schedule JSON (byte-stable across cache and compile)."""
+        return canonical_json(self.schedule)
+
+    def load_schedule(self) -> FPQASchedule:
+        return schedule_from_dict(self.schedule)
+
+    @classmethod
+    def from_store(cls, entry: StoreEntry) -> "CompileResponse":
+        return cls(
+            digest=entry.digest,
+            router=entry.router,
+            metrics=entry.metrics,
+            schedule=entry.schedule,
+            source=SOURCE_CACHE,
+        )
+
+    @classmethod
+    def from_farm(cls, digest: str, result: FarmJobResult) -> "CompileResponse":
+        return cls(
+            digest=digest,
+            router=result.router,
+            metrics=result.metrics,
+            schedule=result.schedule,
+            source=SOURCE_COMPILED,
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate serving statistics since service construction."""
+
+    requests: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    farm_dispatches: int = 0
+    completed: int = 0
+    busy_s: float = 0.0
+    queue_depth: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float | None:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else None
+
+    @property
+    def throughput_rps(self) -> float | None:
+        """Completed requests per second of service busy time."""
+        return self.completed / self.busy_s if self.busy_s > 0 else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "farm_dispatches": self.farm_dispatches,
+            "completed": self.completed,
+            "busy_s": self.busy_s,
+            "throughput_rps": self.throughput_rps,
+            "queue_depth": self.queue_depth,
+        }
+
+
+class CompileService:
+    """Long-lived compile-as-a-service facade over farm + store + queue.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ScheduleStore` or a path to (create and) use as one.
+    executor:
+        Farm backend for cache misses.  Defaults to ``"thread"`` — a
+        serving process wants no spawn cost and its traffic is dominated
+        by store lookups; use ``"process"`` for compile-heavy batches or
+        ``"reference"`` for the deterministic serial oracle.
+    max_workers, batch_size:
+        Pool width for the farm, and the default number of unique
+        requests drained per :meth:`process_batch` call (None = all).
+    """
+
+    def __init__(
+        self,
+        store: ScheduleStore | str | Path,
+        *,
+        executor: str = "thread",
+        max_workers: int | None = None,
+        batch_size: int | None = None,
+    ):
+        self.store = store if isinstance(store, ScheduleStore) else ScheduleStore(store)
+        self.farm = CompileFarm(executor, max_workers=max_workers)
+        self.queue = JobQueue()
+        self.batch_size = batch_size
+        self._stats = ServiceStats()
+
+    # -- stats ----------------------------------------------------------
+    @property
+    def stats(self) -> ServiceStats:
+        """Live aggregate stats (queue depth up to date)."""
+        self._stats.queue_depth = self.queue.depth
+        return self._stats
+
+    # -- submission ------------------------------------------------------
+    def submit(self, request: CompileRequest) -> QueuedJob:
+        """Queue one request; identical pending requests share a ticket."""
+        ticket = self.queue.submit(request)
+        self._stats.requests += 1
+        if ticket.submissions > 1:
+            self._stats.coalesced += 1
+        return ticket
+
+    def submit_all(self, requests: Iterable[CompileRequest]) -> list[QueuedJob]:
+        return [self.submit(request) for request in requests]
+
+    # -- the service loop ------------------------------------------------
+    def process_batch(self, limit: int | None = None) -> list[QueuedJob]:
+        """Drain one batch: answer warm keys from the store, farm the rest.
+
+        Returns the resolved tickets in submission order.  Only cold keys
+        reach the farm — a batch of all-warm requests performs **zero**
+        router invocations.
+        """
+        start = time.perf_counter()
+        batch = self.queue.pop_batch(self.batch_size if limit is None else limit)
+        cold: list[QueuedJob] = []
+        for ticket in batch:
+            entry = self.store.get(ticket.digest)
+            if entry is not None:
+                self._stats.cache_hits += 1
+                ticket.resolve(CompileResponse.from_store(entry))
+            else:
+                self._stats.cache_misses += 1
+                cold.append(ticket)
+        if cold:
+            jobs = [ticket.request.job() for ticket in cold]
+            self._stats.farm_dispatches += len(jobs)
+            try:
+                results = self.farm.run(jobs, with_schedules=True)
+                for ticket, result in zip(cold, results):
+                    self.store.put(ticket.digest, result)
+                    ticket.resolve(CompileResponse.from_farm(ticket.digest, result))
+            except BaseException as exc:
+                # tickets are already out of the queue — mark the unresolved
+                # ones failed so waiters see the error instead of hanging
+                for ticket in cold:
+                    if not ticket.done:
+                        ticket.fail(str(exc))
+                raise
+        # per *submission*, like stream(): coalesced waiters each count as
+        # a completed request, so completed always converges on requests
+        self._stats.completed += sum(ticket.submissions for ticket in batch)
+        self._stats.busy_s += time.perf_counter() - start
+        return batch
+
+    def drain(self) -> list[QueuedJob]:
+        """Process batches until the queue is empty."""
+        resolved: list[QueuedJob] = []
+        while self.queue.depth:
+            resolved.extend(self.process_batch())
+        return resolved
+
+    def compile(self, request: CompileRequest) -> CompileResponse:
+        """Synchronous convenience: submit one request and resolve it now.
+
+        Coalesces with any identical request already queued (both tickets
+        resolve together, in queue order).
+        """
+        ticket = self.submit(request)
+        while not ticket.done:
+            if ticket.status == FAILED:
+                raise QPilotError(f"compile request failed: {ticket.error}")
+            if not self.queue.depth:
+                raise QPilotError("ticket pending but queue empty — ticket failed?")
+            self.process_batch()
+        return ticket.response
+
+    # -- streaming -------------------------------------------------------
+    def stream(
+        self, requests: Iterable[CompileRequest], *, chunk_size: int | None = None
+    ) -> Iterator[CompileResponse]:
+        """Yield a response per *request* as each resolves, incrementally.
+
+        Requests are consumed in chunks (``chunk_size``, defaulting to
+        ``batch_size`` or :data:`DEFAULT_STREAM_CHUNK`): within a chunk,
+        cache hits are yielded immediately and misses stream out of the
+        farm in completion order (:meth:`CompileFarm.iter_results`), each
+        persisted to the store as it lands.  Duplicate requests each get
+        a response — in-chunk duplicates share one compile, cross-chunk
+        duplicates hit the store — so the output count always matches the
+        input count.  Memory stays bounded by the chunk size and the
+        in-flight compiles, not the sweep size, and the input may be an
+        unbounded generator — the service-side face of
+        ``sweep_grid(..., stream=True)``.
+        """
+        size = chunk_size if chunk_size is not None else (
+            self.batch_size or DEFAULT_STREAM_CHUNK
+        )
+        if size < 1:
+            raise QPilotError("stream chunk_size must be at least 1")
+        chunk: list[CompileRequest] = []
+        for request in requests:
+            chunk.append(request)
+            if len(chunk) >= size:
+                yield from self._stream_chunk(chunk)
+                chunk = []
+        if chunk:
+            yield from self._stream_chunk(chunk)
+
+    def _stream_chunk(self, chunk: list[CompileRequest]) -> Iterator[CompileResponse]:
+        start = time.perf_counter()
+        cold_tickets: list[QueuedJob] = []
+        cold_index: dict[str, int] = {}
+        for request in chunk:
+            self._stats.requests += 1
+            digest = request.digest()
+            if digest in cold_index:
+                # already being compiled in this chunk — the shared ticket
+                # will emit one extra response when it resolves
+                self._stats.coalesced += 1
+                cold_tickets[cold_index[digest]].submissions += 1
+                continue
+            entry = self.store.get(digest)
+            if entry is not None:
+                self._stats.cache_hits += 1
+                self._stats.completed += 1
+                self._stats.busy_s += time.perf_counter() - start
+                yield CompileResponse.from_store(entry)
+                start = time.perf_counter()
+            else:
+                self._stats.cache_misses += 1
+                cold_index[digest] = len(cold_tickets)
+                cold_tickets.append(QueuedJob(request=request, digest=digest))
+        if cold_tickets:
+            jobs = [ticket.request.job() for ticket in cold_tickets]
+            self._stats.farm_dispatches += len(jobs)
+            for index, result in self.farm.iter_results(jobs, with_schedules=True):
+                ticket = cold_tickets[index]
+                self.store.put(ticket.digest, result)
+                response = CompileResponse.from_farm(ticket.digest, result)
+                ticket.resolve(response)
+                for _ in range(ticket.submissions):
+                    self._stats.completed += 1
+                    self._stats.busy_s += time.perf_counter() - start
+                    yield response
+                    start = time.perf_counter()

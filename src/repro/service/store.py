@@ -1,0 +1,280 @@
+"""Content-addressed, disk-backed schedule store.
+
+The compile service's persistence layer: every compiled schedule is
+written to disk under the sha1 digest of its farm job key
+(``(workload fingerprint, FPQAConfig, options)`` — see
+:meth:`repro.core.farm.FarmJob.digest`), so a repeat of any grid cell the
+farm would have memoised *in memory* is answered from disk instead —
+across service restarts, processes and machines sharing the store root.
+
+Entries are canonical JSON (:func:`repro.utils.serialization.canonical_json`)
+wrapping the schedule's canonical dict, its compact
+:class:`~repro.core.farm.PointMetrics` and the router name.  Because the
+schedule payload is the *canonical* serialisation (volatile wall-clock
+metadata stripped, keys sorted), a cached schedule re-renders
+byte-identical to a fresh compile of the same job — the durability suite
+pins that.
+
+Reads are corruption-safe: a missing, truncated, garbled or
+wrong-schema entry is a *miss*, never a crash; the bad file is unlinked
+so the next compile repairs it.  Writes are atomic
+(``tempfile`` + ``os.replace``), so a reader never observes a torn
+entry.  ``max_entries`` bounds the store with least-recently-used
+eviction (hits refresh the entry mtime).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.farm import FarmJobResult, PointMetrics
+from repro.core.schedule import FPQASchedule
+from repro.exceptions import QPilotError
+from repro.utils.serialization import canonical_json, schedule_from_dict
+
+_STORE_SCHEMA_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Counters of one store's lifetime (since construction)."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float | None:
+        """Hits / lookups, or None before the first lookup."""
+        return self.hits / self.lookups if self.lookups else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One cached compile: canonical schedule dict + metrics + router."""
+
+    digest: str
+    router: str
+    metrics: PointMetrics
+    schedule: dict[str, Any]
+
+    def schedule_json(self) -> str:
+        """The canonical schedule JSON — byte-identical to
+        ``schedule_to_json(schedule, canonical=True)`` of a fresh compile."""
+        return canonical_json(self.schedule)
+
+    def load_schedule(self) -> FPQASchedule:
+        """Rebuild the full :class:`FPQASchedule` object."""
+        return schedule_from_dict(self.schedule)
+
+    @classmethod
+    def from_result(cls, digest: str, result: FarmJobResult) -> "StoreEntry":
+        return cls(
+            digest=digest,
+            router=result.router,
+            metrics=result.metrics,
+            schedule=result.schedule,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": _STORE_SCHEMA_VERSION,
+            "digest": self.digest,
+            "router": self.router,
+            "metrics": self.metrics.to_dict(),
+            "schedule": self.schedule,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StoreEntry":
+        if data.get("schema_version") != _STORE_SCHEMA_VERSION:
+            raise QPilotError(
+                f"unsupported store entry schema version {data.get('schema_version')!r}"
+            )
+        return cls(
+            digest=str(data["digest"]),
+            router=str(data["router"]),
+            metrics=PointMetrics.from_dict(data["metrics"]),
+            schedule=dict(data["schedule"]),
+        )
+
+
+class ScheduleStore:
+    """Disk-backed, content-addressed cache of compiled schedules.
+
+    Entries live at ``root/<digest[:2]>/<digest>.json`` (two-level
+    sharding keeps directories small on big stores).  The store is safe
+    to share between service instances pointed at the same root — atomic
+    writes mean concurrent writers of the *same* digest converge on
+    identical bytes.  ``max_entries`` is enforced from each writer's own
+    entry count (kept incrementally; eviction scans resync it from
+    disk), so with several concurrent writers the bound is approximate
+    between evictions, never corrupt.
+    """
+
+    def __init__(self, root: str | Path, *, max_entries: int | None = None):
+        if max_entries is not None and max_entries < 1:
+            raise QPilotError("max_entries must be at least 1")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.stats = StoreStats()
+        # entry count, maintained incrementally so bounded-store writes
+        # don't re-scan the whole tree; None until first needed
+        self._count: int | None = None
+
+    # -- addressing -----------------------------------------------------
+    def path_for(self, digest: str) -> Path:
+        """Where an entry with this digest lives (existing or not)."""
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def _entry_paths(self) -> Iterator[Path]:
+        return self.root.glob("??/*.json")
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self._entry_paths())
+        return self._count
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path_for(digest).exists()
+
+    def digests(self) -> list[str]:
+        """Digests of all entries currently on disk (sorted)."""
+        return sorted(path.stem for path in self._entry_paths())
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, digest: str) -> StoreEntry | None:
+        """Fetch an entry, or None on miss.
+
+        Corrupted entries (truncated writes, garbled bytes, wrong schema,
+        digest mismatch) count as misses: the bad file is removed and the
+        caller recompiles, which rewrites a good entry.
+        """
+        path = self.path_for(digest)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = StoreEntry.from_dict(json.loads(text))
+            if entry.digest != digest:
+                raise QPilotError(f"store entry {path} digest mismatch")
+        except (ValueError, KeyError, TypeError, AttributeError, QPilotError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+                if self._count is not None:
+                    self._count -= 1
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        self._touch(path)
+        return entry
+
+    # -- insert ---------------------------------------------------------
+    def put(self, digest: str, result: FarmJobResult) -> StoreEntry:
+        """Persist one compiled job under its digest (atomic write)."""
+        entry = StoreEntry.from_result(digest, result)
+        path = self.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                tmp.write(canonical_json(entry.to_dict()) + "\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        if not existed and self._count is not None:
+            self._count += 1
+        if self.max_entries is not None:
+            self._evict_over_limit(keep=path)
+        return entry
+
+    # -- maintenance ----------------------------------------------------
+    def clear(self) -> int:
+        """Remove every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        self._count = None  # recount lazily (unlinks may have failed)
+        return removed
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's mtime so LRU eviction sees the hit."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def _evict_over_limit(self, *, keep: Path) -> None:
+        """Drop least-recently-used entries until within ``max_entries``.
+
+        The O(1) count check keeps the common (not-over-limit) write
+        cheap; the full scan only happens when eviction looks due, and
+        its result resyncs the count (healing drift from other writers
+        sharing the root).
+        """
+        if len(self) - self.max_entries <= 0:
+            return
+        paths = list(self._entry_paths())
+        self._count = len(paths)
+        excess = self._count - self.max_entries
+        if excess <= 0:
+            return
+
+        def mtime(path: Path) -> float:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        for path in sorted(paths, key=mtime):
+            if excess <= 0:
+                break
+            if path == keep:
+                continue
+            try:
+                path.unlink()
+                if self._count is not None:
+                    self._count -= 1
+                self.stats.evictions += 1
+                excess -= 1
+            except OSError:
+                pass

@@ -35,6 +35,17 @@ _SCHEMA_VERSION = 1
 VOLATILE_METADATA_KEYS = frozenset({"compile_time_s"})
 
 
+def canonical_json(data: Any, *, indent: int | None = 2) -> str:
+    """Canonical JSON text: sorted keys, fixed indent — byte-stable.
+
+    One serialisation convention shared by the golden schedule files, the
+    DSE trajectory archives and the compile-service schedule store: equal
+    data always renders to equal bytes, so content-addressed storage and
+    byte-diff regression tests work on the text directly.
+    """
+    return json.dumps(data, indent=indent, sort_keys=True)
+
+
 def _gate_to_dict(gate: ScheduledGate) -> dict[str, Any]:
     return {
         "name": gate.name,
@@ -144,6 +155,12 @@ def schedule_to_dict(schedule: FPQASchedule, *, canonical: bool = False) -> dict
     metadata = {k: v for k, v in schedule.metadata.items() if _is_jsonable(v)}
     if canonical:
         metadata = {k: v for k, v in metadata.items() if k not in VOLATILE_METADATA_KEYS}
+    # Normalise through one JSON round-trip: routers stash dicts with int
+    # keys (and tuples) in metadata, which ``sort_keys`` orders numerically
+    # on the way out but lexicographically after deserialisation — the
+    # serialised form must be identical either way for content-addressed
+    # storage and golden byte-diffs to work.
+    metadata = json.loads(json.dumps(metadata))
     return {
         "schema_version": _SCHEMA_VERSION,
         "name": schedule.name,

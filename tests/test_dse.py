@@ -176,3 +176,23 @@ class TestGrouping:
         assert sweep.meta["num_jobs"] == 3
         assert sweep.meta["num_unique_jobs"] == 2  # duplicate width memoised
         assert sweep.meta["wall_s"] >= 0.0
+
+
+class TestStreamedSweep:
+    def test_stream_true_returns_lazy_design_points(self):
+        spec = WorkloadSpec.random_circuit(10, 3, seed=5)
+        stream = sweep_grid(spec, widths=(4, 8), executor="reference", stream=True)
+        assert not isinstance(stream, SweepResult)
+        points = list(stream)
+        assert [type(p) for p in points] == [DesignPoint, DesignPoint]
+        eager = sweep_grid(spec, widths=(4, 8), executor="reference")
+        assert [(p.width, p.depth) for p in points] == eager.as_series()
+
+    def test_streamed_points_rebuild_an_equivalent_sweep(self):
+        """Collecting a stream reproduces the eager sweep's best point."""
+        spec = WorkloadSpec.random_circuit(10, 3, seed=5)
+        points = list(sweep_grid(spec, widths=(4, 8, 16), executor="reference", stream=True))
+        rebuilt = SweepResult("streamed", points=points)
+        eager = sweep_grid(spec, widths=(4, 8, 16), executor="reference")
+        assert rebuilt.best("depth").width == eager.best("depth").width
+        assert sorted(rebuilt.as_series()) == sorted(eager.as_series())

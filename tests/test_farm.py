@@ -109,7 +109,12 @@ class TestWorkloadSpec:
 class TestCompileFarm:
     def test_unknown_executor_rejected(self):
         with pytest.raises(QPilotError):
-            CompileFarm("threads")
+            CompileFarm("gpu")
+
+    def test_executor_aliases_resolve(self):
+        assert CompileFarm("serial").executor == "reference"
+        assert CompileFarm("parallel").executor == "process"
+        assert CompileFarm("threads").executor == "thread"
 
     def test_duplicate_jobs_are_memoised(self):
         config = FPQAConfig.with_width(16, 8)
@@ -154,34 +159,57 @@ class TestCompileFarm:
         assert [m.depth for m in results] == expected
 
 
-class TestExecutorOracle:
-    """Parallel farm vs the serial reference oracle: identical design points."""
+#: Pooled backends that must match the serial reference oracle.
+POOLED_EXECUTORS = ("process", "thread")
 
-    def test_three_families_identical_series_and_metrics(self):
+
+class TestExecutorOracle:
+    """Pooled farm backends vs the serial reference oracle: identical points."""
+
+    @pytest.mark.parametrize("executor", POOLED_EXECUTORS)
+    def test_three_families_identical_series_and_metrics(self, executor):
         options = [FarmOptions(include_sabre=True)]
         reference = sweep_grid(
             FAMILY_SPECS, widths=WIDTHS, option_sets=options, executor="reference"
         )
-        parallel = sweep_grid(
-            FAMILY_SPECS, widths=WIDTHS, option_sets=options, executor="process"
+        pooled = sweep_grid(
+            FAMILY_SPECS, widths=WIDTHS, option_sets=options, executor=executor
         )
-        assert reference.as_series() == parallel.as_series()
-        assert deterministic_metrics(reference) == deterministic_metrics(parallel)
-        # the SABRE baseline fingerprint crossed the process boundary intact
+        assert reference.as_series() == pooled.as_series()
+        assert deterministic_metrics(reference) == deterministic_metrics(pooled)
+        # the SABRE baseline fingerprint crossed the worker boundary intact
         circuit_points = [
-            p for p in parallel.points if p.axes["workload"] == FAMILY_SPECS[0].name
+            p for p in pooled.points if p.axes["workload"] == FAMILY_SPECS[0].name
         ]
         assert all(p.sabre_num_swaps > 0 for p in circuit_points)
 
-    def test_per_family_sweeps_match(self):
+    @pytest.mark.parametrize("executor", POOLED_EXECUTORS)
+    def test_per_family_sweeps_match(self, executor):
         for spec in FAMILY_SPECS:
             reference = sweep_array_width(spec, widths=WIDTHS, executor="reference")
-            parallel = sweep_array_width(spec, widths=WIDTHS, executor="process")
-            assert reference.as_series() == parallel.as_series(), spec.name
-            assert deterministic_metrics(reference) == deterministic_metrics(parallel)
+            pooled = sweep_array_width(spec, widths=WIDTHS, executor=executor)
+            assert reference.as_series() == pooled.as_series(), spec.name
+            assert deterministic_metrics(reference) == deterministic_metrics(pooled)
 
+    @pytest.mark.parametrize("executor", POOLED_EXECUTORS)
+    def test_three_families_byte_identical_canonical_schedules(self, executor):
+        """Schedules (not just metrics) are byte-identical across backends."""
+        from repro.utils.serialization import canonical_json
+
+        jobs = [
+            FarmJob(workload=spec, config=FPQAConfig.with_width(spec.num_qubits, 8))
+            for spec in FAMILY_SPECS
+        ]
+        reference = CompileFarm("reference").run(jobs, with_schedules=True)
+        pooled = CompileFarm(executor).run(jobs, with_schedules=True)
+        for spec, ref, pool in zip(FAMILY_SPECS, reference, pooled):
+            assert canonical_json(ref.schedule) == canonical_json(pool.schedule), spec.name
+            assert ref.router == pool.router
+            assert ref.metrics.deterministic() == pool.metrics.deterministic()
+
+    @pytest.mark.parametrize("executor", POOLED_EXECUTORS)
     @pytest.mark.parametrize("seed", [3, 17])
-    def test_seeded_random_grids_match(self, seed):
+    def test_seeded_random_grids_match(self, seed, executor):
         import numpy as np
 
         rng = np.random.default_rng(seed)
@@ -202,10 +230,10 @@ class TestExecutorOracle:
         widths = (4, 9, 25)
         axes = {"two_qubit_fidelity": (0.99, 0.995)}
         reference = sweep_grid(specs, widths=widths, config_axes=axes, executor="reference")
-        parallel = sweep_grid(specs, widths=widths, config_axes=axes, executor="process")
-        assert reference.as_series() == parallel.as_series()
-        assert deterministic_metrics(reference) == deterministic_metrics(parallel)
-        assert [p.axes for p in reference.points] == [p.axes for p in parallel.points]
+        pooled = sweep_grid(specs, widths=widths, config_axes=axes, executor=executor)
+        assert reference.as_series() == pooled.as_series()
+        assert deterministic_metrics(reference) == deterministic_metrics(pooled)
+        assert [p.axes for p in reference.points] == [p.axes for p in pooled.points]
 
     def test_spec_path_rejects_contradictory_num_qubits(self):
         with pytest.raises(QPilotError):
@@ -230,3 +258,139 @@ class TestExecutorOracle:
         assert [p.error_rate for p in legacy.points] == [p.error_rate for p in farmed.points]
         # closure path keeps full results for backwards compatibility
         assert all(p.result is not None for p in legacy.points)
+
+
+class TestJobDigest:
+    """FarmJob.digest — the content-addressed schedule-store key."""
+
+    def test_digest_is_stable_and_sha1_shaped(self):
+        job = FarmJob(workload=FAMILY_SPECS[0], config=FPQAConfig.with_width(16, 8))
+        digest = job.digest()
+        assert len(digest) == 40 and set(digest) <= set("0123456789abcdef")
+        assert digest == job.digest()
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone.digest() == digest
+
+    def test_digest_tracks_memo_key(self):
+        """Equal memo keys <=> equal digests across every job axis."""
+        base = FarmJob(workload=FAMILY_SPECS[0], config=FPQAConfig.with_width(16, 8))
+        same = FarmJob(workload=FAMILY_SPECS[0], config=FPQAConfig.with_width(16, 8))
+        other_workload = FarmJob(
+            workload=FAMILY_SPECS[1], config=FPQAConfig.with_width(16, 8)
+        )
+        other_config = FarmJob(workload=FAMILY_SPECS[0], config=FPQAConfig.with_width(16, 4))
+        other_options = FarmJob(
+            workload=FAMILY_SPECS[0],
+            config=FPQAConfig.with_width(16, 8),
+            options=FarmOptions(include_sabre=True),
+        )
+        assert base.digest() == same.digest()
+        assert len({base.digest(), other_workload.digest(), other_config.digest(),
+                    other_options.digest()}) == 4
+
+    def test_digest_ignores_display_label(self):
+        """FarmOptions.label is display-only, like WorkloadSpec.name."""
+        a = FarmJob(
+            workload=FAMILY_SPECS[0],
+            config=FPQAConfig.with_width(16, 8),
+            options=FarmOptions(label="alpha"),
+        )
+        b = FarmJob(
+            workload=FAMILY_SPECS[0],
+            config=FPQAConfig.with_width(16, 8),
+            options=FarmOptions(label="beta"),
+        )
+        assert a.digest() == b.digest()
+
+
+class TestStreamingResults:
+    """CompileFarm.iter_results / sweep_grid(stream=True)."""
+
+    def _jobs(self):
+        spec = FAMILY_SPECS[0]
+        return [
+            FarmJob(workload=spec, config=FPQAConfig.with_width(16, width))
+            for width in (16, 4, 8)
+        ]
+
+    @pytest.mark.parametrize("executor", ("reference",) + POOLED_EXECUTORS)
+    def test_iter_results_matches_run(self, executor):
+        jobs = self._jobs()
+        expected = CompileFarm("reference").run(jobs)
+        farm = CompileFarm(executor)
+        streamed: dict[int, object] = {}
+        for index, metrics in farm.iter_results(jobs):
+            streamed[index] = metrics
+        assert sorted(streamed) == list(range(len(jobs)))
+        assert [streamed[i].deterministic() for i in range(len(jobs))] == [
+            m.deterministic() for m in expected
+        ]
+        assert farm.last_stats["num_jobs"] == len(jobs)
+
+    def test_iter_results_streams_memoised_duplicates(self):
+        jobs = self._jobs()
+        duplicated = [jobs[0], jobs[1], jobs[0], jobs[0]]
+        farm = CompileFarm("reference")
+        pairs = list(farm.iter_results(duplicated))
+        assert sorted(index for index, _ in pairs) == [0, 1, 2, 3]
+        by_index = dict(pairs)
+        assert by_index[0] is by_index[2] is by_index[3]
+        assert farm.last_stats["num_unique_jobs"] == 2
+
+    def test_iter_results_is_lazy(self):
+        """The reference backend compiles nothing until the iterator is pulled."""
+        farm = CompileFarm("reference")
+        iterator = farm.iter_results(self._jobs())
+        assert farm.last_stats == {}
+        next(iterator)
+        assert farm.last_stats == {}  # stats appear only at exhaustion
+
+    def test_abandoned_pooled_stream_cancels_queued_jobs(self, monkeypatch):
+        """Closing a streamed sweep early must not compile the whole grid."""
+        import threading
+
+        from repro.core import farm as farm_module
+
+        specs = [WorkloadSpec.random_circuit(8, 2, seed=9000 + i) for i in range(6)]
+        jobs = [FarmJob(workload=spec, config=FPQAConfig.with_width(8, 4)) for spec in specs]
+
+        started = []
+        gate = threading.Event()
+        real_job = farm_module.compile_farm_job
+
+        def gated_job(job):
+            started.append(job)
+            if len(started) > 1:
+                # park the single worker so close() runs cancel_futures
+                # while every remaining job is still queued
+                assert gate.wait(timeout=10)
+            return real_job(job)
+
+        monkeypatch.setattr(farm_module, "compile_farm_job", gated_job)
+        farm = CompileFarm("thread", max_workers=1)
+        iterator = farm.iter_results(jobs)
+        next(iterator)  # job 0 done; the worker picks up job 1 and parks
+        # unblock the in-flight job only once close() is waiting in shutdown
+        releaser = threading.Timer(0.05, gate.set)
+        releaser.start()
+        iterator.close()  # cancels the queued jobs, then waits for job 1
+        releaser.join()
+        # the only jobs that ever started are job 0 and the in-flight job 1;
+        # jobs 2..5 were cancelled while queued and never ran
+        assert len(started) <= 2
+
+    @pytest.mark.parametrize("executor", ("reference", "thread"))
+    def test_sweep_grid_stream_matches_eager(self, executor):
+        eager = sweep_grid(FAMILY_SPECS, widths=WIDTHS, executor="reference")
+        streamed = list(
+            sweep_grid(FAMILY_SPECS, widths=WIDTHS, executor=executor, stream=True)
+        )
+        assert len(streamed) == len(eager.points)
+        key = lambda p: (p.axes.get("workload", ""), p.width)
+        eager_points = sorted(eager.points, key=key)
+        stream_points = sorted(streamed, key=key)
+        assert [p.width for p in eager_points] == [p.width for p in stream_points]
+        assert [p.metrics.deterministic() for p in eager_points] == [
+            p.metrics.deterministic() for p in stream_points
+        ]
+        assert [p.axes for p in eager_points] == [p.axes for p in stream_points]

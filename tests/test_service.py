@@ -1,0 +1,316 @@
+"""Compile-service tests: queue dedup, cache serving, streaming, CLI.
+
+The acceptance suite for the service layer.  The central property
+(``TestCacheServing``): a repeated :class:`CompileRequest` for an
+identical (workload, config, options) key is answered from the disk
+store with **zero** farm dispatches — no router runs — and the served
+canonical schedule is byte-identical to the freshly compiled one.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import QPilotCompiler, WorkloadSpec
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+from repro.service import (
+    CompileRequest,
+    CompileService,
+    JobQueue,
+    ScheduleStore,
+)
+from repro.service.cli import main as cli_main
+from repro.utils.serialization import schedule_to_json
+
+#: One request per workload family, small enough for tier-1.
+FAMILY_REQUESTS = [
+    CompileRequest.for_width(WorkloadSpec.random_circuit(8, 3, seed=21), 4),
+    CompileRequest.for_width(WorkloadSpec.qsim(8, 0.3, num_strings=6, seed=22), 4),
+    CompileRequest.for_width(WorkloadSpec.qaoa_random_graph(8, 0.4, seed=23), 4),
+]
+
+
+def service_for(tmp_path, **kwargs) -> CompileService:
+    kwargs.setdefault("executor", "reference")
+    return CompileService(tmp_path / "store", **kwargs)
+
+
+class TestCompileRequest:
+    def test_digest_matches_farm_job(self):
+        request = FAMILY_REQUESTS[0]
+        assert request.digest() == request.job().digest()
+
+    def test_for_width_builds_matching_config(self):
+        spec = WorkloadSpec.random_circuit(16, 5)
+        request = CompileRequest.for_width(spec, 8)
+        assert request.config == FPQAConfig.with_width(16, 8)
+
+
+class TestJobQueue:
+    def test_fifo_order_and_depth(self):
+        queue = JobQueue()
+        tickets = queue.submit_all(FAMILY_REQUESTS)
+        assert queue.depth == 3
+        batch = queue.pop_batch()
+        assert batch == tickets
+        assert queue.depth == 0
+
+    def test_identical_pending_requests_coalesce(self):
+        queue = JobQueue()
+        first = queue.submit(FAMILY_REQUESTS[0])
+        second = queue.submit(FAMILY_REQUESTS[0])
+        assert second is first
+        assert first.submissions == 2
+        assert queue.depth == 1
+        assert queue.submitted == 2
+        assert queue.coalesced == 1
+
+    def test_pop_batch_limit(self):
+        queue = JobQueue()
+        queue.submit_all(FAMILY_REQUESTS)
+        assert len(queue.pop_batch(2)) == 2
+        assert queue.depth == 1
+        with pytest.raises(QPilotError):
+            queue.pop_batch(0)
+
+    def test_resubmission_after_pop_is_a_new_ticket(self):
+        queue = JobQueue()
+        first = queue.submit(FAMILY_REQUESTS[0])
+        queue.pop_batch()
+        second = queue.submit(FAMILY_REQUESTS[0])
+        assert second is not first
+
+
+class TestCacheServing:
+    """The PR's acceptance criterion, asserted mechanically."""
+
+    @pytest.mark.parametrize("request_", FAMILY_REQUESTS, ids=lambda r: r.workload.kind)
+    def test_repeat_request_hits_disk_with_zero_farm_dispatches(self, tmp_path, request_):
+        service = service_for(tmp_path)
+        cold = service.compile(request_)
+        assert cold.source == "compiled"
+        dispatches_after_cold = service.stats.farm_dispatches
+
+        # make any farm dispatch on the warm path a hard failure
+        def forbidden(jobs, **kwargs):  # pragma: no cover - fails the test if hit
+            raise AssertionError("farm dispatched on a warm cache key")
+
+        service.farm.run = forbidden
+        service.farm.iter_results = forbidden
+        warm = service.compile(request_)
+        assert warm.source == "cache"
+        assert service.stats.farm_dispatches == dispatches_after_cold
+        # byte-identical canonical schedules: cache is semantically invisible
+        assert warm.schedule_json() == cold.schedule_json()
+        assert warm.metrics == cold.metrics
+        assert warm.router == cold.router
+
+    def test_warm_schedule_matches_direct_compiler_output(self, tmp_path):
+        request = FAMILY_REQUESTS[0]
+        service = service_for(tmp_path)
+        service.compile(request)
+        warm = service.compile(request)
+        fresh = QPilotCompiler(request.config).compile_circuit(request.workload.build())
+        assert warm.schedule_json() == schedule_to_json(fresh.schedule, canonical=True)
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        request = FAMILY_REQUESTS[2]
+        first = service_for(tmp_path)
+        cold = first.compile(request)
+        reborn = service_for(tmp_path)
+        warm = reborn.compile(request)
+        assert warm.source == "cache"
+        assert reborn.stats.farm_dispatches == 0
+        assert warm.schedule_json() == cold.schedule_json()
+
+    def test_coalesced_tickets_resolve_together(self, tmp_path):
+        service = service_for(tmp_path)
+        first = service.submit(FAMILY_REQUESTS[0])
+        second = service.submit(FAMILY_REQUESTS[0])
+        assert second is first
+        service.drain()
+        assert first.done and first.response is not None
+        assert service.stats.farm_dispatches == 1
+        assert service.stats.coalesced == 1
+
+    def test_mixed_batch_only_farms_cold_keys(self, tmp_path):
+        service = service_for(tmp_path)
+        service.compile(FAMILY_REQUESTS[0])  # warm one key
+        service.submit_all(FAMILY_REQUESTS)  # one warm, two cold
+        resolved = service.process_batch()
+        assert [t.response.source for t in resolved] == ["cache", "compiled", "compiled"]
+        assert service.stats.farm_dispatches == 3  # 1 cold + 2 cold, never the warm one
+
+    def test_process_batch_rejects_zero_limit(self, tmp_path):
+        """An explicit limit of 0 must error, not drain a default batch."""
+        service = service_for(tmp_path)
+        service.submit(FAMILY_REQUESTS[0])
+        with pytest.raises(QPilotError):
+            service.process_batch(limit=0)
+        assert service.stats.queue_depth == 1  # nothing was drained
+
+    def test_completed_counts_coalesced_submissions(self, tmp_path):
+        """completed converges on requests whichever path served them."""
+        service = service_for(tmp_path)
+        service.submit(FAMILY_REQUESTS[0])
+        service.submit(FAMILY_REQUESTS[0])  # coalesces
+        service.drain()
+        stats = service.stats
+        assert stats.requests == 2
+        assert stats.completed == 2
+
+    def test_stats_shape(self, tmp_path):
+        service = service_for(tmp_path)
+        service.compile(FAMILY_REQUESTS[0])
+        service.compile(FAMILY_REQUESTS[0])
+        stats = service.stats
+        assert stats.requests == 2
+        assert stats.completed == 2
+        assert stats.cache_hits == 1 and stats.cache_misses == 1
+        assert stats.cache_hit_rate == 0.5
+        assert stats.queue_depth == 0
+        assert stats.throughput_rps > 0
+        data = stats.to_dict()
+        assert data["farm_dispatches"] == 1
+        assert json.dumps(data)  # JSON-able for monitoring endpoints
+
+
+class TestFailureHandling:
+    def test_failed_cold_compile_fails_its_ticket(self, tmp_path):
+        """A farm error must fail the popped tickets, not orphan them."""
+        service = service_for(tmp_path)
+
+        def explode(jobs, **kwargs):
+            raise RuntimeError("router exploded")
+
+        service.farm.run = explode
+        ticket = service.submit(FAMILY_REQUESTS[0])
+        with pytest.raises(RuntimeError):
+            service.process_batch()
+        assert ticket.status == "failed"
+        assert "router exploded" in ticket.error
+        assert service.queue.depth == 0
+
+    def test_compile_raises_cleanly_on_failed_ticket(self, tmp_path):
+        service = service_for(tmp_path)
+        ticket = service.submit(FAMILY_REQUESTS[0])
+        ticket.fail("simulated failure")
+        with pytest.raises(QPilotError, match="simulated failure"):
+            service.compile(FAMILY_REQUESTS[0])
+
+
+class TestStreaming:
+    def test_stream_yields_one_response_per_request(self, tmp_path):
+        service = service_for(tmp_path)
+        responses = list(service.stream(FAMILY_REQUESTS))
+        assert len(responses) == len(FAMILY_REQUESTS)
+        assert all(r.source == "compiled" for r in responses)
+        digests = {r.digest for r in responses}
+        assert digests == {r.digest() for r in FAMILY_REQUESTS}
+
+    def test_stream_serves_warm_keys_from_cache(self, tmp_path):
+        service = service_for(tmp_path)
+        list(service.stream(FAMILY_REQUESTS))
+        warm = list(service.stream(FAMILY_REQUESTS))
+        assert all(r.source == "cache" for r in warm)
+        assert service.stats.farm_dispatches == len(FAMILY_REQUESTS)
+
+    def test_stream_duplicates_share_one_compile(self, tmp_path):
+        service = service_for(tmp_path)
+        doubled = [FAMILY_REQUESTS[0], FAMILY_REQUESTS[1], FAMILY_REQUESTS[0]]
+        responses = list(service.stream(doubled))
+        assert len(responses) == 3
+        assert service.stats.farm_dispatches == 2
+        by_digest = {}
+        for response in responses:
+            by_digest.setdefault(response.digest, response)
+            assert response.schedule_json() == by_digest[response.digest].schedule_json()
+
+    def test_stream_is_incremental(self, tmp_path):
+        """Responses arrive before the whole request set is processed."""
+        service = service_for(tmp_path)
+        iterator = service.stream(iter(FAMILY_REQUESTS))
+        first = next(iterator)
+        assert first is not None
+        assert service.stats.completed >= 1
+        rest = list(iterator)
+        assert len(rest) == len(FAMILY_REQUESTS) - 1
+
+    def test_stream_chunks_an_unbounded_generator(self, tmp_path):
+        """stream() must not exhaust its input before yielding responses."""
+        service = service_for(tmp_path)
+        pulled = []
+
+        def endless():
+            for request in FAMILY_REQUESTS * 10:
+                pulled.append(request)
+                yield request
+
+        iterator = service.stream(endless(), chunk_size=2)
+        first = next(iterator)
+        assert first is not None
+        # only the first chunk was consumed from the generator, not all 30
+        assert len(pulled) <= 2 + 1
+        iterator.close()
+
+    def test_stream_rejects_bad_chunk_size(self, tmp_path):
+        service = service_for(tmp_path)
+        with pytest.raises(QPilotError):
+            list(service.stream(FAMILY_REQUESTS, chunk_size=0))
+
+    def test_cross_chunk_duplicates_hit_the_store(self, tmp_path):
+        """A duplicate in a later chunk is a cache hit, not a recompile."""
+        service = service_for(tmp_path)
+        doubled = [FAMILY_REQUESTS[0], FAMILY_REQUESTS[1], FAMILY_REQUESTS[0]]
+        responses = list(service.stream(doubled, chunk_size=2))
+        assert [r.source for r in responses] == ["compiled", "compiled", "cache"]
+        assert service.stats.farm_dispatches == 2
+
+    @pytest.mark.parametrize("executor", ("reference", "thread"))
+    def test_stream_matches_batch_results(self, tmp_path, executor):
+        batch_service = CompileService(tmp_path / "a", executor="reference")
+        stream_service = CompileService(tmp_path / "b", executor=executor)
+        batch_service.submit_all(FAMILY_REQUESTS)
+        batch = {t.digest: t.response for t in batch_service.drain()}
+        for response in stream_service.stream(FAMILY_REQUESTS):
+            assert response.schedule_json() == batch[response.digest].schedule_json()
+            assert response.metrics.deterministic() == batch[
+                response.digest
+            ].metrics.deterministic()
+
+
+class TestServiceCli:
+    def _compile_args(self, store) -> list[str]:
+        return [
+            "compile", "--store", str(store), "--executor", "reference",
+            "--kind", "circuit", "--qubits", "8", "--gate-multiple", "3", "--width", "4",
+        ]
+
+    def test_compile_then_cache_hit(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert cli_main(self._compile_args(store)) == 0
+        first = capsys.readouterr().out
+        assert "compiled:" in first
+        assert cli_main(self._compile_args(store)) == 0
+        second = capsys.readouterr().out
+        assert "cache:" in second
+        assert "1 cache hits / 0 misses" in second
+
+    def test_sweep_stream_and_stats_and_clear(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        sweep = [
+            "sweep", "--store", str(store), "--executor", "reference",
+            "--kind", "qaoa", "--qubits", "8", "--widths", "4,8",
+        ]
+        assert cli_main(sweep) == 0
+        out = capsys.readouterr().out
+        assert out.count("compiled:") == 2
+        assert cli_main(["stats", "--store", str(store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 2
+        assert cli_main(["clear", "--store", str(store)]) == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert len(ScheduleStore(store)) == 0

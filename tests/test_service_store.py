@@ -1,0 +1,222 @@
+"""Schedule-store tests: addressing, durability, eviction, byte-stability.
+
+The load-bearing suites here are the durability one — corrupted,
+truncated or wrong-schema entries must read as cache *misses* (and be
+repaired by the next compile), never crash — and the byte-stability one:
+a schedule served from disk must render canonical JSON byte-identical to
+a fresh compile of the same job, which is what makes the cache
+semantically transparent (the golden-schedule guarantee extended through
+the store).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import CompileFarm, FarmJob, QPilotCompiler, WorkloadSpec
+from repro.core.farm import compile_farm_job_with_schedule
+from repro.exceptions import QPilotError
+from repro.hardware.fpqa import FPQAConfig
+from repro.service import ScheduleStore
+from repro.utils.serialization import schedule_to_json
+
+SPEC = WorkloadSpec.random_circuit(8, 3, seed=11)
+
+
+@pytest.fixture
+def job() -> FarmJob:
+    return FarmJob(workload=SPEC, config=FPQAConfig.with_width(8, 4))
+
+
+@pytest.fixture
+def compiled(job):
+    return compile_farm_job_with_schedule(job)
+
+
+class TestStoreBasics:
+    def test_put_get_round_trip(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path / "store")
+        digest = job.digest()
+        assert store.get(digest) is None
+        store.put(digest, compiled)
+        entry = store.get(digest)
+        assert entry is not None
+        assert entry.digest == digest
+        assert entry.router == compiled.router
+        assert entry.metrics == compiled.metrics
+        assert entry.schedule == compiled.schedule
+        assert store.stats.hits == 1 and store.stats.misses == 1
+        assert store.stats.writes == 1
+        assert store.stats.hit_rate == 0.5
+
+    def test_entries_are_sharded_by_digest_prefix(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path)
+        digest = job.digest()
+        store.put(digest, compiled)
+        path = store.path_for(digest)
+        assert path.exists()
+        assert path.parent.name == digest[:2]
+        assert path.name == f"{digest}.json"
+        assert digest in store
+        assert store.digests() == [digest]
+        assert len(store) == 1
+
+    def test_loaded_schedule_validates(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path)
+        store.put(job.digest(), compiled)
+        schedule = store.get(job.digest()).load_schedule()
+        schedule.validate()
+        assert schedule.num_data_qubits == SPEC.num_qubits
+
+    def test_clear_empties_the_store(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path)
+        store.put(job.digest(), compiled)
+        assert store.clear() == 1
+        assert len(store) == 0
+        assert store.get(job.digest()) is None
+
+    def test_rejects_nonpositive_max_entries(self, tmp_path):
+        with pytest.raises(QPilotError):
+            ScheduleStore(tmp_path, max_entries=0)
+
+
+class TestStoreDurability:
+    """Bad entries are misses (then repaired), never crashes."""
+
+    def _stored(self, tmp_path, job, compiled) -> tuple[ScheduleStore, str]:
+        store = ScheduleStore(tmp_path)
+        digest = job.digest()
+        store.put(digest, compiled)
+        return store, digest
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            pytest.param(lambda text: "", id="empty-file"),
+            pytest.param(lambda text: text[: len(text) // 2], id="truncated"),
+            pytest.param(lambda text: "not json at all {{{", id="garbled"),
+            pytest.param(lambda text: "null", id="wrong-type"),
+            pytest.param(lambda text: "[1, 2, 3]", id="not-an-object"),
+            pytest.param(
+                lambda text: json.dumps({"schema_version": 999}), id="wrong-schema"
+            ),
+            pytest.param(
+                lambda text: text.replace('"metrics"', '"wrong_field"'),
+                id="missing-metrics",
+            ),
+        ],
+    )
+    def test_corrupted_entry_is_a_miss_and_is_removed(
+        self, tmp_path, job, compiled, corruption
+    ):
+        store, digest = self._stored(tmp_path, job, compiled)
+        path = store.path_for(digest)
+        path.write_text(corruption(path.read_text()))
+        assert store.get(digest) is None
+        assert store.stats.corrupt == 1
+        assert store.stats.misses == 1
+        assert not path.exists(), "corrupt entry must be unlinked for repair"
+        # the next put repairs the entry and it reads back fine
+        store.put(digest, compiled)
+        assert store.get(digest) is not None
+
+    def test_digest_mismatch_is_corruption(self, tmp_path, job, compiled):
+        """An entry filed under the wrong digest must not be served."""
+        store, digest = self._stored(tmp_path, job, compiled)
+        text = store.path_for(digest).read_text()
+        fake = "0" * 40
+        fake_path = store.path_for(fake)
+        fake_path.parent.mkdir(parents=True, exist_ok=True)
+        fake_path.write_text(text)
+        assert store.get(fake) is None
+        assert store.stats.corrupt == 1
+
+    def test_missing_entry_counts_one_miss(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        assert store.get("f" * 40) is None
+        assert store.stats.misses == 1
+        assert store.stats.corrupt == 0
+
+    def test_writes_are_atomic_no_tmp_litter(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path)
+        store.put(job.digest(), compiled)
+        leftovers = [p for p in tmp_path.rglob("*") if p.is_file() and p.suffix != ".json"]
+        assert leftovers == []
+
+
+class TestStoreByteStability:
+    """Cached schedule == fresh compile, byte for byte (golden guarantee)."""
+
+    def test_cached_schedule_json_matches_fresh_compile(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path)
+        store.put(job.digest(), compiled)
+        cached = store.get(job.digest())
+        fresh = QPilotCompiler(job.config).compile_circuit(SPEC.build())
+        assert cached.schedule_json() == schedule_to_json(fresh.schedule, canonical=True)
+
+    @pytest.mark.parametrize("executor", ("reference", "thread", "process"))
+    def test_store_round_trip_is_byte_stable_across_executors(self, tmp_path, executor, job):
+        """put -> get -> re-render is byte-identical no matter which farm
+        backend produced the entry (the executor oracle through the store)."""
+        store = ScheduleStore(tmp_path / executor)
+        result = CompileFarm(executor).run([job], with_schedules=True)[0]
+        store.put(job.digest(), result)
+        first = store.get(job.digest())
+        # a second store at the same root reads the same bytes cold
+        reopened = ScheduleStore(tmp_path / executor)
+        second = reopened.get(job.digest())
+        assert first.schedule_json() == second.schedule_json()
+        assert first.schedule_json() == ScheduleStore(tmp_path / executor).get(
+            job.digest()
+        ).schedule_json()
+
+    def test_entry_file_is_canonical_json(self, tmp_path, job, compiled):
+        """The on-disk bytes themselves re-render canonically (sorted keys)."""
+        from repro.utils.serialization import canonical_json
+
+        store = ScheduleStore(tmp_path)
+        store.put(job.digest(), compiled)
+        text = store.path_for(job.digest()).read_text()
+        assert text == canonical_json(json.loads(text)) + "\n"
+
+
+class TestStoreEviction:
+    def _result_for(self, width: int):
+        job = FarmJob(workload=SPEC, config=FPQAConfig.with_width(8, width))
+        return job.digest(), compile_farm_job_with_schedule(job)
+
+    def test_lru_eviction_over_limit(self, tmp_path):
+        store = ScheduleStore(tmp_path, max_entries=2)
+        (d1, r1), (d2, r2), (d3, r3) = (self._result_for(w) for w in (2, 4, 8))
+        store.put(d1, r1)
+        os.utime(store.path_for(d1), (1, 1))  # make d1 stale
+        store.put(d2, r2)
+        os.utime(store.path_for(d2), (2, 2))
+        store.put(d3, r3)
+        assert len(store) == 2
+        assert store.stats.evictions == 1
+        assert d1 not in store  # least recently used went first
+        assert d2 in store and d3 in store
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        store = ScheduleStore(tmp_path, max_entries=2)
+        (d1, r1), (d2, r2), (d3, r3) = (self._result_for(w) for w in (2, 4, 8))
+        store.put(d1, r1)
+        os.utime(store.path_for(d1), (1, 1))
+        store.put(d2, r2)
+        os.utime(store.path_for(d2), (2, 2))
+        assert store.get(d1) is not None  # touch: d1 becomes most recent
+        store.put(d3, r3)
+        assert d1 in store
+        assert d2 not in store
+
+    def test_unbounded_store_never_evicts(self, tmp_path):
+        store = ScheduleStore(tmp_path)
+        for width in (2, 4, 8):
+            digest, result = self._result_for(width)
+            store.put(digest, result)
+        assert len(store) == 3
+        assert store.stats.evictions == 0
