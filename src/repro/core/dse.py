@@ -29,7 +29,9 @@ from repro.core.compiler import CompilationResult, QPilotCompiler
 from repro.core.farm import (
     CompileFarm,
     FarmJob,
+    FarmJobError,
     FarmOptions,
+    FarmPolicy,
     PointMetrics,
     WorkloadSpec,
 )
@@ -46,8 +48,24 @@ _SWEEP_SCHEMA_VERSION = 1
 #: oracle guarantees serial and parallel runs of the same grid are the
 #: same logical sweep, so their canonical JSON must be byte-identical.
 VOLATILE_SWEEP_META_KEYS = frozenset(
-    {"wall_s", "max_workers", "executor", "requested_executor"}
+    {
+        "wall_s",
+        "max_workers",
+        "executor",
+        "requested_executor",
+        # fault-tolerance counters: they describe how bumpy the road was,
+        # not what was computed — a recovered fault-injected run must stay
+        # canonically byte-identical to the fault-free reference run
+        "degraded",
+        "retries",
+        "pool_respawns",
+        "timeouts",
+        "failed_jobs",
+    }
 )
+
+#: Per-point sweep statuses (mirrors ``CompileFarm.job_reports``).
+POINT_STATUSES = ("ok", "retried", "failed")
 
 #: The paper's Fig. 14 width grid.
 DEFAULT_WIDTHS: tuple[int, ...] = (8, 16, 32, 64, 128)
@@ -60,6 +78,14 @@ class DesignPoint:
     Farm-produced points carry only :class:`PointMetrics` (schedules stay
     in the worker); closure-path points also keep the full
     :class:`CompilationResult` for backwards compatibility.
+
+    ``status`` reports the fault-tolerance outcome of the point's compile:
+    ``ok`` (first attempt succeeded), ``retried`` (succeeded after
+    retries) or ``failed`` (retry budget exhausted — ``metrics`` is then
+    ``None`` and ``error`` holds the :class:`~repro.core.farm.FarmJobError`
+    record).  Failed points stay *in* the sweep so grids keep their shape,
+    but are excluded from :meth:`SweepResult.best` and
+    :meth:`SweepResult.as_series`.
     """
 
     width: int
@@ -67,12 +93,25 @@ class DesignPoint:
     result: CompilationResult | None = None
     metrics: PointMetrics | None = None
     axes: dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+    error: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
+        if self.status not in POINT_STATUSES:
+            raise QPilotError(
+                f"unknown design-point status {self.status!r}; "
+                f"expected one of {POINT_STATUSES}"
+            )
+        if self.status == "failed":
+            return  # no metrics to derive — the compile never succeeded
         if self.metrics is None:
             if self.result is None:
                 raise QPilotError("DesignPoint needs a CompilationResult or PointMetrics")
             self.metrics = PointMetrics.from_result(self.result)
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
 
     @property
     def depth(self) -> int:
@@ -95,34 +134,60 @@ class DesignPoint:
         return self.metrics.sabre_num_swaps
 
     def summary(self) -> dict:
-        data = (
-            self.result.summary()
-            if self.result is not None
-            else {
-                "depth": self.depth,
-                "error_rate": round(self.error_rate, 6),
-                "2q_gates": self.num_two_qubit_gates,
+        if self.failed:
+            data = {
+                "status": "failed",
+                "error": (self.error or {}).get("error_type"),
             }
-        )
+        else:
+            data = (
+                self.result.summary()
+                if self.result is not None
+                else {
+                    "depth": self.depth,
+                    "error_rate": round(self.error_rate, 6),
+                    "2q_gates": self.num_two_qubit_gates,
+                }
+            )
         data["width"] = self.width
         data.update(self.axes)
         return data
 
-    def to_dict(self) -> dict[str, Any]:
-        return {
+    def to_dict(self, *, canonical: bool = False) -> dict[str, Any]:
+        data = {
             "width": self.width,
             "axes": dict(self.axes),
             "config": config_to_dict(self.config),
-            "metrics": self.metrics.to_dict(),
+            "metrics": self.metrics.to_dict() if self.metrics is not None else None,
+            "status": self.status,
         }
+        if self.error is not None:
+            data["error"] = dict(self.error)
+        if canonical:
+            # recovery must be invisible in the canonical view: a point
+            # that succeeded after retries is the same logical point as
+            # one that succeeded first try, and failure records keep only
+            # their deterministic fields (tracebacks/attempt counts vary
+            # with executor interleaving and policy, not with the sweep)
+            if data["status"] == "retried":
+                data["status"] = "ok"
+            if self.error is not None:
+                data["error"] = {
+                    key: self.error.get(key)
+                    for key in ("error_type", "message", "fault_key")
+                }
+        return data
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "DesignPoint":
+        metrics = data.get("metrics")
         return cls(
             width=int(data["width"]),
             config=FPQAConfig(**data["config"]),
-            metrics=PointMetrics.from_dict(data["metrics"]),
+            metrics=PointMetrics.from_dict(metrics) if metrics is not None else None,
             axes=dict(data.get("axes", {})),
+            status=data.get("status", "ok"),
+            error=data.get("error"),
         )
 
 
@@ -142,29 +207,45 @@ class SweepResult:
     points: list[DesignPoint] = field(default_factory=list)
     meta: dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def partial(self) -> bool:
+        """True when any point failed — the sweep completed but has holes."""
+        return any(point.failed for point in self.points)
+
+    def failed_points(self) -> list[DesignPoint]:
+        return [point for point in self.points if point.failed]
+
     def best(self, metric: str = "depth") -> DesignPoint:
         """Design point minimising ``metric``; ties go to the smallest width.
 
         Metrics: ``depth``, ``error_rate`` and ``compile_time``.  The
         smallest-width tie-break makes ``best`` deterministic and
         independent of sweep order (narrower arrays are the cheaper
-        hardware, so they win a draw).
+        hardware, so they win a draw).  Failed points never compete: a
+        partial sweep's optimum is the best *compiled* point.
         """
-        if not self.points:
+        candidates = [point for point in self.points if not point.failed]
+        if not candidates:
+            if self.points:
+                raise QPilotError("every design point in the sweep failed")
             raise QPilotError("empty design-space sweep")
         extract = _METRICS.get(metric)
         if extract is None:
             raise QPilotError(
                 f"unknown sweep metric {metric!r}; expected one of {sorted(_METRICS)}"
             )
-        values = [extract(point) for point in self.points]
+        values = [extract(point) for point in candidates]
         if any(value is None for value in values):
             raise QPilotError(f"metric {metric!r} unavailable on some design points")
-        return min(zip(values, self.points), key=lambda pair: (pair[0], pair[1].width))[1]
+        return min(zip(values, candidates), key=lambda pair: (pair[0], pair[1].width))[1]
 
     def as_series(self) -> list[tuple[int, int]]:
-        """(width, depth) pairs in sweep order — the Fig. 14 curves."""
-        return [(p.width, p.depth) for p in self.points]
+        """(width, depth) pairs in sweep order — the Fig. 14 curves.
+
+        Failed points have no depth and are skipped (the curve gets a
+        hole, not a crash).
+        """
+        return [(p.width, p.depth) for p in self.points if not p.failed]
 
     def by_workload(self) -> dict[str, "SweepResult"]:
         """Split a multi-workload grid into one SweepResult per workload."""
@@ -177,11 +258,12 @@ class SweepResult:
     # -- serialisation (DSE trajectory archiving) -----------------------
     def to_dict(self, *, canonical: bool = False) -> dict[str, Any]:
         meta = {k: v for k, v in self.meta.items()}
-        points = [point.to_dict() for point in self.points]
+        points = [point.to_dict(canonical=canonical) for point in self.points]
         if canonical:
             meta = {k: v for k, v in meta.items() if k not in VOLATILE_SWEEP_META_KEYS}
             for point in points:
-                point["metrics"]["compile_time_s"] = None
+                if point["metrics"] is not None:
+                    point["metrics"]["compile_time_s"] = None
         return {
             "schema_version": _SWEEP_SCHEMA_VERSION,
             "workload_name": self.workload_name,
@@ -231,6 +313,7 @@ def sweep_grid(
     option_sets: Sequence[FarmOptions] | None = None,
     executor: str = "reference",
     max_workers: int | None = None,
+    policy: FarmPolicy | None = None,
     name: str = "grid",
     stream: bool = False,
 ) -> SweepResult | Iterator[DesignPoint]:
@@ -255,6 +338,12 @@ def sweep_grid(
     pooled executors) — grids too large to hold in memory flow through
     one point at a time.  Collect into a sweep later with
     ``SweepResult(name, points=list(iterator))`` if it does fit.
+
+    ``policy`` configures the farm's fault tolerance
+    (:class:`~repro.core.farm.FarmPolicy`: retries, backoff, per-job
+    timeout, pool respawns).  A point whose job exhausts its retry
+    budget arrives with ``status="failed"`` and no metrics instead of
+    aborting the sweep; check ``SweepResult.partial``.
     """
     specs = [workloads] if isinstance(workloads, WorkloadSpec) else list(workloads)
     if not specs:
@@ -277,25 +366,37 @@ def sweep_grid(
             cell["options"] = opts.label
         point_axes.append(cell)
 
-    farm = CompileFarm(executor, max_workers=max_workers)
+    farm = CompileFarm(executor, max_workers=max_workers, policy=policy)
+
+    def to_point(index: int, result: Any) -> DesignPoint:
+        job = jobs[index]
+        report = farm.job_reports.get(index, {})
+        if isinstance(result, FarmJobError):
+            return DesignPoint(
+                width=job.config.slm_cols,
+                config=job.config,
+                metrics=None,
+                axes=point_axes[index],
+                status="failed",
+                error=result.to_dict(),
+            )
+        return DesignPoint(
+            width=job.config.slm_cols,
+            config=job.config,
+            metrics=result,
+            axes=point_axes[index],
+            status=report.get("status", "ok"),
+        )
+
     if stream:
 
         def generate() -> Iterator[DesignPoint]:
-            for index, metrics in farm.iter_results(jobs):
-                job = jobs[index]
-                yield DesignPoint(
-                    width=job.config.slm_cols,
-                    config=job.config,
-                    metrics=metrics,
-                    axes=point_axes[index],
-                )
+            for index, result in farm.iter_results(jobs):
+                yield to_point(index, result)
 
         return generate()
-    metrics = farm.run(jobs)
-    points = [
-        DesignPoint(width=job.config.slm_cols, config=job.config, metrics=m, axes=cell)
-        for job, m, cell in zip(jobs, metrics, point_axes)
-    ]
+    results = farm.run(jobs)
+    points = [to_point(index, result) for index, result in enumerate(results)]
     meta = {
         "widths": widths_list,
         "workloads": [spec.name for spec in specs],

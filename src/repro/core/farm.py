@@ -44,6 +44,22 @@ Two service-facing extensions (PR 5) ride on the same job model:
   large to hold in memory can be consumed incrementally
   (``sweep_grid(..., stream=True)`` builds on it).  ``run`` is a thin
   order-restoring wrapper around it.
+
+Fault tolerance (PR 6): a sweep must survive partial failure — a worker
+death previously raised ``BrokenProcessPool`` out of ``iter_results``
+and lost the whole grid.  :class:`FarmPolicy` configures per-job
+``timeout_s``, bounded retries with exponential backoff and seeded
+jitter, and ``max_pool_respawns``.  The executor loop recovers a broken
+process pool by respawning it once and resubmitting only the unfinished
+jobs (memoised results are kept); when the respawn budget is exhausted
+it *degrades* to the in-process reference executor so the sweep always
+completes.  A job that exhausts its retry budget yields a
+:class:`FarmJobError` record instead of raising, so one poisoned grid
+cell cannot take down its neighbours.  The degradation ladder is
+pinned by the chaos differential suite (``tests/test_faults.py``): with
+a seeded :class:`~repro.utils.faults.FaultPlan` attached to
+:class:`FarmOptions` (default off — zero overhead), a recovered run is
+byte-identical to the fault-free ``reference`` run.
 """
 
 from __future__ import annotations
@@ -52,9 +68,19 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+import traceback as traceback_module
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field, fields, replace
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, ClassVar, Iterable, Iterator, Sequence
+
+from repro.utils.faults import FaultPlan, deterministic_draw, inject_compile_faults
 
 from repro.core.compiler import CompilationResult, QPilotCompiler
 from repro.core.generic_router import GenericRouterOptions
@@ -277,6 +303,16 @@ class FarmOptions:
     routes circuit-kind workloads through the SABRE baseline on the
     smallest square grid device and records the swap count, so design
     points carry a baseline fingerprint.
+
+    ``faults`` attaches a seeded :class:`~repro.utils.faults.FaultPlan`
+    (default ``None`` — injection entirely off).  Riding on the options
+    is what carries the plan into worker processes without globals, but
+    like ``label`` it is *excluded* from :meth:`key` and hence from
+    :meth:`FarmJob.digest`: injected faults must never change what a job
+    computes, only how bumpy the road there is — a recovered run stays
+    byte-identical (and cache-compatible) with a fault-free one.  Jobs
+    differing only in their plan are therefore memoised together; use
+    one plan per run.
     """
 
     label: str = "default"
@@ -284,6 +320,7 @@ class FarmOptions:
     qsim: QSimRouterOptions | None = None
     qaoa: QAOARouterOptions | None = None
     include_sabre: bool = False
+    faults: FaultPlan | None = None
 
     def key(self) -> str:
         """Canonical memo key (dataclass reprs are deterministic)."""
@@ -321,6 +358,17 @@ class FarmJob:
         )
         return hashlib.sha1(payload.encode()).hexdigest()
 
+    def fault_key(self) -> str:
+        """Human-matchable key fault rules filter on (stable per job).
+
+        A pure function of the job (kind, display name, array width), so
+        a :class:`~repro.utils.faults.FaultPlan` decision is identical on
+        every executor — the precondition for the chaos differential
+        suite.  Display names appear here (unlike in :meth:`digest`)
+        because rules match by substring and names are what humans write.
+        """
+        return f"{self.workload.kind}:{self.workload.name}@w{self.config.slm_cols}"
+
 
 @dataclass(frozen=True)
 class PointMetrics:
@@ -330,6 +378,9 @@ class PointMetrics:
     process boundary as a few floats.  All values except the wall-clock
     ``compile_time_s`` are deterministic functions of the job.
     """
+
+    #: Discriminator shared with :class:`FarmJobResult`/:class:`FarmJobError`.
+    failed: ClassVar[bool] = False
 
     depth: int
     error_rate: float
@@ -389,9 +440,98 @@ class FarmJobResult:
     compiles, which is what makes the content-addressed store testable.
     """
 
+    failed: ClassVar[bool] = False
+
     metrics: PointMetrics
     router: str
     schedule: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class FarmJobError:
+    """Terminal failure record of one grid cell (yielded, never raised).
+
+    When a job exhausts its retry budget the farm yields one of these in
+    the result slot instead of letting the exception escape
+    :meth:`CompileFarm.iter_results` — one poisoned cell must not lose
+    the rest of the sweep.  Carries the original exception type and
+    traceback so service-layer waiters can re-raise a faithful, typed
+    :class:`~repro.exceptions.CompileError`.
+    """
+
+    failed: ClassVar[bool] = True
+
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    fault_key: str
+
+    @classmethod
+    def from_exception(
+        cls, exc: BaseException, *, attempts: int, fault_key: str
+    ) -> "FarmJobError":
+        return cls(
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback="".join(
+                traceback_module.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+            attempts=attempts,
+            fault_key=fault_key,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+@dataclass(frozen=True)
+class FarmPolicy:
+    """Fault-tolerance knobs of one farm run (the degradation ladder).
+
+    * ``timeout_s`` — per-job wall-clock budget on pooled executors; an
+      overdue job counts as one failed attempt and is retried.  The
+      in-process (reference/degraded) path cannot interrupt a compile,
+      so timeouts apply only to pooled backends.
+    * ``max_retries`` — failed attempts a job may retry (beyond its
+      first attempt) before it finalises as a :class:`FarmJobError`.
+    * ``backoff_base_s``/``backoff_max_s``/``backoff_jitter`` — retry
+      delay ``min(max, base * 2**(failures-1))``, stretched by up to
+      ``jitter`` fraction of itself using a *seeded* draw
+      (:func:`~repro.utils.faults.deterministic_draw`), so backoff
+      schedules are reproducible run to run.
+    * ``max_pool_respawns`` — broken process pools respawned per run
+      (only unfinished jobs are resubmitted; memoised results are kept).
+      Once exhausted the run degrades to the in-process reference
+      executor and always completes.
+    """
+
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.02
+    backoff_max_s: float = 1.0
+    backoff_jitter: float = 0.25
+    seed: int = 0
+    max_pool_respawns: int = 1
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise QPilotError("timeout_s must be positive (or None to disable)")
+        if self.max_retries < 0:
+            raise QPilotError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise QPilotError("backoff delays must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise QPilotError("backoff_jitter must be in [0, 1]")
+        if self.max_pool_respawns < 0:
+            raise QPilotError("max_pool_respawns must be non-negative")
+
+    def backoff_s(self, key: str, failures: int) -> float:
+        """Delay before retry number ``failures`` of job ``key``."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        base = min(self.backoff_max_s, self.backoff_base_s * 2 ** max(0, failures - 1))
+        return base * (1.0 + self.backoff_jitter * deterministic_draw(self.seed, "backoff", key, failures))
 
 
 # ---------------------------------------------------------------------------
@@ -438,8 +578,15 @@ def _sabre_swap_count(spec: WorkloadSpec, circuit) -> int:
     return router.run(circuit, layout).num_swaps
 
 
-def _worker_init() -> None:
+#: True only inside a process-pool worker (set by the initialiser there);
+#: gates the ``crash-worker`` fault so in-process execution never _exits.
+_IN_PROCESS_WORKER = False
+
+
+def _worker_init(in_process_worker: bool = False) -> None:
     """Per-worker initialiser: warm the shared gate-matrix caches once."""
+    global _IN_PROCESS_WORKER
+    _IN_PROCESS_WORKER = _IN_PROCESS_WORKER or in_process_worker
     from repro.circuit.gate import gate_diagonal, gate_matrix_readonly
 
     for name in ("h", "x", "cx", "cz", "swap"):
@@ -447,8 +594,21 @@ def _worker_init() -> None:
         gate_diagonal(name)
 
 
-def _compile_job(job: FarmJob) -> tuple[CompilationResult, PointMetrics]:
-    """Compile one grid cell; shared body of the two worker entry points."""
+def _compile_job(job: FarmJob, attempt: int = 0) -> tuple[CompilationResult, PointMetrics]:
+    """Compile one grid cell; shared body of the two worker entry points.
+
+    ``attempt`` is the number of failed attempts before this one.  It is
+    threaded from the executor so fault-plan decisions — pure functions
+    of ``(seed, kind, fault_key, attempt)`` — fire identically on every
+    backend, and a bounded fault stops firing once retries pass it.
+    """
+    if job.options.faults is not None:
+        inject_compile_faults(
+            job.options.faults,
+            job.fault_key(),
+            attempt,
+            in_process_worker=_IN_PROCESS_WORKER,
+        )
     options = job.options
     compiler = QPilotCompiler(
         job.config,
@@ -469,12 +629,12 @@ def _compile_job(job: FarmJob) -> tuple[CompilationResult, PointMetrics]:
     return result, metrics
 
 
-def compile_farm_job(job: FarmJob) -> PointMetrics:
+def compile_farm_job(job: FarmJob, attempt: int = 0) -> PointMetrics:
     """Compile one grid cell and return its metrics (runs in the worker)."""
-    return _compile_job(job)[1]
+    return _compile_job(job, attempt)[1]
 
 
-def compile_farm_job_with_schedule(job: FarmJob) -> FarmJobResult:
+def compile_farm_job_with_schedule(job: FarmJob, attempt: int = 0) -> FarmJobResult:
     """Compile one grid cell and return metrics *plus* the canonical schedule.
 
     The schedule is serialised to its canonical dict inside the worker, so
@@ -482,7 +642,7 @@ def compile_farm_job_with_schedule(job: FarmJob) -> FarmJobResult:
     """
     from repro.utils.serialization import schedule_to_dict
 
-    result, metrics = _compile_job(job)
+    result, metrics = _compile_job(job, attempt)
     return FarmJobResult(
         metrics=metrics,
         router=result.router,
@@ -528,18 +688,71 @@ class CompileFarm:
     positionally comparable.  :meth:`iter_results` is the streaming
     variant: it yields ``(index, result)`` pairs as jobs finish, holding
     only in-flight results in memory.
+
+    Failure handling is governed by :class:`FarmPolicy`: failed attempts
+    retry with seeded exponential backoff, overdue pooled jobs time out
+    and retry, a broken process pool is respawned (resubmitting only the
+    unfinished jobs), and once the respawn budget is exhausted the rest
+    of the run degrades to the in-process reference path.  A job that
+    exhausts its retries lands as a :class:`FarmJobError` in its result
+    slot — exceptions never escape :meth:`iter_results`.  ``job_reports``
+    maps each job index of the last run to its ``status``
+    (``ok``/``retried``/``failed``), attempt count and error record.
     """
 
-    def __init__(self, executor: str = "process", *, max_workers: int | None = None):
+    def __init__(
+        self,
+        executor: str = "process",
+        *,
+        max_workers: int | None = None,
+        policy: FarmPolicy | None = None,
+    ):
         if executor not in EXECUTORS:
             raise QPilotError(f"unknown farm executor {executor!r}; expected one of {EXECUTORS}")
         self.executor = _EXECUTOR_ALIASES.get(executor, executor)
         self.max_workers = max_workers
+        self.policy = policy or FarmPolicy()
         self.last_stats: dict[str, Any] = {}
+        self.job_reports: dict[int, dict[str, Any]] = {}
+
+    def _new_pool(self, backend: str, workers: int):
+        if backend == "thread":
+            _worker_init()  # threads share this process's gate-matrix caches
+            return ThreadPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init, initargs=(True,)
+        )
+
+    def _run_job_with_retry(
+        self, job_fn, job: FarmJob, failures: int, counters: dict[str, int]
+    ) -> tuple[Any, int]:
+        """In-process attempt loop (reference backend and degraded mode).
+
+        Starts from ``failures`` already on the job's ledger (pool
+        crashes that preceded degradation) but always makes at least one
+        attempt, so a degraded run finishes every job one way or the
+        other.  Returns ``(result-or-FarmJobError, total failures)``.
+        """
+        policy = self.policy
+        key = job.fault_key()
+        while True:
+            try:
+                return job_fn(job, failures), failures
+            except Exception as exc:
+                failures += 1
+                if failures > policy.max_retries:
+                    return (
+                        FarmJobError.from_exception(exc, attempts=failures, fault_key=key),
+                        failures,
+                    )
+                counters["retries"] += 1
+                delay = policy.backoff_s(key, failures)
+                if delay:
+                    time.sleep(delay)
 
     def iter_results(
         self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
-    ) -> Iterator[tuple[int, PointMetrics | FarmJobResult]]:
+    ) -> Iterator[tuple[int, PointMetrics | FarmJobResult | FarmJobError]]:
         """Stream ``(index, result)`` pairs as jobs finish.
 
         ``index`` is the job's position in ``jobs``; memoised duplicates
@@ -550,8 +763,12 @@ class CompileFarm:
         too large to hold as a list can be consumed incrementally;
         ``last_stats`` is populated once the iterator is exhausted.
 
-        With ``with_schedules=True`` each result is a
-        :class:`FarmJobResult` carrying the canonical schedule dict.
+        With ``with_schedules=True`` each successful result is a
+        :class:`FarmJobResult` carrying the canonical schedule dict.  A
+        job that exhausts the :class:`FarmPolicy` retry budget yields a
+        :class:`FarmJobError` record in its slot instead of raising
+        (check ``result.failed``); ``job_reports[index]`` carries the
+        per-job status/attempts picture as soon as the pair is yielded.
         """
         jobs = list(jobs)
         unique: dict[tuple, int] = {}
@@ -566,6 +783,30 @@ class CompileFarm:
             indices_by_unique[unique[key]].append(index)
 
         job_fn = compile_farm_job_with_schedule if with_schedules else compile_farm_job
+        policy = self.policy
+        self.job_reports = {}
+        counters = {"retries": 0, "pool_respawns": 0, "timeouts": 0, "failed_jobs": 0}
+        failures = [0] * len(unique_jobs)
+        degraded = False
+
+        def report(slot: int, result: Any) -> list[tuple[int, Any]]:
+            """Record a slot's terminal outcome; return its (index, result) pairs."""
+            if isinstance(result, FarmJobError):
+                counters["failed_jobs"] += 1
+                entry = {
+                    "status": "failed",
+                    "attempts": result.attempts,
+                    "error": result.to_dict(),
+                }
+            else:
+                entry = {
+                    "status": "retried" if failures[slot] else "ok",
+                    "attempts": failures[slot] + 1,
+                    "error": None,
+                }
+            for index in indices_by_unique[slot]:
+                self.job_reports[index] = entry
+            return [(index, result) for index in indices_by_unique[slot]]
 
         start = time.perf_counter()
         if self.executor == "reference" or len(unique_jobs) <= 1:
@@ -573,25 +814,139 @@ class CompileFarm:
             # in-process and report the backend that actually ran.
             backend, workers = "reference", 1
             for slot, job in enumerate(unique_jobs):
-                result = job_fn(job)
-                for index in indices_by_unique[slot]:
-                    yield index, result
+                result, failures[slot] = self._run_job_with_retry(job_fn, job, 0, counters)
+                for pair in report(slot, result):
+                    yield pair
         else:
             backend = self.executor
             workers = min(self.max_workers or available_workers(), len(unique_jobs))
-            if backend == "thread":
-                _worker_init()  # threads share this process's gate-matrix caches
-                pool = ThreadPoolExecutor(max_workers=workers)
-            else:
-                pool = ProcessPoolExecutor(max_workers=workers, initializer=_worker_init)
+            pool = self._new_pool(backend, workers)
+            pending: dict[Future, int] = {}
+            deadlines: dict[Future, float] = {}
+            unresolved = set(range(len(unique_jobs)))
+            respawns = 0
+
+            def submit(slot: int) -> None:
+                future = pool.submit(job_fn, unique_jobs[slot], failures[slot])
+                pending[future] = slot
+                if policy.timeout_s is not None:
+                    deadlines[future] = time.monotonic() + policy.timeout_s
+
+            def register_failure(slot: int, exc: BaseException) -> list[tuple[int, Any]]:
+                """One failed attempt: retry with backoff, or finalise the slot."""
+                nonlocal degraded
+                failures[slot] += 1
+                if failures[slot] > policy.max_retries:
+                    unresolved.discard(slot)
+                    record = FarmJobError.from_exception(
+                        exc, attempts=failures[slot], fault_key=unique_jobs[slot].fault_key()
+                    )
+                    return report(slot, record)
+                counters["retries"] += 1
+                delay = policy.backoff_s(unique_jobs[slot].fault_key(), failures[slot])
+                if delay:
+                    time.sleep(delay)
+                try:
+                    submit(slot)
+                except BrokenExecutor:
+                    degraded = True  # no pool left to retry on; drain inline
+                return []
+
             try:
-                futures = {
-                    pool.submit(job_fn, job): slot for slot, job in enumerate(unique_jobs)
-                }
-                for future in as_completed(futures):
-                    result = future.result()
-                    for index in indices_by_unique[futures[future]]:
-                        yield index, result
+                try:
+                    for slot in range(len(unique_jobs)):
+                        submit(slot)
+                except BrokenExecutor:
+                    degraded = True  # pool unusable from the start
+                while unresolved:
+                    if degraded:
+                        # respawn budget exhausted: finish the remaining
+                        # jobs on the in-process reference path so the
+                        # sweep completes (memoised results are kept)
+                        for slot in sorted(unresolved):
+                            result, failures[slot] = self._run_job_with_retry(
+                                job_fn, unique_jobs[slot], failures[slot], counters
+                            )
+                            for pair in report(slot, result):
+                                yield pair
+                        unresolved.clear()
+                        break
+                    if not pending:
+                        degraded = True  # nothing in flight yet jobs remain
+                        continue
+                    timeout = None
+                    if deadlines:
+                        timeout = max(0.005, min(deadlines.values()) - time.monotonic())
+                    done, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
+                    events: list[tuple[int, Any]] = []
+                    if not done:
+                        # overdue jobs: queued ones are cancelled, running
+                        # ones abandoned (their late results are discarded);
+                        # either way the attempt failed and retries apply
+                        now = time.monotonic()
+                        overdue = [
+                            future
+                            for future, deadline in deadlines.items()
+                            if future in pending and deadline <= now
+                        ]
+                        for future in overdue:
+                            slot = pending.pop(future)
+                            deadlines.pop(future, None)
+                            future.cancel()
+                            counters["timeouts"] += 1
+                            exc = TimeoutError(
+                                f"farm job {unique_jobs[slot].fault_key()!r} exceeded "
+                                f"timeout_s={policy.timeout_s}"
+                            )
+                            events.extend(register_failure(slot, exc))
+                        for pair in events:
+                            yield pair
+                        continue
+                    # successes first: when a pool breaks, completed results
+                    # must land before the crash sweep resubmits survivors
+                    ordered = sorted(
+                        done,
+                        key=lambda f: 0 if (not f.cancelled() and f.exception() is None) else 1,
+                    )
+                    broken: list[tuple[int, BaseException]] = []
+                    for future in ordered:
+                        slot = pending.pop(future, None)
+                        deadlines.pop(future, None)
+                        if slot is None or future.cancelled():
+                            continue  # abandoned after timeout, or cancelled
+                        exc = future.exception()
+                        if exc is None:
+                            unresolved.discard(slot)
+                            events.extend(report(slot, future.result()))
+                        elif isinstance(exc, BrokenExecutor):
+                            broken.append((slot, exc))
+                        else:
+                            events.extend(register_failure(slot, exc))
+                    if broken:
+                        # the pool is dead and every in-flight job died with
+                        # it; the crash counts as one failed attempt for each
+                        # (the crasher is indeterminate, and charging all of
+                        # them keeps a determined crasher from respawning the
+                        # pool at the same attempt number forever)
+                        for future, slot in pending.items():
+                            broken.append(
+                                (slot, BrokenExecutor("process pool died with this job in flight"))
+                            )
+                        pending.clear()
+                        deadlines.clear()
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        if respawns < policy.max_pool_respawns:
+                            respawns += 1
+                            counters["pool_respawns"] += 1
+                            pool = self._new_pool(backend, workers)
+                            for slot, exc in broken:
+                                events.extend(register_failure(slot, exc))
+                        else:
+                            degraded = True
+                            for slot, _ in broken:
+                                failures[slot] += 1
+                    for pair in events:
+                        yield pair
             finally:
                 # an abandoned stream (consumer closed the generator early)
                 # must cancel the queued remainder of the grid, not compile it
@@ -605,11 +960,13 @@ class CompileFarm:
             "num_unique_jobs": len(unique_jobs),
             "wall_s": wall,
             "max_workers": workers,
+            "degraded": degraded,
+            **counters,
         }
 
     def run(
         self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
-    ) -> list[PointMetrics | FarmJobResult]:
+    ) -> list[PointMetrics | FarmJobResult | FarmJobError]:
         jobs = list(jobs)
         results: list[Any] = [None] * len(jobs)
         for index, result in self.iter_results(jobs, with_schedules=with_schedules):

@@ -42,3 +42,27 @@ class SolverTimeoutError(QPilotError):
 
 class VerificationError(QPilotError):
     """Raised when a compiled schedule fails semantic verification."""
+
+
+class CompileError(QPilotError):
+    """A compile request ultimately failed after the farm's retry budget.
+
+    Carries the typed cause so every coalesced waiter on a failed ticket
+    sees *what* failed (original exception type, traceback, attempts),
+    not just a flattened message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        error_type: str | None = None,
+        traceback: str | None = None,
+        digest: str | None = None,
+        attempts: int | None = None,
+    ):
+        super().__init__(message)
+        self.error_type = error_type
+        self.traceback = traceback
+        self.digest = digest
+        self.attempts = attempts

@@ -15,6 +15,16 @@ it:
   reference executor) and streams responses incrementally;
 * :mod:`repro.service.cli` — ``python -m repro.service`` command line.
 
+PR 6 makes the layer fault-tolerant: the farm retries, respawns broken
+pools and degrades to the in-process reference executor
+(:class:`~repro.core.farm.FarmPolicy`); a job that exhausts its budget
+fails only its own ticket — typed
+(:class:`~repro.exceptions.CompileError`), observed by every coalesced
+waiter, and buried on ``JobQueue.dead_letters``; store writes are
+log-and-continue; and the store's eviction is lockfile-guarded so
+multiple daemons can share one root.  Every failure mode is reproducible
+via the seeded :class:`~repro.utils.faults.FaultPlan` registry.
+
 Quick start::
 
     from repro.core import WorkloadSpec
@@ -28,14 +38,19 @@ Quick start::
     print(service.stats.to_dict())
 """
 
+from repro.exceptions import CompileError
 from repro.service.queue import CompileRequest, JobQueue, QueuedJob
 from repro.service.service import CompileResponse, CompileService, ServiceStats
 from repro.service.store import ScheduleStore, StoreEntry, StoreStats
+from repro.utils.faults import FaultPlan, FaultRule
 
 __all__ = [
+    "CompileError",
     "CompileRequest",
     "CompileResponse",
     "CompileService",
+    "FaultPlan",
+    "FaultRule",
     "JobQueue",
     "QueuedJob",
     "ScheduleStore",

@@ -25,14 +25,26 @@ import json
 import sys
 from typing import Sequence
 
-from repro.core.farm import WorkloadSpec
+from repro.core.farm import FarmOptions, WorkloadSpec
 from repro.service.queue import CompileRequest
 from repro.service.service import CompileService
 from repro.service.store import ScheduleStore
+from repro.utils.faults import FaultPlan
 
 
 def _comma_ints(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(",") if part)
+
+
+def _fault_plan(args: argparse.Namespace) -> FaultPlan | None:
+    """Fault plan from ``--faults`` JSON, else the QPILOT_FAULTS env preset."""
+    if getattr(args, "faults", None):
+        return FaultPlan.from_json(args.faults)
+    return FaultPlan.from_env()
+
+
+def _request_options(args: argparse.Namespace) -> FarmOptions:
+    return FarmOptions(faults=_fault_plan(args))
 
 
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
@@ -99,7 +111,9 @@ def _response_dict(response) -> dict:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
-    request = CompileRequest.for_width(_workload_from_args(args), args.width)
+    request = CompileRequest.for_width(
+        _workload_from_args(args), args.width, options=_request_options(args)
+    )
     response = service.compile(request)
     if args.json:
         payload = _response_dict(response)
@@ -119,20 +133,32 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
     workload = _workload_from_args(args)
-    requests = [CompileRequest.for_width(workload, width) for width in args.widths]
+    options = _request_options(args)
+    requests = [
+        CompileRequest.for_width(workload, width, options=options) for width in args.widths
+    ]
     if args.json:
         payload = {"points": [_response_dict(r) for r in service.stream(requests)]}
+        payload["failed"] = [
+            {"digest": t.digest, "error_type": t.error_type, "error": t.error}
+            for t in service.queue.dead_letters
+        ]
         payload["stats"] = _stats_dict(service)
         print(json.dumps(payload, indent=2, sort_keys=True))
-        return 0
+        return 1 if service.queue.dead_letters else 0
     for response in service.stream(requests):
         m = response.metrics
         print(
             f"{response.source}: width {response.schedule['config']['slm_cols']} "
             f"depth={m.depth} error_rate={m.error_rate:.4f}"
         )
+    for ticket in service.queue.dead_letters:
+        print(
+            f"failed: {ticket.request.workload.name} digest={ticket.digest[:12]} "
+            f"({ticket.error_type}): {ticket.error}"
+        )
     _print_stats(service)
-    return 0
+    return 1 if service.queue.dead_letters else 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -189,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="farm backend for cache misses (default: thread)",
         )
         sub.add_argument("--jobs", type=int, default=None, help="farm pool width")
+        sub.add_argument(
+            "--faults",
+            default=None,
+            help="JSON FaultPlan for chaos testing (default: QPILOT_FAULTS env)",
+        )
     return parser
 
 

@@ -13,16 +13,25 @@ the same ticket instead of queueing duplicate work — the in-flight
 analogue of the farm's memoisation and the store's disk cache.  The
 queue is FIFO over unique digests, so service throughput is fair in
 submission order.
+
+Failure is part of the ticket lifecycle: :meth:`QueuedJob.fail` records
+the *typed* cause (exception type, message, traceback, attempts), every
+coalesced waiter observes it on the shared ticket, and
+:meth:`QueuedJob.raise_error` re-raises it as a
+:class:`~repro.exceptions.CompileError`.  Failed tickets are buried on
+the queue's ``dead_letters`` list so operators can inspect what the
+service could not serve.
 """
 
 from __future__ import annotations
 
+import traceback as traceback_module
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.core.farm import FarmJob, FarmOptions, WorkloadSpec
-from repro.exceptions import QPilotError
+from repro.core.farm import FarmJob, FarmJobError, FarmOptions, WorkloadSpec
+from repro.exceptions import CompileError, QPilotError
 from repro.hardware.fpqa import FPQAConfig
 
 #: Lifecycle states of a queued job.
@@ -67,7 +76,11 @@ class QueuedJob:
 
     ``submissions`` counts how many client requests coalesced onto this
     ticket; ``response`` is filled by the service when the job resolves
-    (a ``CompileResponse``), ``error`` when it fails.
+    (a ``CompileResponse``), ``error`` (plus the typed
+    ``error_type``/``error_traceback``/``attempts`` trio) when it fails.
+    Because coalesced waiters share the ticket *object*, a failure is
+    observed by every one of them — :meth:`raise_error` turns it back
+    into a faithful :class:`~repro.exceptions.CompileError`.
     """
 
     request: CompileRequest
@@ -76,27 +89,85 @@ class QueuedJob:
     submissions: int = 1
     response: Any = None
     error: str | None = None
+    error_type: str | None = None
+    error_traceback: str | None = None
+    attempts: int | None = None
 
     @property
     def done(self) -> bool:
         return self.status == DONE
 
+    @property
+    def failed(self) -> bool:
+        return self.status == FAILED
+
     def resolve(self, response: Any) -> None:
         self.status = DONE
         self.response = response
 
-    def fail(self, error: str) -> None:
+    def fail(self, error: str | BaseException | FarmJobError) -> None:
+        """Mark the ticket failed, keeping the typed cause when given one.
+
+        Accepts a plain message (legacy), a live exception, or the farm's
+        :class:`~repro.core.farm.FarmJobError` record — whichever the
+        failure site has in hand.
+        """
         self.status = FAILED
-        self.error = error
+        if isinstance(error, FarmJobError):
+            self.error = error.message
+            self.error_type = error.error_type
+            self.error_traceback = error.traceback
+            self.attempts = error.attempts
+        elif isinstance(error, BaseException):
+            self.error = str(error)
+            self.error_type = type(error).__name__
+            self.error_traceback = "".join(
+                traceback_module.format_exception(type(error), error, error.__traceback__)
+            )
+        else:
+            self.error = str(error)
+
+    def raise_error(self) -> None:
+        """Re-raise a failed ticket as a typed :class:`CompileError`."""
+        if self.status != FAILED:
+            raise QPilotError("raise_error on a ticket that has not failed")
+        raise CompileError(
+            f"compile request {self.digest[:12]} failed"
+            + (f" ({self.error_type})" if self.error_type else "")
+            + f": {self.error}",
+            error_type=self.error_type,
+            traceback=self.error_traceback,
+            digest=self.digest,
+            attempts=self.attempts,
+        )
 
 
 class JobQueue:
-    """FIFO queue of unique compile requests with in-flight coalescing."""
+    """FIFO queue of unique compile requests with in-flight coalescing.
+
+    ``dead_letters`` collects tickets that ultimately failed (capped at
+    ``MAX_DEAD_LETTERS``, oldest dropped first): the service buries each
+    failure there so every coalesced waiter — and any operator — can see
+    what could not be served and why, without the queue growing without
+    bound under a persistent fault.
+    """
+
+    #: Failed tickets kept for inspection before the oldest are dropped.
+    MAX_DEAD_LETTERS = 256
 
     def __init__(self) -> None:
         self._pending: "OrderedDict[str, QueuedJob]" = OrderedDict()
         self.submitted = 0
         self.coalesced = 0
+        self.dead_letters: list[QueuedJob] = []
+
+    def bury(self, ticket: QueuedJob) -> None:
+        """Record a failed ticket on the dead-letter list (bounded)."""
+        if not ticket.failed:
+            raise QPilotError("only failed tickets can be buried")
+        self.dead_letters.append(ticket)
+        if len(self.dead_letters) > self.MAX_DEAD_LETTERS:
+            del self.dead_letters[: -self.MAX_DEAD_LETTERS]
 
     @property
     def depth(self) -> int:

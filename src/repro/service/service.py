@@ -24,17 +24,26 @@ a recompile, which is what makes caching *correct* and not just fast.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
-from repro.core.farm import CompileFarm, FarmJobResult, PointMetrics
+from repro.core.farm import (
+    CompileFarm,
+    FarmJobError,
+    FarmJobResult,
+    FarmPolicy,
+    PointMetrics,
+)
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import QPilotError
 from repro.service.queue import FAILED, CompileRequest, JobQueue, QueuedJob
 from repro.service.store import ScheduleStore, StoreEntry
 from repro.utils.serialization import canonical_json, schedule_from_dict
+
+logger = logging.getLogger(__name__)
 
 #: Where a response came from.
 SOURCE_CACHE = "cache"
@@ -89,7 +98,17 @@ class CompileResponse:
 
 @dataclass
 class ServiceStats:
-    """Aggregate serving statistics since service construction."""
+    """Aggregate serving statistics since service construction.
+
+    The fault-tolerance counters mirror the farm's per-run stats,
+    accumulated across every dispatch: ``retries`` (failed attempts that
+    were retried), ``pool_respawns`` (broken process pools rebuilt),
+    ``timeouts`` (jobs past their per-job budget), ``failed_jobs``
+    (tickets that exhausted the retry budget and were dead-lettered),
+    ``store_write_errors`` (results served despite a failed persist) and
+    ``degraded`` (sticky: some run fell back to the in-process reference
+    executor).
+    """
 
     requests: int = 0
     coalesced: int = 0
@@ -99,6 +118,12 @@ class ServiceStats:
     completed: int = 0
     busy_s: float = 0.0
     queue_depth: int = 0
+    retries: int = 0
+    pool_respawns: int = 0
+    timeouts: int = 0
+    failed_jobs: int = 0
+    store_write_errors: int = 0
+    degraded: bool = False
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -122,6 +147,12 @@ class ServiceStats:
             "busy_s": self.busy_s,
             "throughput_rps": self.throughput_rps,
             "queue_depth": self.queue_depth,
+            "retries": self.retries,
+            "pool_respawns": self.pool_respawns,
+            "timeouts": self.timeouts,
+            "failed_jobs": self.failed_jobs,
+            "store_write_errors": self.store_write_errors,
+            "degraded": self.degraded,
         }
 
 
@@ -140,6 +171,11 @@ class CompileService:
     max_workers, batch_size:
         Pool width for the farm, and the default number of unique
         requests drained per :meth:`process_batch` call (None = all).
+    policy:
+        The farm's :class:`~repro.core.farm.FarmPolicy` — retry budget,
+        backoff, per-job timeout, pool respawns.  A job that exhausts it
+        fails only its own ticket (typed, dead-lettered); the batch and
+        the service survive.
     """
 
     def __init__(
@@ -149,9 +185,10 @@ class CompileService:
         executor: str = "thread",
         max_workers: int | None = None,
         batch_size: int | None = None,
+        policy: FarmPolicy | None = None,
     ):
         self.store = store if isinstance(store, ScheduleStore) else ScheduleStore(store)
-        self.farm = CompileFarm(executor, max_workers=max_workers)
+        self.farm = CompileFarm(executor, max_workers=max_workers, policy=policy)
         self.queue = JobQueue()
         self.batch_size = batch_size
         self._stats = ServiceStats()
@@ -162,6 +199,42 @@ class CompileService:
         """Live aggregate stats (queue depth up to date)."""
         self._stats.queue_depth = self.queue.depth
         return self._stats
+
+    def _absorb_farm_stats(self) -> None:
+        """Fold the farm's last-run fault counters into the service view."""
+        last = self.farm.last_stats
+        self._stats.retries += last.get("retries", 0)
+        self._stats.pool_respawns += last.get("pool_respawns", 0)
+        self._stats.timeouts += last.get("timeouts", 0)
+        self._stats.degraded = self._stats.degraded or bool(last.get("degraded"))
+
+    # -- persistence -----------------------------------------------------
+    def _store_put(self, digest: str, result: FarmJobResult) -> bool:
+        """Persist a result, logging (never raising) on failure.
+
+        A compile that succeeded must reach its waiters even when the
+        disk is unhappy — the store is a cache, not the source of truth.
+        Returns False when the write failed (the next identical request
+        recompiles).
+        """
+        try:
+            self.store.put(digest, result)
+            return True
+        except Exception as exc:
+            self._stats.store_write_errors += 1
+            logger.warning(
+                "schedule store write failed for %s (%s: %s); serving result anyway",
+                digest[:12],
+                type(exc).__name__,
+                exc,
+            )
+            return False
+
+    def _fail_ticket(self, ticket: QueuedJob, error: FarmJobError) -> None:
+        """Fail a ticket with its typed cause and dead-letter it."""
+        ticket.fail(error)
+        self.queue.bury(ticket)
+        self._stats.failed_jobs += 1
 
     # -- submission ------------------------------------------------------
     def submit(self, request: CompileRequest) -> QueuedJob:
@@ -199,15 +272,22 @@ class CompileService:
             self._stats.farm_dispatches += len(jobs)
             try:
                 results = self.farm.run(jobs, with_schedules=True)
+                self._absorb_farm_stats()
                 for ticket, result in zip(cold, results):
-                    self.store.put(ticket.digest, result)
+                    if isinstance(result, FarmJobError):
+                        # one poisoned job fails only its own ticket —
+                        # typed, dead-lettered, visible to every
+                        # coalesced waiter on the shared object
+                        self._fail_ticket(ticket, result)
+                        continue
+                    self._store_put(ticket.digest, result)
                     ticket.resolve(CompileResponse.from_farm(ticket.digest, result))
             except BaseException as exc:
                 # tickets are already out of the queue — mark the unresolved
                 # ones failed so waiters see the error instead of hanging
                 for ticket in cold:
-                    if not ticket.done:
-                        ticket.fail(str(exc))
+                    if not ticket.done and not ticket.failed:
+                        ticket.fail(exc)
                 raise
         # per *submission*, like stream(): coalesced waiters each count as
         # a completed request, so completed always converges on requests
@@ -231,7 +311,7 @@ class CompileService:
         ticket = self.submit(request)
         while not ticket.done:
             if ticket.status == FAILED:
-                raise QPilotError(f"compile request failed: {ticket.error}")
+                ticket.raise_error()
             if not self.queue.depth:
                 raise QPilotError("ticket pending but queue empty — ticket failed?")
             self.process_batch()
@@ -298,7 +378,14 @@ class CompileService:
             self._stats.farm_dispatches += len(jobs)
             for index, result in self.farm.iter_results(jobs, with_schedules=True):
                 ticket = cold_tickets[index]
-                self.store.put(ticket.digest, result)
+                if isinstance(result, FarmJobError):
+                    # the stream keeps flowing for the healthy requests;
+                    # the failed ticket is typed + dead-lettered, so
+                    # callers find it on ``queue.dead_letters`` (the
+                    # output count shrinks by its submissions)
+                    self._fail_ticket(ticket, result)
+                    continue
+                self._store_put(ticket.digest, result)
                 response = CompileResponse.from_farm(ticket.digest, result)
                 ticket.resolve(response)
                 for _ in range(ticket.submissions):
@@ -306,3 +393,4 @@ class CompileService:
                     self._stats.busy_s += time.perf_counter() - start
                     yield response
                     start = time.perf_counter()
+            self._absorb_farm_stats()

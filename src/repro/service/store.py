@@ -17,10 +17,24 @@ pins that.
 
 Reads are corruption-safe: a missing, truncated, garbled or
 wrong-schema entry is a *miss*, never a crash; the bad file is unlinked
-so the next compile repairs it.  Writes are atomic
-(``tempfile`` + ``os.replace``), so a reader never observes a torn
-entry.  ``max_entries`` bounds the store with least-recently-used
-eviction (hits refresh the entry mtime).
+(``missing_ok`` — a concurrent process repairing the same entry must not
+turn the repair into a crash) so the next compile rewrites it.  Writes
+are atomic (``tempfile`` + ``os.replace``), so a reader never observes a
+torn entry.  ``max_entries`` bounds the store with least-recently-used
+eviction (hits refresh the entry mtime); eviction scans are guarded by
+an ``O_EXCL`` lockfile so multiple daemons sharing one store root never
+race each other below the limit — the multiprocess hammer test in
+``tests/test_faults.py`` pins both properties.
+
+For chaos testing the store accepts a seeded
+:class:`~repro.utils.faults.FaultPlan` (default ``None`` — injection
+off): ``fail-store-write`` makes :meth:`put` raise
+:class:`~repro.utils.faults.InjectedStoreWriteError` (exercising the
+service's log-and-continue path) and ``corrupt-store-entry`` garbles the
+entry's bytes after a successful write (exercising the
+corruption-unlink repair on the next read).  Fault keys are the entry
+digests, and per-digest write attempts are counted so bounded rules
+(``max_fires``) stop firing once the fault has been exercised.
 """
 
 from __future__ import annotations
@@ -28,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -35,9 +50,20 @@ from typing import Any, Iterator
 from repro.core.farm import FarmJobResult, PointMetrics
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import QPilotError
+from repro.utils.faults import (
+    CORRUPT_STORE_ENTRY,
+    FAIL_STORE_WRITE,
+    FaultPlan,
+    InjectedStoreWriteError,
+)
 from repro.utils.serialization import canonical_json, schedule_from_dict
 
 _STORE_SCHEMA_VERSION = 1
+
+#: Age (seconds) past which another daemon's eviction lock is presumed
+#: abandoned (crashed holder) and broken.  Eviction scans take
+#: milliseconds, so this is orders of magnitude of headroom.
+_EVICT_LOCK_STALE_S = 30.0
 
 
 @dataclass
@@ -133,16 +159,25 @@ class ScheduleStore:
     between evictions, never corrupt.
     """
 
-    def __init__(self, root: str | Path, *, max_entries: int | None = None):
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_entries: int | None = None,
+        faults: FaultPlan | None = None,
+    ):
         if max_entries is not None and max_entries < 1:
             raise QPilotError("max_entries must be at least 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
+        self.faults = faults
         self.stats = StoreStats()
         # entry count, maintained incrementally so bounded-store writes
         # don't re-scan the whole tree; None until first needed
         self._count: int | None = None
+        # per-digest write attempts, so bounded fault rules stop firing
+        self._write_attempts: dict[str, int] = {}
 
     # -- addressing -----------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -185,8 +220,10 @@ class ScheduleStore:
         except (ValueError, KeyError, TypeError, AttributeError, QPilotError):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            # missing_ok: a concurrent daemon may be repairing the same
+            # bad entry — both unlinking it must not raise in either
             try:
-                path.unlink()
+                path.unlink(missing_ok=True)
                 if self._count is not None:
                     self._count -= 1
             except OSError:
@@ -198,7 +235,22 @@ class ScheduleStore:
 
     # -- insert ---------------------------------------------------------
     def put(self, digest: str, result: FarmJobResult) -> StoreEntry:
-        """Persist one compiled job under its digest (atomic write)."""
+        """Persist one compiled job under its digest (atomic write).
+
+        Raises :class:`~repro.utils.faults.InjectedStoreWriteError` when
+        a ``fail-store-write`` fault fires (chaos testing only; with no
+        plan attached this is a single ``is None`` check).  Callers that
+        must stay up across a failed write — the compile service — catch
+        and log instead of propagating.
+        """
+        attempt = self._write_attempts.get(digest, 0)
+        self._write_attempts[digest] = attempt + 1
+        if self.faults is not None and self.faults.should_fire(
+            FAIL_STORE_WRITE, digest, attempt
+        ):
+            raise InjectedStoreWriteError(
+                f"injected store-write fault for {digest[:12]} (attempt {attempt})"
+            )
         entry = StoreEntry.from_result(digest, result)
         path = self.path_for(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -219,6 +271,12 @@ class ScheduleStore:
         self.stats.writes += 1
         if not existed and self._count is not None:
             self._count += 1
+        if self.faults is not None and self.faults.should_fire(
+            CORRUPT_STORE_ENTRY, digest, attempt
+        ):
+            # garble the just-written entry: the next read must treat it
+            # as a miss, unlink it, and let a recompile repair it
+            path.write_text('{"schema_version": "corrupted-by-fault-injection"')
         if self.max_entries is not None:
             self._evict_over_limit(keep=path)
         return entry
@@ -229,7 +287,7 @@ class ScheduleStore:
         removed = 0
         for path in list(self._entry_paths()):
             try:
-                path.unlink()
+                path.unlink(missing_ok=True)
                 removed += 1
             except OSError:
                 pass
@@ -243,38 +301,92 @@ class ScheduleStore:
         except OSError:
             pass
 
+    def _acquire_evict_lock(self) -> int | None:
+        """Try to take the store-wide eviction lock (``O_EXCL`` create).
+
+        Returns an open fd on success, ``None`` when another daemon holds
+        the lock (its scan covers our excess too — skipping is correct,
+        the bound is approximate between evictions by design).  A lock
+        older than :data:`_EVICT_LOCK_STALE_S` belonged to a crashed
+        holder and is broken.
+        """
+        lock = self.root / ".evict.lock"
+        for _ in range(2):  # second pass only after breaking a stale lock
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # holder just released it; retry the create
+                if age <= _EVICT_LOCK_STALE_S:
+                    return None
+                try:
+                    lock.unlink(missing_ok=True)
+                except OSError:
+                    return None
+                continue
+            except OSError:
+                return None  # unwritable root: skip eviction, never crash
+            try:
+                os.write(fd, f"{os.getpid()}\n".encode())
+            except OSError:
+                pass
+            return fd
+        return None
+
+    def _release_evict_lock(self, fd: int) -> None:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+        try:
+            (self.root / ".evict.lock").unlink(missing_ok=True)
+        except OSError:
+            pass
+
     def _evict_over_limit(self, *, keep: Path) -> None:
         """Drop least-recently-used entries until within ``max_entries``.
 
         The O(1) count check keeps the common (not-over-limit) write
         cheap; the full scan only happens when eviction looks due, and
         its result resyncs the count (healing drift from other writers
-        sharing the root).
+        sharing the root).  The scan runs under the store-wide lockfile:
+        concurrent daemons sharing a root must not race each other's
+        scans into evicting far below the limit (each sees the other's
+        unlinks as its own excess).
         """
         if len(self) - self.max_entries <= 0:
             return
-        paths = list(self._entry_paths())
-        self._count = len(paths)
-        excess = self._count - self.max_entries
-        if excess <= 0:
+        lock_fd = self._acquire_evict_lock()
+        if lock_fd is None:
+            self._count = None  # another daemon is evicting; recount lazily
             return
-
-        def mtime(path: Path) -> float:
-            try:
-                return path.stat().st_mtime
-            except OSError:
-                return 0.0
-
-        for path in sorted(paths, key=mtime):
+        try:
+            paths = list(self._entry_paths())
+            self._count = len(paths)
+            excess = self._count - self.max_entries
             if excess <= 0:
-                break
-            if path == keep:
-                continue
-            try:
-                path.unlink()
-                if self._count is not None:
-                    self._count -= 1
-                self.stats.evictions += 1
-                excess -= 1
-            except OSError:
-                pass
+                return
+
+            def mtime(path: Path) -> float:
+                try:
+                    return path.stat().st_mtime
+                except OSError:
+                    return 0.0
+
+            for path in sorted(paths, key=mtime):
+                if excess <= 0:
+                    break
+                if path == keep:
+                    continue
+                try:
+                    path.unlink(missing_ok=True)
+                    if self._count is not None:
+                        self._count -= 1
+                    self.stats.evictions += 1
+                    excess -= 1
+                except OSError:
+                    pass
+        finally:
+            self._release_evict_lock(lock_fd)

@@ -1,9 +1,19 @@
 """Shared utilities: RNG handling, timing, reporting, and serialisation."""
 
+from repro.utils.faults import FaultPlan, FaultRule, deterministic_draw
 from repro.utils.profiling import Timer, TrajectoryRecorder, time_call
 from repro.utils.rng import ensure_rng, spawn
 
-__all__ = ["ensure_rng", "spawn", "Timer", "TrajectoryRecorder", "time_call"]
+__all__ = [
+    "ensure_rng",
+    "spawn",
+    "FaultPlan",
+    "FaultRule",
+    "deterministic_draw",
+    "Timer",
+    "TrajectoryRecorder",
+    "time_call",
+]
 
 # Note: repro.utils.reporting and repro.utils.serialization are imported
 # directly by their users; serialization is not re-exported here to avoid a

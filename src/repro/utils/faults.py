@@ -1,0 +1,248 @@
+"""Deterministic, seeded fault injection for the compile fabric.
+
+Robustness work is only testable if every failure mode is reproducible:
+a worker crash that happens "sometimes" cannot pin a recovery path in
+tier-1.  This module therefore models faults as *data* — a
+:class:`FaultPlan` is a frozen, picklable registry of :class:`FaultRule`
+values — and every fire/no-fire decision is a pure function of
+``(plan seed, fault kind, fault key, attempt)``.  Nothing depends on
+wall clock, call order or executor interleaving, so the same plan
+produces the same faults whether jobs run serially in-process, across a
+thread pool or across worker processes — which is what makes the chaos
+differential suite (``tests/test_faults.py``) meaningful: a
+fault-injected run that ultimately succeeds must be byte-identical to
+the fault-free ``reference`` run.
+
+Fault kinds (the compile fabric's failure modes):
+
+* ``crash-worker`` — hard-kill the worker process (``os._exit``) so the
+  farm sees a real :class:`~concurrent.futures.process.BrokenProcessPool`.
+  Only fires inside actual pool worker processes; in the in-process
+  (``reference``/degraded) and thread executors it is a no-op, which is
+  what lets the farm's degradation ladder terminate.
+* ``sleep-in-compile`` — sleep ``duration_s`` before compiling, to push
+  a job past the farm's per-job ``timeout_s``.
+* ``raise-in-compile`` — raise :class:`InjectedCompileError` from the
+  worker, exercising retry/backoff.
+* ``fail-store-write`` — make :meth:`ScheduleStore.put` raise, so the
+  service's log-and-continue path runs.
+* ``corrupt-store-entry`` — garble the entry's bytes after a store
+  write, so the next read takes the corruption-unlink repair path.
+
+Plans are carried on :class:`~repro.core.farm.FarmOptions` (compile-side
+faults) and :class:`~repro.service.store.ScheduleStore` (store-side
+faults), both defaulting to ``None`` — with no plan attached every hook
+is a single ``is None`` check, so fault injection has zero overhead when
+disabled.  ``FaultPlan.from_env()`` reads a JSON plan from the
+``QPILOT_FAULTS`` environment variable, which is how the CI chaos job
+turns the rate up without code changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.exceptions import QPilotError
+
+#: Fault kinds the registry understands.
+CRASH_WORKER = "crash-worker"
+SLEEP_IN_COMPILE = "sleep-in-compile"
+RAISE_IN_COMPILE = "raise-in-compile"
+FAIL_STORE_WRITE = "fail-store-write"
+CORRUPT_STORE_ENTRY = "corrupt-store-entry"
+
+FAULT_KINDS = (
+    CRASH_WORKER,
+    SLEEP_IN_COMPILE,
+    RAISE_IN_COMPILE,
+    FAIL_STORE_WRITE,
+    CORRUPT_STORE_ENTRY,
+)
+
+#: Environment variable holding a JSON fault plan (the CI chaos preset).
+FAULTS_ENV_VAR = "QPILOT_FAULTS"
+
+
+class InjectedFaultError(QPilotError):
+    """Base class of every error raised *by* fault injection itself."""
+
+
+class InjectedCompileError(InjectedFaultError):
+    """A ``raise-in-compile`` fault fired inside a compile."""
+
+
+class InjectedStoreWriteError(InjectedFaultError):
+    """A ``fail-store-write`` fault fired inside ``ScheduleStore.put``."""
+
+
+def deterministic_draw(seed: int, kind: str, key: str, attempt: int) -> float:
+    """Uniform [0, 1) draw that is a pure function of its arguments.
+
+    Replaces ``random.random()`` everywhere fault injection (and the
+    farm's backoff jitter) needs randomness: equal inputs give equal
+    draws in every process, on every executor, in every run.
+    """
+    payload = f"{seed}|{kind}|{key}|{attempt}".encode()
+    return int.from_bytes(hashlib.sha1(payload).digest()[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault: *which* failure, *where* it applies, *how often*.
+
+    ``match`` is a substring filter on the fault key (the farm uses
+    ``FarmJob.fault_key()``, the store uses the entry digest); the empty
+    string matches everything.  ``max_fires`` bounds the rule per key:
+    the fault fires only while ``attempt < max_fires``, so a rule with
+    ``max_fires=1`` fails each matching job exactly once and its retry
+    succeeds — the canonical recoverable fault.  ``rate`` thins firing
+    probabilistically via :func:`deterministic_draw` (still fully
+    deterministic for a given plan seed).
+    """
+
+    kind: str
+    rate: float = 1.0
+    match: str = ""
+    max_fires: int | None = 1
+    duration_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise QPilotError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise QPilotError(f"fault rate must be in [0, 1], got {self.rate!r}")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise QPilotError("max_fires must be at least 1 (or None for unbounded)")
+        if self.duration_s < 0:
+            raise QPilotError("duration_s must be non-negative")
+
+    def fires(self, seed: int, key: str, attempt: int) -> bool:
+        """Does this rule fire for ``key`` on (0-based) ``attempt``?"""
+        if self.match not in key:
+            return False
+        if self.max_fires is not None and attempt >= self.max_fires:
+            return False
+        if self.rate >= 1.0:
+            return True
+        return deterministic_draw(seed, self.kind, key, attempt) < self.rate
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultRule":
+        names = {f.name for f in fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise QPilotError(f"unknown FaultRule keys {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded registry of fault rules — the whole chaos experiment.
+
+    Frozen and picklable, so a plan rides inside a
+    :class:`~repro.core.farm.FarmJob` across process boundaries intact.
+    Plans never participate in memo keys or store digests: injecting
+    faults must not change *what* is computed, only *how bumpy* the road
+    there is.
+    """
+
+    seed: int = 0
+    rules: tuple[FaultRule, ...] = ()
+
+    def __post_init__(self) -> None:
+        # tolerate list input from from_dict/JSON
+        if not isinstance(self.rules, tuple):
+            object.__setattr__(self, "rules", tuple(self.rules))
+
+    # -- decisions ------------------------------------------------------
+    def should_fire(self, kind: str, key: str, attempt: int = 0) -> bool:
+        """True if any rule of ``kind`` fires for ``key`` on ``attempt``."""
+        return any(
+            rule.kind == kind and rule.fires(self.seed, key, attempt)
+            for rule in self.rules
+        )
+
+    def sleep_duration(self, key: str, attempt: int = 0) -> float:
+        """Seconds a firing ``sleep-in-compile`` rule wants (0.0 if none)."""
+        return max(
+            (
+                rule.duration_s
+                for rule in self.rules
+                if rule.kind == SLEEP_IN_COMPILE and rule.fires(self.seed, key, attempt)
+            ),
+            default=0.0,
+        )
+
+    # -- serialisation --------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
+        unknown = set(data) - {"seed", "rules"}
+        if unknown:
+            raise QPilotError(f"unknown FaultPlan keys {sorted(unknown)}")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            rules=tuple(FaultRule.from_dict(rule) for rule in data.get("rules", ())),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise QPilotError(f"invalid fault plan JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise QPilotError("fault plan JSON must be an object")
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_env(cls, var: str = FAULTS_ENV_VAR) -> "FaultPlan | None":
+        """Plan from the environment (the CI chaos preset), or None."""
+        text = os.environ.get(var)
+        return cls.from_json(text) if text else None
+
+    # -- convenience ----------------------------------------------------
+    @classmethod
+    def single(cls, kind: str, *, seed: int = 0, **rule_kwargs: Any) -> "FaultPlan":
+        """Plan with one rule — the common shape in tests."""
+        return cls(seed=seed, rules=(FaultRule(kind=kind, **rule_kwargs),))
+
+
+def inject_compile_faults(
+    plan: FaultPlan | None, key: str, attempt: int, *, in_process_worker: bool = False
+) -> None:
+    """Apply compile-side faults (crash / sleep / raise) at a compile site.
+
+    Called by the farm's worker entry point before each compile.
+    ``crash-worker`` hard-kills the process only when
+    ``in_process_worker`` is set (a real pool worker); everywhere else it
+    is a no-op, so the in-process degradation fallback and the
+    ``reference`` oracle always terminate.  Sleep happens before raise so
+    a plan can combine both against the same key.
+    """
+    if plan is None:
+        return
+    if in_process_worker and plan.should_fire(CRASH_WORKER, key, attempt):
+        os._exit(13)  # simulate a hard worker death: no cleanup, no excuses
+    duration = plan.sleep_duration(key, attempt)
+    if duration > 0:
+        time.sleep(duration)
+    if plan.should_fire(RAISE_IN_COMPILE, key, attempt):
+        raise InjectedCompileError(
+            f"injected compile fault for {key!r} (attempt {attempt})"
+        )

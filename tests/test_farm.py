@@ -358,13 +358,13 @@ class TestStreamingResults:
         gate = threading.Event()
         real_job = farm_module.compile_farm_job
 
-        def gated_job(job):
+        def gated_job(job, attempt=0):
             started.append(job)
             if len(started) > 1:
                 # park the single worker so close() runs cancel_futures
                 # while every remaining job is still queued
                 assert gate.wait(timeout=10)
-            return real_job(job)
+            return real_job(job, attempt)
 
         monkeypatch.setattr(farm_module, "compile_farm_job", gated_job)
         farm = CompileFarm("thread", max_workers=1)

@@ -13,7 +13,7 @@ import json
 
 import pytest
 
-from repro.core import QPilotCompiler, WorkloadSpec
+from repro.core import FarmOptions, QPilotCompiler, WorkloadSpec
 from repro.exceptions import QPilotError
 from repro.hardware.fpqa import FPQAConfig
 from repro.service import (
@@ -200,6 +200,35 @@ class TestFailureHandling:
         ticket.fail("simulated failure")
         with pytest.raises(QPilotError, match="simulated failure"):
             service.compile(FAMILY_REQUESTS[0])
+
+    def test_every_coalesced_waiter_observes_a_typed_failure(self, tmp_path):
+        """All duplicate submissions share the ticket, so all see the failure
+        with its original exception type and traceback, and the ticket is
+        dead-lettered exactly once."""
+        from repro.exceptions import CompileError
+        from repro.utils.faults import FaultPlan
+
+        plan = FaultPlan.single("raise-in-compile", max_fires=None)
+        request = CompileRequest(
+            workload=FAMILY_REQUESTS[0].workload,
+            config=FAMILY_REQUESTS[0].config,
+            options=FarmOptions(faults=plan),
+        )
+        service = service_for(tmp_path)
+        waiters = [service.submit(request) for _ in range(3)]
+        assert waiters[0] is waiters[1] is waiters[2]  # coalesced
+        service.process_batch()
+        for ticket in waiters:
+            assert ticket.failed
+            assert ticket.error_type == "InjectedCompileError"
+            assert "InjectedCompileError" in ticket.error_traceback
+            assert ticket.attempts == 3  # 1 try + max_retries=2
+        assert service.queue.dead_letters == [waiters[0]]
+        assert service.stats.failed_jobs == 1
+        with pytest.raises(CompileError) as exc_info:
+            service.compile(request)
+        assert exc_info.value.error_type == "InjectedCompileError"
+        assert exc_info.value.digest == request.digest()
 
 
 class TestStreaming:
