@@ -1,0 +1,321 @@
+"""Zipf-replay load benchmark of the compile service (serving trajectory).
+
+The compile-speed trajectory (``bench_compile_speed.py``) keeps the
+*compiler* fast; this module keeps the *serving layer* fast under a
+realistic traffic shape.  Real request streams are heavily skewed — a
+few hot workloads dominate — so the benchmark replays a seeded
+Zipf-distributed stream of repeat requests (default 10,000 requests over
+48 unique jobs) through :class:`repro.service.CompileService` via the
+streaming path, and appends the serving picture to the
+``BENCH_service.json`` trajectory file at the repository root.
+
+The store is deliberately sized *below* the unique-universe size
+(``--max-entries`` < ``--unique``) with a smaller in-memory front tier
+(``--memory-entries``), so one replay exercises all three outcomes:
+memory-tier hits (zero disk I/O), disk-tier hits, and misses that
+recompile — plus LRU evictions on both tiers.
+
+Run it either way:
+
+    PYTHONPATH=src python benchmarks/bench_service_load.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_load.py -s
+
+Reading ``BENCH_service.json``: one ``entries`` element per run.  Each
+entry records the replay shape (``requests``, ``unique``, ``zipf_s``,
+``seed``), per-tier hit rates over all requests (``hit_rates`` —
+``memory`` + ``disk`` + ``miss`` + ``coalesced`` sums to 1.0),
+per-response latency percentiles in milliseconds (``latency_ms`` —
+p50/p99/mean/max of the inter-yield gaps on the stream), eviction counts
+for both tiers, the final on-disk footprint (``store_disk_bytes``,
+``store_entries``) and the full store/service counter dumps.
+``headline_memory_hit_rate`` and ``headline_p99_ms`` are the two numbers
+a regression should move first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.farm import WorkloadSpec
+from repro.service import CompileRequest, CompileService
+from repro.utils.profiling import TrajectoryRecorder
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_service.json"
+
+#: Default replay shape: 10k requests over 48 unique jobs, Zipf s=1.1 —
+#: the head job alone draws ~20% of the traffic, the tail is cold.
+NUM_REQUESTS = 10_000
+NUM_UNIQUE = 48
+ZIPF_S = 1.1
+SEED = 7
+NUM_QUBITS = 8
+WIDTH = 4
+
+#: Store sizing: max_entries < unique forces disk evictions and
+#: re-misses on the cold tail; memory_entries < max_entries keeps the
+#: disk tier visible (a front tier covering the whole universe would
+#: collapse every repeat into a memory hit).
+MEMORY_ENTRIES = 32
+MAX_ENTRIES = 40
+CHUNK_SIZE = 64
+
+
+def build_universe(
+    unique: int = NUM_UNIQUE, *, num_qubits: int = NUM_QUBITS, width: int = WIDTH
+) -> list[CompileRequest]:
+    """The unique-request universe: three workload families, varied seeds.
+
+    Every request is distinct (distinct workload fingerprint => distinct
+    digest), small enough that a cache miss costs milliseconds — the
+    interesting numbers are the serving-tier ones, not the compiles.
+    """
+    requests: list[CompileRequest] = []
+    for index in range(unique):
+        seed = 1_000 + index
+        family = index % 3
+        if family == 0:
+            spec = WorkloadSpec.random_circuit(num_qubits, 3, seed=seed)
+        elif family == 1:
+            spec = WorkloadSpec.qsim(num_qubits, 0.3, num_strings=8, seed=seed)
+        else:
+            spec = WorkloadSpec.qaoa_random_graph(num_qubits, 0.4, seed=seed)
+        requests.append(CompileRequest.for_width(spec, width))
+    return requests
+
+
+def zipf_ranks(num_requests: int, unique: int, *, s: float, seed: int) -> list[int]:
+    """Seeded Zipf-distributed rank stream: P(rank) ∝ 1 / (rank + 1)^s."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** s for rank in range(unique)]
+    return rng.choices(range(unique), weights=weights, k=num_requests)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def run_load_replay(
+    *,
+    num_requests: int = NUM_REQUESTS,
+    unique: int = NUM_UNIQUE,
+    zipf_s: float = ZIPF_S,
+    seed: int = SEED,
+    num_qubits: int = NUM_QUBITS,
+    memory_entries: int | None = MEMORY_ENTRIES,
+    max_entries: int | None = MAX_ENTRIES,
+    compress: bool = False,
+    chunk_size: int = CHUNK_SIZE,
+    executor: str = "reference",
+    store_dir: str | Path | None = None,
+    record: bool = True,
+) -> dict:
+    """Replay the Zipf stream through a fresh service; append the entry."""
+    universe = build_universe(unique, num_qubits=num_qubits)
+    ranks = zipf_ranks(num_requests, unique, s=zipf_s, seed=seed)
+
+    def replay(service: CompileService) -> tuple[list[float], float]:
+        """Stream the whole request sequence; return inter-yield gaps."""
+        stream = service.stream(
+            (universe[rank] for rank in ranks), chunk_size=chunk_size
+        )
+        latencies: list[float] = []
+        start = time.perf_counter()
+        mark = start
+        for _ in stream:
+            now = time.perf_counter()
+            latencies.append(now - mark)
+            mark = now
+        return latencies, time.perf_counter() - start
+
+    def measure(root: str | Path) -> dict:
+        from repro.service.store import ScheduleStore
+
+        store = ScheduleStore(
+            root,
+            max_entries=max_entries,
+            memory_entries=memory_entries,
+            compress=compress,
+        )
+        service = CompileService(store, executor=executor)
+        latencies, elapsed = replay(service)
+        stats = store.stats
+        served = len(latencies)
+        lat_sorted = sorted(latencies)
+        lat_ms = lambda s: round(s * 1_000, 4)  # noqa: E731
+        total = max(1, num_requests)
+        coalesced = num_requests - stats.lookups
+        return {
+            "requests": num_requests,
+            "unique": unique,
+            "zipf_s": zipf_s,
+            "seed": seed,
+            "num_qubits": num_qubits,
+            "width": WIDTH,
+            "memory_entries": memory_entries,
+            "max_entries": max_entries,
+            "compress": compress,
+            "chunk_size": chunk_size,
+            "executor": executor,
+            "served": served,
+            "elapsed_s": round(elapsed, 6),
+            "latency_ms": {
+                "p50": lat_ms(_percentile(lat_sorted, 0.50)),
+                "p99": lat_ms(_percentile(lat_sorted, 0.99)),
+                "mean": lat_ms(sum(latencies) / served) if served else 0.0,
+                "max": lat_ms(lat_sorted[-1]) if lat_sorted else 0.0,
+            },
+            "hit_rates": {
+                "memory": round(stats.memory_hits / total, 6),
+                "disk": round(stats.disk_hits / total, 6),
+                "miss": round(stats.misses / total, 6),
+                "coalesced": round(coalesced / total, 6),
+            },
+            "evictions": {
+                "disk": stats.evictions,
+                "memory": stats.memory_evictions,
+            },
+            "store_entries": len(store),
+            "store_disk_bytes": store.disk_bytes(),
+            "store": stats.to_dict(),
+            "service": {
+                key: service.stats.to_dict()[key]
+                for key in (
+                    "requests",
+                    "coalesced",
+                    "cache_hit_rate",
+                    "farm_dispatches",
+                    "completed",
+                    "throughput_rps",
+                )
+            },
+        }
+
+    if store_dir is not None:
+        entry = measure(store_dir)
+    else:
+        with tempfile.TemporaryDirectory(prefix="qpilot-bench-load-") as tmp:
+            entry = measure(tmp)
+    entry["headline_memory_hit_rate"] = entry["hit_rates"]["memory"]
+    entry["headline_p99_ms"] = entry["latency_ms"]["p99"]
+    if record:
+        TrajectoryRecorder(TRAJECTORY_PATH, "service_load").record(entry)
+    return entry
+
+
+def _print_entry(entry: dict) -> None:
+    rates = entry["hit_rates"]
+    lat = entry["latency_ms"]
+    print(
+        f"replay: {entry['requests']} requests over {entry['unique']} unique "
+        f"(zipf s={entry['zipf_s']}, seed={entry['seed']}) in {entry['elapsed_s']:.3f}s"
+    )
+    print(
+        f"tiers: memory {rates['memory']:.3f}, disk {rates['disk']:.3f}, "
+        f"miss {rates['miss']:.3f}, coalesced {rates['coalesced']:.3f}"
+    )
+    print(
+        f"latency: p50 {lat['p50']:.4f}ms, p99 {lat['p99']:.4f}ms, "
+        f"mean {lat['mean']:.4f}ms, max {lat['max']:.4f}ms"
+    )
+    print(
+        f"evictions: disk {entry['evictions']['disk']}, "
+        f"memory {entry['evictions']['memory']}; "
+        f"store: {entry['store_entries']} entries, "
+        f"{entry['store_disk_bytes']} bytes on disk"
+    )
+    print(f"trajectory: {TRAJECTORY_PATH}")
+
+
+def test_service_load_replay():
+    """Pytest entry point: a smaller replay, full trajectory sanity check."""
+    entry = run_load_replay(num_requests=2_000)
+    _print_entry(entry)
+    document = json.loads(TRAJECTORY_PATH.read_text())
+    assert document["entries"], "trajectory file must contain at least one entry"
+    last = document["entries"][-1]
+    rates = last["hit_rates"]
+    assert rates["memory"] > 0, "memory tier never hit — front tier broken?"
+    assert rates["disk"] > 0, "disk tier never hit — sizing no longer forces it?"
+    assert rates["miss"] > 0
+    assert abs(sum(rates.values()) - 1.0) < 1e-6
+    assert last["latency_ms"]["p99"] >= last["latency_ms"]["p50"] >= 0
+    assert last["evictions"]["disk"] > 0 and last["evictions"]["memory"] > 0
+    assert last["store_entries"] <= last["max_entries"]
+    assert last["store_disk_bytes"] > 0
+    assert last["served"] <= last["requests"]
+
+
+def _parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=NUM_REQUESTS,
+        help=f"replay length (default: {NUM_REQUESTS})",
+    )
+    parser.add_argument(
+        "--unique", type=int, default=NUM_UNIQUE,
+        help=f"unique-request universe size (default: {NUM_UNIQUE})",
+    )
+    parser.add_argument(
+        "--zipf-s", type=float, default=ZIPF_S,
+        help=f"Zipf exponent; higher = hotter head (default: {ZIPF_S})",
+    )
+    parser.add_argument("--seed", type=int, default=SEED, help="replay RNG seed")
+    parser.add_argument(
+        "--qubits", type=int, default=NUM_QUBITS,
+        help=f"workload size (default: {NUM_QUBITS})",
+    )
+    parser.add_argument(
+        "--memory-entries", type=int, default=MEMORY_ENTRIES,
+        help=f"in-process LRU tier size (default: {MEMORY_ENTRIES})",
+    )
+    parser.add_argument(
+        "--max-entries", type=int, default=MAX_ENTRIES,
+        help=f"disk-tier LRU bound (default: {MAX_ENTRIES})",
+    )
+    parser.add_argument(
+        "--compress", action="store_true", help="gzip disk entries during the replay"
+    )
+    parser.add_argument(
+        "--chunk-size", type=int, default=CHUNK_SIZE,
+        help=f"stream chunk size (default: {CHUNK_SIZE})",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process", "reference"),
+        default="reference",
+        help="farm backend for the cold compiles (default: reference)",
+    )
+    parser.add_argument(
+        "--store", default=None,
+        help="store directory to replay against (default: fresh temp dir)",
+    )
+    return parser.parse_args()
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    _print_entry(
+        run_load_replay(
+            num_requests=args.requests,
+            unique=args.unique,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+            num_qubits=args.qubits,
+            memory_entries=args.memory_entries,
+            max_entries=args.max_entries,
+            compress=args.compress,
+            chunk_size=args.chunk_size,
+            executor=args.executor,
+            store_dir=args.store,
+        )
+    )

@@ -86,6 +86,14 @@ class DesignPoint:
     record).  Failed points stay *in* the sweep so grids keep their shape,
     but are excluded from :meth:`SweepResult.best` and
     :meth:`SweepResult.as_series`.
+
+    ``job`` is the archive → cache-warming hook: farm-produced points
+    record the grid cell that produced them (``digest``, serialised
+    ``workload`` spec and ``options``) so an archived sweep can be
+    replayed into the schedule store
+    (:meth:`repro.service.CompileService.warm_from`) under the exact
+    digests live traffic will request.  Closure-path points have no farm
+    job and leave it ``None``.
     """
 
     width: int
@@ -95,6 +103,7 @@ class DesignPoint:
     axes: dict[str, Any] = field(default_factory=dict)
     status: str = "ok"
     error: dict[str, Any] | None = None
+    job: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.status not in POINT_STATUSES:
@@ -161,6 +170,11 @@ class DesignPoint:
             "metrics": self.metrics.to_dict() if self.metrics is not None else None,
             "status": self.status,
         }
+        if self.job is not None:
+            # deterministic (digest + canonical spec/options), so it is
+            # kept in canonical mode: warming from a canonical archive
+            # must work too
+            data["job"] = dict(self.job)
         if self.error is not None:
             data["error"] = dict(self.error)
         if canonical:
@@ -188,6 +202,7 @@ class DesignPoint:
             axes=dict(data.get("axes", {})),
             status=data.get("status", "ok"),
             error=data.get("error"),
+            job=data.get("job"),
         )
 
 
@@ -371,6 +386,13 @@ def sweep_grid(
     def to_point(index: int, result: Any) -> DesignPoint:
         job = jobs[index]
         report = farm.job_reports.get(index, {})
+        # the archive → warm hook: enough to rebuild this exact FarmJob
+        # (and hence its store digest) from the serialised sweep alone
+        job_record = {
+            "digest": job.digest(),
+            "workload": job.workload.to_dict(),
+            "options": job.options.to_dict(),
+        }
         if isinstance(result, FarmJobError):
             return DesignPoint(
                 width=job.config.slm_cols,
@@ -379,6 +401,7 @@ def sweep_grid(
                 axes=point_axes[index],
                 status="failed",
                 error=result.to_dict(),
+                job=job_record,
             )
         return DesignPoint(
             width=job.config.slm_cols,
@@ -386,6 +409,7 @@ def sweep_grid(
             metrics=result,
             axes=point_axes[index],
             status=report.get("status", "ok"),
+            job=job_record,
         )
 
     if stream:

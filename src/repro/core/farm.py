@@ -77,7 +77,7 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, ClassVar, Iterable, Iterator, Sequence
 
 from repro.utils.faults import FaultPlan, deterministic_draw, inject_compile_faults
@@ -294,6 +294,33 @@ class WorkloadSpec:
         )
         return hashlib.sha1(payload.encode()).hexdigest()
 
+    # -- archiving ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able spec, the workload half of a sweep archive's job record."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "num_qubits": self.num_qubits,
+            "params": [[key, value] for key, value in self.params],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WorkloadSpec":
+        """Rebuild a spec from :meth:`to_dict` (or its JSON round-trip).
+
+        ``_canonical_params`` re-freezes list values back into tuples, so
+        a round-tripped spec is *equal* to the original and shares its
+        :meth:`fingerprint` — which is what lets an archived sweep warm
+        the schedule store under the exact digests live traffic will ask
+        for.
+        """
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            num_qubits=int(data["num_qubits"]),
+            params=_canonical_params({str(k): v for k, v in data.get("params", ())}),
+        )
+
 
 @dataclass(frozen=True)
 class FarmOptions:
@@ -325,6 +352,46 @@ class FarmOptions:
     def key(self) -> str:
         """Canonical memo key (dataclass reprs are deterministic)."""
         return repr((self.generic, self.qsim, self.qaoa, self.include_sabre))
+
+    # -- archiving ------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able options — ``faults`` excluded, exactly like :meth:`key`.
+
+        A fault plan never changes what a job computes, so it has no
+        place in an archive meant to reproduce the job.
+        """
+        data: dict[str, Any] = {"label": self.label, "include_sabre": self.include_sabre}
+        for name in ("generic", "qsim", "qaoa"):
+            value = getattr(self, name)
+            data[name] = None if value is None else asdict(value)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FarmOptions":
+        """Rebuild options from :meth:`to_dict` (or its JSON round-trip)."""
+
+        def freeze(value):
+            if isinstance(value, list):
+                return tuple(freeze(v) for v in value)
+            return value
+
+        router_classes = {
+            "generic": GenericRouterOptions,
+            "qsim": QSimRouterOptions,
+            "qaoa": QAOARouterOptions,
+        }
+        kwargs: dict[str, Any] = {
+            "label": str(data.get("label", "default")),
+            "include_sabre": bool(data.get("include_sabre", False)),
+        }
+        for name, klass in router_classes.items():
+            value = data.get(name)
+            kwargs[name] = (
+                None
+                if value is None
+                else klass(**{k: freeze(v) for k, v in value.items()})
+            )
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,7 @@ Usage (with ``PYTHONPATH=src`` or the package installed)::
     python -m repro.service sweep --store /tmp/qpilot-store \
         --kind qaoa --qubits 16 --edge-probability 0.3 --widths 4,8,16
 
+    python -m repro.service warm --store /tmp/qpilot-store --sweep archive.json
     python -m repro.service stats --store /tmp/qpilot-store
     python -m repro.service clear --store /tmp/qpilot-store
 
@@ -15,7 +16,11 @@ Usage (with ``PYTHONPATH=src`` or the package installed)::
 the content-addressed store or freshly routed; ``sweep`` streams one
 request per width, printing each design point as it resolves.  Both
 print service statistics afterwards (``--json`` for machine-readable
-output).
+output).  ``warm`` replays an archived DSE trajectory
+(``SweepResult.to_json`` output) into the store so live traffic finds it
+hot; ``stats`` reports entry count and on-disk bytes.  ``--memory-entries``
+sizes the in-process LRU front tier and ``--compress`` gzips new disk
+entries (old entries stay readable).
 """
 
 from __future__ import annotations
@@ -23,13 +28,25 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Sequence
 
+from repro.core.dse import SweepResult
 from repro.core.farm import FarmOptions, WorkloadSpec
 from repro.service.queue import CompileRequest
-from repro.service.service import CompileService
+from repro.service.service import DEFAULT_MEMORY_ENTRIES, CompileService
 from repro.service.store import ScheduleStore
 from repro.utils.faults import FaultPlan
+
+
+def _service_from_args(args: argparse.Namespace) -> CompileService:
+    return CompileService(
+        args.store,
+        executor=args.executor,
+        max_workers=args.jobs,
+        memory_entries=args.memory_entries,
+        compress=args.compress,
+    )
 
 
 def _comma_ints(text: str) -> tuple[int, ...]:
@@ -110,7 +127,7 @@ def _response_dict(response) -> dict:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
+    service = _service_from_args(args)
     request = CompileRequest.for_width(
         _workload_from_args(args), args.width, options=_request_options(args)
     )
@@ -131,7 +148,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    service = CompileService(args.store, executor=args.executor, max_workers=args.jobs)
+    service = _service_from_args(args)
     workload = _workload_from_args(args)
     options = _request_options(args)
     requests = [
@@ -161,13 +178,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if service.queue.dead_letters else 0
 
 
+def _cmd_warm(args: argparse.Namespace) -> int:
+    sweep = SweepResult.from_json(Path(args.sweep).read_text(encoding="utf-8"))
+    service = _service_from_args(args)
+    counts = service.warm_from(sweep)
+    if args.json:
+        payload = dict(counts)
+        payload["stats"] = _stats_dict(service)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"warm: {counts['points']} points, {counts['warmed']} warmed, "
+        f"{counts['already']} already cached, {counts['skipped']} skipped"
+    )
+    _print_stats(service)
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     store = ScheduleStore(args.store)
-    data = {"root": str(store.root), "entries": len(store)}
+    data = {
+        "root": str(store.root),
+        "entries": len(store),
+        "disk_bytes": store.disk_bytes(),
+    }
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
-        print(f"store {data['root']}: {data['entries']} entries")
+        print(f"store {data['root']}: {data['entries']} entries, {data['disk_bytes']} bytes")
     return 0
 
 
@@ -198,16 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_cmd.set_defaults(func=_cmd_sweep)
 
+    warm_cmd = commands.add_parser(
+        "warm", help="pre-warm a store from an archived DSE trajectory"
+    )
+    warm_cmd.add_argument(
+        "--sweep", required=True, help="SweepResult JSON file (core.dse sweep archive)"
+    )
+    warm_cmd.set_defaults(func=_cmd_warm)
+
     stats_cmd = commands.add_parser("stats", help="inspect a schedule store")
     stats_cmd.set_defaults(func=_cmd_stats)
 
     clear_cmd = commands.add_parser("clear", help="empty a schedule store")
     clear_cmd.set_defaults(func=_cmd_clear)
 
-    for sub in (compile_cmd, sweep_cmd, stats_cmd, clear_cmd):
+    for sub in (compile_cmd, sweep_cmd, warm_cmd, stats_cmd, clear_cmd):
         sub.add_argument("--store", required=True, help="schedule-store directory")
         sub.add_argument("--json", action="store_true", help="machine-readable output")
-    for sub in (compile_cmd, sweep_cmd):
+    for sub in (compile_cmd, sweep_cmd, warm_cmd):
         sub.add_argument(
             "--executor",
             choices=("thread", "process", "reference"),
@@ -219,6 +265,15 @@ def build_parser() -> argparse.ArgumentParser:
             "--faults",
             default=None,
             help="JSON FaultPlan for chaos testing (default: QPILOT_FAULTS env)",
+        )
+        sub.add_argument(
+            "--memory-entries",
+            type=int,
+            default=DEFAULT_MEMORY_ENTRIES,
+            help=f"in-process LRU tier size (default: {DEFAULT_MEMORY_ENTRIES})",
+        )
+        sub.add_argument(
+            "--compress", action="store_true", help="gzip new store entries on disk"
         )
     return parser
 

@@ -14,6 +14,12 @@ long-lived serving layer:
   finishes), so arbitrarily large request sweeps flow through without
   materialising the grid.
 
+A service built from a store *path* fronts the disk store with the
+in-memory LRU tier (:data:`DEFAULT_MEMORY_ENTRIES`), so the hot head of
+real traffic is served without any disk I/O; :meth:`~CompileService.warm_from`
+pre-populates the store from an archived
+:class:`~repro.core.dse.SweepResult` trajectory.
+
 ``ServiceStats`` aggregates the serving picture: request counts,
 coalescing, cache hit rate, farm dispatches, queue depth and throughput.
 The differential guarantees compose: the farm's executor oracle makes
@@ -28,15 +34,19 @@ import logging
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
 from repro.core.farm import (
     CompileFarm,
     FarmJobError,
     FarmJobResult,
+    FarmOptions,
     FarmPolicy,
     PointMetrics,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dse import SweepResult
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import QPilotError
 from repro.service.queue import FAILED, CompileRequest, JobQueue, QueuedJob
@@ -52,6 +62,12 @@ SOURCE_COMPILED = "compiled"
 #: Requests consumed per :meth:`CompileService.stream` chunk when neither
 #: ``chunk_size`` nor the service ``batch_size`` is set.
 DEFAULT_STREAM_CHUNK = 32
+
+#: Memory-tier size the service gives a store it constructs itself (pass
+#: ``memory_entries=None`` — or a ready-made :class:`ScheduleStore` — to
+#: opt out).  A serving process wants its hot head answered without disk
+#: I/O; 256 parsed entries is a few MB for typical schedules.
+DEFAULT_MEMORY_ENTRIES = 256
 
 
 @dataclass(frozen=True)
@@ -163,6 +179,10 @@ class CompileService:
     ----------
     store:
         A :class:`ScheduleStore` or a path to (create and) use as one.
+        When constructing from a path the service turns the in-memory
+        LRU front tier on (:data:`DEFAULT_MEMORY_ENTRIES`; override with
+        ``memory_entries``, gzip the disk tier with ``compress=True``).
+        A ready-made store is used exactly as configured.
     executor:
         Farm backend for cache misses.  Defaults to ``"thread"`` — a
         serving process wants no spawn cost and its traffic is dominated
@@ -186,8 +206,14 @@ class CompileService:
         max_workers: int | None = None,
         batch_size: int | None = None,
         policy: FarmPolicy | None = None,
+        memory_entries: int | None = DEFAULT_MEMORY_ENTRIES,
+        compress: bool = False,
     ):
-        self.store = store if isinstance(store, ScheduleStore) else ScheduleStore(store)
+        self.store = (
+            store
+            if isinstance(store, ScheduleStore)
+            else ScheduleStore(store, memory_entries=memory_entries, compress=compress)
+        )
         self.farm = CompileFarm(executor, max_workers=max_workers, policy=policy)
         self.queue = JobQueue()
         self.batch_size = batch_size
@@ -289,9 +315,13 @@ class CompileService:
                     if not ticket.done and not ticket.failed:
                         ticket.fail(exc)
                 raise
-        # per *submission*, like stream(): coalesced waiters each count as
-        # a completed request, so completed always converges on requests
-        self._stats.completed += sum(ticket.submissions for ticket in batch)
+        # per *resolved* submission, exactly like stream(): coalesced
+        # waiters each count as a completed request, but a failed
+        # ticket's submissions were never served and must not inflate
+        # completed (and through it throughput_rps) under faults
+        self._stats.completed += sum(
+            ticket.submissions for ticket in batch if ticket.done
+        )
         self._stats.busy_s += time.perf_counter() - start
         return batch
 
@@ -316,6 +346,53 @@ class CompileService:
                 raise QPilotError("ticket pending but queue empty — ticket failed?")
             self.process_batch()
         return ticket.response
+
+    # -- cache warming ---------------------------------------------------
+    def warm_from(self, sweep: "SweepResult") -> dict[str, int]:
+        """Warm the store from an archived DSE trajectory.
+
+        ``sweep`` is a :class:`~repro.core.dse.SweepResult` — typically
+        ``SweepResult.from_json`` of an archive file.  Every point whose
+        job record (``DesignPoint.job``, written by ``sweep_grid``) can
+        be rebuilt into a :class:`CompileRequest` and whose digest is not
+        already servable gets compiled through the normal streaming path
+        and persisted — so a store can be pre-populated from yesterday's
+        trajectories before today's traffic arrives.
+
+        Returns counts: ``points`` (seen), ``warmed`` (compiled and
+        persisted now), ``already`` (servable before the call) and
+        ``skipped`` (failed points and pre-job-record archives).
+        """
+        from repro.core.farm import WorkloadSpec
+
+        counts = {"points": 0, "warmed": 0, "already": 0, "skipped": 0}
+        requests: list[CompileRequest] = []
+        seen: set[str] = set()
+        for point in sweep.points:
+            counts["points"] += 1
+            record = getattr(point, "job", None)
+            if point.failed or not record:
+                counts["skipped"] += 1
+                continue
+            try:
+                request = CompileRequest(
+                    workload=WorkloadSpec.from_dict(record["workload"]),
+                    config=point.config,
+                    options=FarmOptions.from_dict(record.get("options") or {}),
+                )
+                digest = request.digest()
+            except (KeyError, TypeError, ValueError, QPilotError):
+                counts["skipped"] += 1
+                continue
+            if digest in seen or digest in self.store:
+                counts["already"] += 1
+                continue
+            seen.add(digest)
+            requests.append(request)
+        for _ in self.stream(requests):
+            pass  # responses persist as they land; warming wants no output
+        counts["warmed"] = len(requests)
+        return counts
 
     # -- streaming -------------------------------------------------------
     def stream(

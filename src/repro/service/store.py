@@ -1,4 +1,4 @@
-"""Content-addressed, disk-backed schedule store.
+"""Content-addressed, multi-tier schedule store.
 
 The compile service's persistence layer: every compiled schedule is
 written to disk under the sha1 digest of its farm job key
@@ -6,6 +6,26 @@ written to disk under the sha1 digest of its farm job key
 :meth:`repro.core.farm.FarmJob.digest`), so a repeat of any grid cell the
 farm would have memoised *in memory* is answered from disk instead —
 across service restarts, processes and machines sharing the store root.
+
+The store is two-tiered when ``memory_entries`` is set: an in-process
+LRU dict of :class:`StoreEntry` objects fronts the disk tier, so the hot
+head of a traffic distribution is served with **zero** disk I/O — no
+``read_text``, no ``stat``, no ``utime`` (pinned by a test that
+monkeypatches exactly those).  Entries are immutable once written (the
+digest *is* the content), which is what makes the memory copy safe to
+serve even after another daemon rewrote or evicted the disk entry.  The
+trade-off is documented and deliberate: a memory-tier hit does not
+refresh the disk entry's mtime, so disk LRU ranks entries by their last
+*disk* access — an entry hot enough to live in memory can be evicted
+from disk and still be served, and falls back to a recompile only after
+it also ages out of memory.
+
+Entries can optionally be gzip-compressed on disk (``compress=True``) —
+reads sniff the two magic bytes, so compressed and uncompressed entries
+coexist in one root and old stores stay readable.  The entry schema is
+versioned: version-2 entries record their ``codec``; version-1 entries
+(pre-compression) are still parsed and are migrated in place on first
+read (rewritten at the current schema and the store's codec).
 
 Entries are canonical JSON (:func:`repro.utils.serialization.canonical_json`)
 wrapping the schedule's canonical dict, its compact
@@ -39,10 +59,13 @@ digests, and per-digest write attempts are counted so bounded rules
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import tempfile
 import time
+import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
@@ -58,7 +81,14 @@ from repro.utils.faults import (
 )
 from repro.utils.serialization import canonical_json, schedule_from_dict
 
-_STORE_SCHEMA_VERSION = 1
+_STORE_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`StoreEntry.from_dict` still parses.  Version 1
+#: predates compression (no ``codec`` field, always raw JSON); reading
+#: one migrates it in place to the current schema.
+_SUPPORTED_SCHEMA_VERSIONS = (1, _STORE_SCHEMA_VERSION)
+
+_GZIP_MAGIC = b"\x1f\x8b"
 
 #: Age (seconds) past which another daemon's eviction lock is presumed
 #: abandoned (crashed holder) and broken.  Eviction scans take
@@ -68,13 +98,24 @@ _EVICT_LOCK_STALE_S = 30.0
 
 @dataclass
 class StoreStats:
-    """Counters of one store's lifetime (since construction)."""
+    """Counters of one store's lifetime (since construction).
+
+    ``hits`` is the total across tiers; ``memory_hits`` + ``disk_hits``
+    always equals it, so per-tier hit rates are first-class (the load
+    benchmark's headline numbers).  ``evictions`` counts disk-tier LRU
+    evictions, ``memory_evictions`` the in-process tier's.  ``migrated``
+    counts legacy schema-version-1 entries rewritten on read.
+    """
 
     hits: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    memory_evictions: int = 0
     corrupt: int = 0
+    migrated: int = 0
 
     @property
     def lookups(self) -> int:
@@ -85,14 +126,30 @@ class StoreStats:
         """Hits / lookups, or None before the first lookup."""
         return self.hits / self.lookups if self.lookups else None
 
+    @property
+    def memory_hit_rate(self) -> float | None:
+        """Memory-tier hits / lookups, or None before the first lookup."""
+        return self.memory_hits / self.lookups if self.lookups else None
+
+    @property
+    def disk_hit_rate(self) -> float | None:
+        """Disk-tier hits / lookups, or None before the first lookup."""
+        return self.disk_hits / self.lookups if self.lookups else None
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "hits": self.hits,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "memory_evictions": self.memory_evictions,
             "corrupt": self.corrupt,
+            "migrated": self.migrated,
             "hit_rate": self.hit_rate,
+            "memory_hit_rate": self.memory_hit_rate,
+            "disk_hit_rate": self.disk_hit_rate,
         }
 
 
@@ -134,7 +191,13 @@ class StoreEntry:
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "StoreEntry":
-        if data.get("schema_version") != _STORE_SCHEMA_VERSION:
+        """Parse an entry dict of any supported schema version.
+
+        Version 1 (pre-compression) lacks the ``codec`` field but is
+        otherwise identical; :meth:`ScheduleStore.get` migrates such
+        entries in place after a successful parse.
+        """
+        if data.get("schema_version") not in _SUPPORTED_SCHEMA_VERSIONS:
             raise QPilotError(
                 f"unsupported store entry schema version {data.get('schema_version')!r}"
             )
@@ -147,9 +210,9 @@ class StoreEntry:
 
 
 class ScheduleStore:
-    """Disk-backed, content-addressed cache of compiled schedules.
+    """Multi-tier, content-addressed cache of compiled schedules.
 
-    Entries live at ``root/<digest[:2]>/<digest>.json`` (two-level
+    Disk entries live at ``root/<digest[:2]>/<digest>.json`` (two-level
     sharding keeps directories small on big stores).  The store is safe
     to share between service instances pointed at the same root — atomic
     writes mean concurrent writers of the *same* digest converge on
@@ -157,6 +220,14 @@ class ScheduleStore:
     entry count (kept incrementally; eviction scans resync it from
     disk), so with several concurrent writers the bound is approximate
     between evictions, never corrupt.
+
+    ``memory_entries`` turns on the in-process LRU front tier: the last N
+    distinct entries read or written are kept as parsed
+    :class:`StoreEntry` objects and served without touching the disk at
+    all.  ``compress=True`` gzips entry files on write (reads always
+    sniff, so mixed roots work); the compressed bytes are deterministic
+    (``mtime=0``), preserving write-once convergence between concurrent
+    writers of one digest.
     """
 
     def __init__(
@@ -164,15 +235,23 @@ class ScheduleStore:
         root: str | Path,
         *,
         max_entries: int | None = None,
+        memory_entries: int | None = None,
+        compress: bool = False,
         faults: FaultPlan | None = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise QPilotError("max_entries must be at least 1")
+        if memory_entries is not None and memory_entries < 1:
+            raise QPilotError("memory_entries must be at least 1")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
+        self.memory_entries = memory_entries
+        self.compress = compress
         self.faults = faults
         self.stats = StoreStats()
+        # the memory tier: digest -> StoreEntry, most-recently-used last
+        self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
         # entry count, maintained incrementally so bounded-store writes
         # don't re-scan the whole tree; None until first needed
         self._count: int | None = None
@@ -193,44 +272,107 @@ class ScheduleStore:
         return self._count
 
     def __contains__(self, digest: str) -> bool:
-        return self.path_for(digest).exists()
+        """Whether a lookup of ``digest`` would be served (either tier)."""
+        return digest in self._memory or self.path_for(digest).exists()
 
     def digests(self) -> list[str]:
         """Digests of all entries currently on disk (sorted)."""
         return sorted(path.stem for path in self._entry_paths())
 
+    def disk_bytes(self) -> int:
+        """Total on-disk size of all entry files, in bytes."""
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    # -- memory tier ----------------------------------------------------
+    def _memory_store(self, digest: str, entry: StoreEntry) -> None:
+        """Insert/refresh an entry in the LRU front tier (bounded)."""
+        if self.memory_entries is None:
+            return
+        self._memory[digest] = entry
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.memory_evictions += 1
+
     # -- lookup ---------------------------------------------------------
     def get(self, digest: str) -> StoreEntry | None:
         """Fetch an entry, or None on miss.
 
-        Corrupted entries (truncated writes, garbled bytes, wrong schema,
-        digest mismatch) count as misses: the bad file is removed and the
-        caller recompiles, which rewrites a good entry.
+        The memory tier answers first — a memory hit performs zero disk
+        I/O.  Corrupted disk entries (truncated writes, garbled bytes,
+        wrong schema, digest mismatch) count as misses: the bad file is
+        removed and the caller recompiles, which rewrites a good entry.
+        Legacy schema-version-1 entries parse fine and are migrated in
+        place (rewritten at the current schema and codec).
         """
+        memory_entry = self._memory.get(digest)
+        if memory_entry is not None:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return memory_entry
         path = self.path_for(digest)
         try:
-            text = path.read_text()
+            raw = path.read_bytes()
         except OSError:
             self.stats.misses += 1
             return None
         try:
-            entry = StoreEntry.from_dict(json.loads(text))
+            if raw[:2] == _GZIP_MAGIC:
+                text = gzip.decompress(raw).decode("utf-8")
+            else:
+                text = raw.decode("utf-8")
+            data = json.loads(text)
+            entry = StoreEntry.from_dict(data)
             if entry.digest != digest:
                 raise QPilotError(f"store entry {path} digest mismatch")
-        except (ValueError, KeyError, TypeError, AttributeError, QPilotError):
+        except (
+            ValueError,
+            KeyError,
+            TypeError,
+            AttributeError,
+            EOFError,
+            OSError,  # gzip.BadGzipFile on garbled compressed entries
+            zlib.error,
+            QPilotError,
+        ):
             self.stats.corrupt += 1
             self.stats.misses += 1
-            # missing_ok: a concurrent daemon may be repairing the same
-            # bad entry — both unlinking it must not raise in either
+            # a concurrent daemon may have repaired the same bad entry
+            # first — its unlink must not crash us, and must not be
+            # double-counted: only decrement for a file *we* removed
+            # (otherwise the cached count drifts low and silently defers
+            # eviction)
             try:
-                path.unlink(missing_ok=True)
-                if self._count is not None:
-                    self._count -= 1
+                path.unlink()
+            except FileNotFoundError:
+                pass  # already removed by the other daemon
             except OSError:
                 pass
+            else:
+                if self._count is not None:
+                    self._count -= 1
             return None
         self.stats.hits += 1
-        self._touch(path)
+        self.stats.disk_hits += 1
+        if data.get("schema_version") != _STORE_SCHEMA_VERSION:
+            # migration-on-read: rewrite the legacy entry at the current
+            # schema (and this store's codec); the rewrite refreshes the
+            # mtime, doubling as the LRU touch
+            self.stats.migrated += 1
+            try:
+                self._write_entry_file(path, entry)
+            except OSError:
+                self._touch(path)  # migration is best-effort, LRU is not
+        else:
+            self._touch(path)
+        self._memory_store(digest, entry)
         return entry
 
     # -- insert ---------------------------------------------------------
@@ -253,21 +395,8 @@ class ScheduleStore:
             )
         entry = StoreEntry.from_result(digest, result)
         path = self.path_for(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         existed = path.exists()
-        handle, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(handle, "w") as tmp:
-                tmp.write(canonical_json(entry.to_dict()) + "\n")
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        self._write_entry_file(path, entry)
         self.stats.writes += 1
         if not existed and self._count is not None:
             self._count += 1
@@ -275,15 +404,44 @@ class ScheduleStore:
             CORRUPT_STORE_ENTRY, digest, attempt
         ):
             # garble the just-written entry: the next read must treat it
-            # as a miss, unlink it, and let a recompile repair it
+            # as a miss, unlink it, and let a recompile repair it — drop
+            # the memory copy too, or the front tier would mask the
+            # injected corruption from the very test exercising it
             path.write_text('{"schema_version": "corrupted-by-fault-injection"')
+            self._memory.pop(digest, None)
+        else:
+            self._memory_store(digest, entry)
         if self.max_entries is not None:
             self._evict_over_limit(keep=path)
         return entry
 
+    def _write_entry_file(self, path: Path, entry: StoreEntry) -> None:
+        """Atomically write one entry file at the store's current codec."""
+        data = entry.to_dict()
+        data["codec"] = "gzip" if self.compress else "raw"
+        payload = (canonical_json(data) + "\n").encode("utf-8")
+        if self.compress:
+            # mtime=0 keeps the compressed bytes deterministic, so
+            # concurrent writers of one digest still converge bit-for-bit
+            payload = gzip.compress(payload, mtime=0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{entry.digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                tmp.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
     # -- maintenance ----------------------------------------------------
     def clear(self) -> int:
-        """Remove every entry; returns how many were removed."""
+        """Remove every entry (both tiers); returns how many files were removed."""
         removed = 0
         for path in list(self._entry_paths()):
             try:
@@ -291,7 +449,11 @@ class ScheduleStore:
                 removed += 1
             except OSError:
                 pass
+        self._memory.clear()
         self._count = None  # recount lazily (unlinks may have failed)
+        # a long-lived daemon clearing its store starts a fresh fault
+        # epoch too — per-digest write attempts must not leak forever
+        self._write_attempts.clear()
         return removed
 
     def _touch(self, path: Path) -> None:
@@ -369,13 +531,17 @@ class ScheduleStore:
             if excess <= 0:
                 return
 
-            def mtime(path: Path) -> float:
+            def lru_key(path: Path) -> tuple[float, str]:
+                # mtime alone ties on coarse-granularity filesystems for
+                # entries written within one quantum, making eviction
+                # order depend on directory-scan order; the name breaks
+                # the tie deterministically
                 try:
-                    return path.stat().st_mtime
+                    return (path.stat().st_mtime, path.name)
                 except OSError:
-                    return 0.0
+                    return (0.0, path.name)
 
-            for path in sorted(paths, key=mtime):
+            for path in sorted(paths, key=lru_key):
                 if excess <= 0:
                     break
                 if path == keep:

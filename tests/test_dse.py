@@ -154,6 +154,35 @@ class TestJsonRoundTrip:
         assert reference.to_json(canonical=True) == parallel.to_json(canonical=True)
 
 
+class TestJobRecords:
+    """sweep_grid points carry the archive → cache-warming hook."""
+
+    def test_points_record_rebuildable_farm_jobs(self):
+        from repro.core.farm import FarmJob, FarmOptions
+
+        spec = WorkloadSpec.qsim(8, 0.3, num_strings=6, seed=4)
+        sweep = sweep_grid(spec, widths=(4, 8), executor="reference")
+        for point in sweep.points:
+            record = point.job
+            assert record is not None
+            rebuilt = FarmJob(
+                workload=WorkloadSpec.from_dict(record["workload"]),
+                config=point.config,
+                options=FarmOptions.from_dict(record["options"]),
+            )
+            # the digest survives serialisation: warmed entries land under
+            # the exact keys live traffic will request
+            assert rebuilt.digest() == record["digest"]
+
+    def test_job_records_survive_the_archive_round_trip(self):
+        spec = WorkloadSpec.random_circuit(8, 3, seed=9)
+        sweep = sweep_grid(spec, widths=(4,), executor="reference")
+        clone = SweepResult.from_json(sweep.to_json())
+        assert [p.job for p in clone.points] == [p.job for p in sweep.points]
+        canonical = SweepResult.from_json(sweep.to_json(canonical=True))
+        assert [p.job for p in canonical.points] == [p.job for p in sweep.points]
+
+
 class TestGrouping:
     def test_by_workload_splits_points(self):
         sweep = SweepResult(

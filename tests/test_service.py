@@ -311,6 +311,230 @@ class TestStreaming:
             ].metrics.deterministic()
 
 
+class TestStatsUnderFaults:
+    """Regression: ``completed`` (and through it ``throughput_rps``) must
+    count only *resolved* submissions — the batch path used to count a
+    failed ticket's coalesced submissions while the stream path did not,
+    so the two serving paths disagreed about identical traffic."""
+
+    def _requests_with_one_failing_family(self) -> list[CompileRequest]:
+        from repro.utils.faults import FaultPlan
+
+        options = FarmOptions(
+            faults=FaultPlan.single("raise-in-compile", match="qsim", max_fires=None)
+        )
+
+        def with_faults(request: CompileRequest) -> CompileRequest:
+            return CompileRequest(
+                workload=request.workload, config=request.config, options=options
+            )
+
+        # circuit ok, qsim fails (twice: a coalesced duplicate), qaoa ok
+        return [
+            with_faults(FAMILY_REQUESTS[0]),
+            with_faults(FAMILY_REQUESTS[1]),
+            with_faults(FAMILY_REQUESTS[1]),
+            with_faults(FAMILY_REQUESTS[2]),
+        ]
+
+    def test_batch_and_stream_agree_on_completed(self, tmp_path):
+        requests = self._requests_with_one_failing_family()
+
+        batch_service = CompileService(tmp_path / "batch", executor="reference")
+        batch_service.submit_all(requests)
+        batch_service.drain()
+
+        stream_service = CompileService(tmp_path / "stream", executor="reference")
+        responses = list(stream_service.stream(requests))
+
+        # 4 submissions, 2 of which share the failing qsim ticket: only
+        # the 2 healthy ones were actually served on either path
+        assert len(responses) == 2
+        assert stream_service.stats.completed == 2
+        assert batch_service.stats.completed == 2, (
+            "process_batch counted a failed ticket's submissions as completed"
+        )
+        for service in (batch_service, stream_service):
+            assert service.stats.requests == 4
+            assert service.stats.failed_jobs == 1
+            assert len(service.queue.dead_letters) == 1
+            assert service.queue.dead_letters[0].submissions == 2
+
+    def test_failed_batch_leaves_throughput_finite_and_honest(self, tmp_path):
+        """With every request failing, completed stays 0 on both paths."""
+        from repro.utils.faults import FaultPlan
+
+        options = FarmOptions(
+            faults=FaultPlan.single("raise-in-compile", max_fires=None)
+        )
+        request = CompileRequest(
+            workload=FAMILY_REQUESTS[0].workload,
+            config=FAMILY_REQUESTS[0].config,
+            options=options,
+        )
+        service = service_for(tmp_path)
+        service.submit(request)
+        service.submit(request)  # coalesced waiter
+        service.process_batch()
+        assert service.stats.completed == 0
+        assert service.stats.throughput_rps is None or service.stats.throughput_rps == 0
+
+
+class TestMemoryTierServing:
+    """A service built from a path fronts its store with the memory tier."""
+
+    def test_path_built_service_defaults_memory_tier_on(self, tmp_path):
+        from repro.service.service import DEFAULT_MEMORY_ENTRIES
+
+        service = service_for(tmp_path)
+        assert service.store.memory_entries == DEFAULT_MEMORY_ENTRIES
+        assert service_for(tmp_path / "off", memory_entries=None).store.memory_entries is None
+
+    def test_warm_repeat_is_served_without_any_disk_read(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        request = FAMILY_REQUESTS[0]
+        service = service_for(tmp_path)
+        cold = service.compile(request)
+
+        def boom(*args, **kwargs):  # pragma: no cover - fails the test if hit
+            raise AssertionError("warm serving touched the disk")
+
+        monkeypatch.setattr(Path, "read_text", boom)
+        monkeypatch.setattr(Path, "read_bytes", boom)
+        import os
+
+        monkeypatch.setattr(os, "utime", boom)
+        warm = service.compile(request)
+        assert warm.source == "cache"
+        assert service.store.stats.memory_hits == 1
+        assert warm.schedule_json() == cold.schedule_json()
+
+    def test_compressed_service_serves_identical_bytes(self, tmp_path):
+        plain = service_for(tmp_path / "plain")
+        gz = service_for(tmp_path / "gz", compress=True)
+        request = FAMILY_REQUESTS[1]
+        a = plain.compile(request)
+        b = gz.compile(request)
+        assert a.schedule_json() == b.schedule_json()
+        # and the compressed store really serves across a restart
+        reborn = service_for(tmp_path / "gz", compress=True)
+        assert reborn.compile(request).source == "cache"
+
+
+class TestUnboundedStreaming:
+    """stream() fed by generators it must never exhaust up front."""
+
+    def _endless(self, sequence, pulled):
+        for request in sequence:
+            pulled.append(request)
+            yield request
+
+    def test_cross_chunk_duplicate_from_generator_hits_store(self, tmp_path):
+        service = service_for(tmp_path)
+        pulled: list[CompileRequest] = []
+        sequence = [FAMILY_REQUESTS[0], FAMILY_REQUESTS[1], FAMILY_REQUESTS[0]] * 5
+        iterator = service.stream(self._endless(sequence, pulled), chunk_size=2)
+        responses = [next(iterator) for _ in range(4)]
+        # chunk 1 = [r0, r1] cold; chunk 2 = [r0(dup), r0] -> store hits
+        assert [r.source for r in responses] == ["compiled", "compiled", "cache", "cache"]
+        assert len(pulled) <= 5, "stream consumed far beyond the served chunks"
+        assert service.stats.farm_dispatches == 2
+        iterator.close()
+
+    def test_in_chunk_duplicates_coalesce_from_generator(self, tmp_path):
+        service = service_for(tmp_path)
+        pulled: list[CompileRequest] = []
+        sequence = [FAMILY_REQUESTS[0], FAMILY_REQUESTS[0], FAMILY_REQUESTS[1]]
+        responses = list(
+            service.stream(self._endless(sequence, pulled), chunk_size=3)
+        )
+        assert len(responses) == 3  # output count == input count
+        assert service.stats.farm_dispatches == 2  # duplicate shared one compile
+        assert service.stats.coalesced == 1
+        assert responses[0].schedule_json() == responses[1].schedule_json()
+
+    def test_failed_ticket_shrinks_output_by_its_submissions(self, tmp_path):
+        from repro.utils.faults import FaultPlan
+
+        options = FarmOptions(
+            faults=FaultPlan.single("raise-in-compile", match="qsim", max_fires=None)
+        )
+        failing = CompileRequest(
+            workload=FAMILY_REQUESTS[1].workload,
+            config=FAMILY_REQUESTS[1].config,
+            options=options,
+        )
+        ok = [
+            CompileRequest(
+                workload=r.workload, config=r.config, options=options
+            )
+            for r in (FAMILY_REQUESTS[0], FAMILY_REQUESTS[2])
+        ]
+        service = service_for(tmp_path)
+        pulled: list[CompileRequest] = []
+        sequence = [ok[0], failing, failing, ok[1]]
+        responses = list(service.stream(self._endless(sequence, pulled), chunk_size=4))
+        # 4 requests in, 2 responses out: the failing ticket absorbed 2
+        assert len(responses) == 2
+        assert {r.digest for r in responses} == {r.digest() for r in ok}
+        assert len(service.queue.dead_letters) == 1
+        assert service.queue.dead_letters[0].submissions == 2
+        assert service.stats.completed == 2
+
+
+class TestWarmFrom:
+    """warm_from: archived DSE trajectories pre-populate the store."""
+
+    def _sweep(self):
+        from repro.core import sweep_grid
+
+        specs = [r.workload for r in FAMILY_REQUESTS]
+        return sweep_grid(specs, widths=(4,), executor="reference")
+
+    def test_warm_from_archive_round_trip_serves_live_traffic(self, tmp_path):
+        from repro.core.dse import SweepResult
+
+        archived = SweepResult.from_json(self._sweep().to_json())
+        service = service_for(tmp_path)
+        counts = service.warm_from(archived)
+        assert counts == {"points": 3, "warmed": 3, "already": 0, "skipped": 0}
+
+        # live traffic for the same grid must now be pure cache hits
+        def forbidden(jobs, **kwargs):  # pragma: no cover - fails the test if hit
+            raise AssertionError("farm dispatched on a warmed key")
+
+        service.farm.run = forbidden
+        service.farm.iter_results = forbidden
+        from repro.core.farm import compile_farm_job_with_schedule
+        from repro.utils.serialization import canonical_json
+
+        for request in FAMILY_REQUESTS:
+            response = service.compile(request)
+            assert response.source == "cache"
+            fresh = compile_farm_job_with_schedule(request.job())
+            assert response.schedule_json() == canonical_json(fresh.schedule)
+
+    def test_warm_from_is_idempotent(self, tmp_path):
+        sweep = self._sweep()
+        service = service_for(tmp_path)
+        first = service.warm_from(sweep)
+        second = service.warm_from(sweep)
+        assert first["warmed"] == 3
+        assert second == {"points": 3, "warmed": 0, "already": 3, "skipped": 0}
+
+    def test_warm_from_skips_failed_and_recordless_points(self, tmp_path):
+        from repro.core.dse import SweepResult
+
+        sweep = self._sweep()
+        sweep.points[0].status = "failed"  # a dead grid cell
+        sweep.points[1].job = None  # a pre-job-record archive
+        archived = SweepResult.from_json(sweep.to_json())
+        service = service_for(tmp_path)
+        counts = service.warm_from(archived)
+        assert counts == {"points": 3, "warmed": 1, "already": 0, "skipped": 2}
+
+
 class TestServiceCli:
     def _compile_args(self, store) -> list[str]:
         return [
@@ -343,3 +567,37 @@ class TestServiceCli:
         assert cli_main(["clear", "--store", str(store)]) == 0
         assert "removed 2 entries" in capsys.readouterr().out
         assert len(ScheduleStore(store)) == 0
+
+    def test_stats_reports_disk_bytes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert cli_main(self._compile_args(store)) == 0
+        capsys.readouterr()
+        assert cli_main(["stats", "--store", str(store), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["disk_bytes"] > 0
+
+    def test_warm_subcommand_replays_an_archive(self, tmp_path, capsys):
+        from repro.core import sweep_grid
+
+        sweep = sweep_grid(
+            [r.workload for r in FAMILY_REQUESTS], widths=(4,), executor="reference"
+        )
+        archive = tmp_path / "sweep.json"
+        archive.write_text(sweep.to_json())
+        store = tmp_path / "store"
+        warm_args = [
+            "warm", "--store", str(store), "--sweep", str(archive),
+            "--executor", "reference",
+        ]
+        assert cli_main(warm_args + ["--json"]) == 0
+        counts = json.loads(capsys.readouterr().out)
+        assert counts["points"] == 3 and counts["warmed"] == 3
+        assert len(ScheduleStore(store)) == 3
+        # a second replay is pure already-cached
+        assert cli_main(warm_args) == 0
+        out = capsys.readouterr().out
+        assert "0 warmed" in out and "3 already cached" in out
+        # and the warmed store serves the same grid as cache hits
+        assert cli_main(self._compile_args(store) + ["--seed", "21"]) == 0
+        assert "cache:" in capsys.readouterr().out

@@ -220,3 +220,232 @@ class TestStoreEviction:
             store.put(digest, result)
         assert len(store) == 3
         assert store.stats.evictions == 0
+
+    def test_equal_mtime_eviction_is_scan_order_independent(self, tmp_path):
+        """Regression: ties on mtime (coarse filesystem clocks) used to be
+        broken by directory-scan order, so which entry survived depended
+        on readdir order.  The (mtime, name) key makes it deterministic:
+        among equal-mtime entries the lexicographically smallest names go
+        first, whatever order the scan produced them in."""
+        seed_store = ScheduleStore(tmp_path)  # unbounded: seed all three
+        entries = [self._result_for(w) for w in (2, 4, 8)]
+        for digest, result in entries:
+            seed_store.put(digest, result)
+        # all three written within one mtime quantum: force the tie
+        for digest, _ in entries:
+            os.utime(seed_store.path_for(digest), (100, 100))
+        store = ScheduleStore(tmp_path, max_entries=2)
+        # hand the eviction scan the worst-case order — reverse-by-name;
+        # a stable mtime-only sort would preserve it and evict the
+        # *largest* names first
+        store._entry_paths = lambda: iter(
+            sorted(store.root.glob("??/*.json"), key=lambda p: p.name, reverse=True)
+        )
+        trigger_digest, trigger_result = self._result_for(16)
+        store.put(trigger_digest, trigger_result)
+        survivors = {p.stem for p in store.root.glob("??/*.json")}
+        tied = sorted(digest for digest, _ in entries)
+        assert trigger_digest in survivors
+        # deterministic rule: the max-name entry of the tie survives
+        assert survivors == {trigger_digest, tied[-1]}
+
+
+class TestMemoryTier:
+    """The in-process LRU front tier: zero disk I/O on a memory hit."""
+
+    def _no_disk_reads(self, monkeypatch):
+        def forbid(name):
+            def boom(*args, **kwargs):  # pragma: no cover - fails the test if hit
+                raise AssertionError(f"memory-tier hit touched the disk ({name})")
+
+            return boom
+
+        from pathlib import Path
+
+        monkeypatch.setattr(Path, "read_text", forbid("read_text"))
+        monkeypatch.setattr(Path, "read_bytes", forbid("read_bytes"))
+        monkeypatch.setattr(os, "utime", forbid("utime"))
+
+    def test_memory_hit_is_disk_free_and_byte_identical(
+        self, tmp_path, job, compiled, monkeypatch
+    ):
+        store = ScheduleStore(tmp_path, memory_entries=4)
+        digest = job.digest()
+        store.put(digest, compiled)  # write-through populates the tier
+        self._no_disk_reads(monkeypatch)
+        entry = store.get(digest)
+        assert entry is not None
+        assert store.stats.memory_hits == 1 and store.stats.disk_hits == 0
+        assert store.stats.memory_hit_rate == 1.0
+        fresh = QPilotCompiler(job.config).compile_circuit(SPEC.build())
+        assert entry.schedule_json() == schedule_to_json(fresh.schedule, canonical=True)
+
+    def test_disk_read_populates_the_memory_tier(self, tmp_path, job, compiled, monkeypatch):
+        writer = ScheduleStore(tmp_path)
+        digest = job.digest()
+        writer.put(digest, compiled)
+        reader = ScheduleStore(tmp_path, memory_entries=4)
+        first = reader.get(digest)  # cold: disk tier
+        assert reader.stats.disk_hits == 1 and reader.stats.memory_hits == 0
+        self._no_disk_reads(monkeypatch)
+        second = reader.get(digest)  # warm: memory tier, zero disk I/O
+        assert reader.stats.memory_hits == 1
+        assert second.schedule_json() == first.schedule_json()
+
+    def test_memory_tier_is_lru_bounded(self, tmp_path):
+        store = ScheduleStore(tmp_path, memory_entries=2)
+        entries = []
+        for width in (2, 4, 8):
+            job = FarmJob(workload=SPEC, config=FPQAConfig.with_width(8, width))
+            entries.append(job.digest())
+            store.put(job.digest(), compile_farm_job_with_schedule(job))
+        assert len(store._memory) == 2
+        assert store.stats.memory_evictions == 1
+        # the evicted digest falls back to the disk tier, not a miss
+        assert store.get(entries[0]) is not None
+        assert store.stats.disk_hits == 1 and store.stats.memory_hits == 0
+
+    def test_memory_entry_survives_disk_eviction(self, tmp_path, job, compiled):
+        """The documented trade-off: an entry hot in memory is served even
+        after its disk file is gone (the digest is the content)."""
+        store = ScheduleStore(tmp_path, memory_entries=4)
+        digest = job.digest()
+        store.put(digest, compiled)
+        store.path_for(digest).unlink()
+        assert store.get(digest) is not None
+        assert store.stats.memory_hits == 1
+
+    def test_rejects_nonpositive_memory_entries(self, tmp_path):
+        with pytest.raises(QPilotError):
+            ScheduleStore(tmp_path, memory_entries=0)
+
+
+class TestCompression:
+    """gzip disk entries: sniffed reads, mixed roots, corrupt = miss."""
+
+    def test_compressed_entry_round_trips_byte_identical(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path, compress=True)
+        digest = job.digest()
+        store.put(digest, compiled)
+        raw = store.path_for(digest).read_bytes()
+        assert raw[:2] == b"\x1f\x8b", "entry file must actually be gzip"
+        entry = ScheduleStore(tmp_path, compress=True).get(digest)
+        fresh = QPilotCompiler(job.config).compile_circuit(SPEC.build())
+        assert entry.schedule_json() == schedule_to_json(fresh.schedule, canonical=True)
+
+    def test_mixed_codecs_coexist_in_one_root(self, tmp_path):
+        """A raw store reads gzip entries and vice versa (magic sniffing)."""
+        raw_job = FarmJob(workload=SPEC, config=FPQAConfig.with_width(8, 2))
+        gz_job = FarmJob(workload=SPEC, config=FPQAConfig.with_width(8, 4))
+        ScheduleStore(tmp_path).put(
+            raw_job.digest(), compile_farm_job_with_schedule(raw_job)
+        )
+        ScheduleStore(tmp_path, compress=True).put(
+            gz_job.digest(), compile_farm_job_with_schedule(gz_job)
+        )
+        for compress in (False, True):
+            reader = ScheduleStore(tmp_path, compress=compress)
+            assert reader.get(raw_job.digest()) is not None
+            assert reader.get(gz_job.digest()) is not None
+
+    def test_truncated_gzip_entry_is_a_miss_and_is_removed(self, tmp_path, job, compiled):
+        store = ScheduleStore(tmp_path, compress=True)
+        digest = job.digest()
+        store.put(digest, compiled)
+        path = store.path_for(digest)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])  # valid magic, garbled body
+        reader = ScheduleStore(tmp_path, compress=True)
+        assert reader.get(digest) is None
+        assert reader.stats.corrupt == 1
+        assert not path.exists()
+
+    def test_compressed_bytes_are_deterministic(self, tmp_path, job, compiled):
+        """Concurrent writers of one digest must still converge bit-for-bit."""
+        a = ScheduleStore(tmp_path / "a", compress=True)
+        b = ScheduleStore(tmp_path / "b", compress=True)
+        a.put(job.digest(), compiled)
+        b.put(job.digest(), compiled)
+        assert (
+            a.path_for(job.digest()).read_bytes() == b.path_for(job.digest()).read_bytes()
+        )
+
+
+class TestSchemaMigration:
+    """Legacy schema-version-1 entries stay readable and migrate on read."""
+
+    def _write_v1(self, store: ScheduleStore, digest: str, compiled) -> None:
+        from repro.service.store import StoreEntry
+        from repro.utils.serialization import canonical_json
+
+        data = StoreEntry.from_result(digest, compiled).to_dict()
+        data["schema_version"] = 1
+        data.pop("codec", None)  # v1 predates the codec field
+        path = store.path_for(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(canonical_json(data) + "\n")
+
+    @pytest.mark.parametrize("compress", (False, True), ids=("raw", "gzip"))
+    def test_v1_entry_is_served_and_migrated_in_place(
+        self, tmp_path, job, compiled, compress
+    ):
+        store = ScheduleStore(tmp_path, compress=compress)
+        digest = job.digest()
+        self._write_v1(store, digest, compiled)
+        entry = store.get(digest)
+        assert entry is not None
+        assert store.stats.migrated == 1
+        assert store.stats.corrupt == 0
+        # the file on disk is now a current-schema entry at this store's codec
+        raw = store.path_for(digest).read_bytes()
+        if compress:
+            import gzip
+
+            assert raw[:2] == b"\x1f\x8b"
+            raw = gzip.decompress(raw)
+        rewritten = json.loads(raw.decode("utf-8"))
+        assert rewritten["schema_version"] == 2
+        assert rewritten["codec"] == ("gzip" if compress else "raw")
+        # and the served schedule is still the golden bytes
+        fresh = QPilotCompiler(job.config).compile_circuit(SPEC.build())
+        assert entry.schedule_json() == schedule_to_json(fresh.schedule, canonical=True)
+        # a later reader sees a current entry: no second migration
+        again = ScheduleStore(tmp_path, compress=compress)
+        assert again.get(digest) is not None
+        assert again.stats.migrated == 0
+
+
+class TestCountConsistency:
+    """Regression: the corrupt-entry path must only decrement the cached
+    entry count for a file it actually removed."""
+
+    def test_concurrent_repair_does_not_drive_count_negative(
+        self, tmp_path, job, compiled, monkeypatch
+    ):
+        from pathlib import Path
+
+        store = ScheduleStore(tmp_path)
+        digest = job.digest()
+        store.put(digest, compiled)
+        # a concurrent daemon repairs (unlinks) the corrupt entry first...
+        store.path_for(digest).unlink()
+        assert len(store) == 0  # materialise the cached count at the truth
+        # ...but this store still observes the stale corrupt bytes
+        monkeypatch.setattr(Path, "read_bytes", lambda self: b"stale corrupt {{{")
+        monkeypatch.setattr(Path, "read_text", lambda self, **kw: "stale corrupt {{{")
+        assert store.get(digest) is None
+        assert len(store) == 0, "decremented for a file another daemon removed"
+        assert store.get(digest) is None  # and it must not keep drifting
+        assert len(store) == 0
+        assert store.stats.corrupt == 2
+
+    def test_clear_resets_fault_write_attempts(self, tmp_path, job, compiled):
+        """Regression: clear() kept per-digest write-attempt counters, so a
+        long-lived daemon leaked them (and bounded fault rules stayed
+        spent across what should be a fresh epoch)."""
+        store = ScheduleStore(tmp_path)
+        digest = job.digest()
+        store.put(digest, compiled)
+        assert store._write_attempts  # populated by the put
+        store.clear()
+        assert store._write_attempts == {}
