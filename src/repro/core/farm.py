@@ -60,6 +60,18 @@ pinned by the chaos differential suite (``tests/test_faults.py``): with
 a seeded :class:`~repro.utils.faults.FaultPlan` attached to
 :class:`FarmOptions` (default off — zero overhead), a recovered run is
 byte-identical to the fault-free ``reference`` run.
+
+Overload robustness (PR 8): the serving layer propagates end-to-end
+request deadlines into the farm as *relative* per-job budgets
+(``iter_results(..., deadlines=...)``).  A job whose budget is already
+spent when the dispatch loop reaches it is **cooperatively cancelled**
+before it touches an executor — its slot finalises as a
+:class:`FarmJobError` wrapping :class:`~repro.exceptions.DeadlineExceeded`
+with no retries, so shed or expired work never burns a worker.  An
+in-flight job whose deadline passes is abandoned the same way (terminal,
+unlike a ``timeout_s`` overrun, which retries).  The ``stall-dispatch``
+fault kind sleeps in the dispatch loop itself, which is how the overload
+chaos suite forces deterministic expiries and breaker trips.
 """
 
 from __future__ import annotations
@@ -80,13 +92,18 @@ from concurrent.futures import (
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, ClassVar, Iterable, Iterator, Sequence
 
-from repro.utils.faults import FaultPlan, deterministic_draw, inject_compile_faults
+from repro.utils.faults import (
+    STALL_DISPATCH,
+    FaultPlan,
+    deterministic_draw,
+    inject_compile_faults,
+)
 
 from repro.core.compiler import CompilationResult, QPilotCompiler
 from repro.core.generic_router import GenericRouterOptions
 from repro.core.qaoa_router import QAOARouterOptions
 from repro.core.qsim_router import QSimRouterOptions
-from repro.exceptions import QPilotError
+from repro.exceptions import DeadlineExceeded, QPilotError
 from repro.hardware.fpqa import FPQAConfig
 
 #: Workload families the farm understands.
@@ -790,6 +807,20 @@ class CompileFarm:
             max_workers=workers, initializer=_worker_init, initargs=(True,)
         )
 
+    def _stall_dispatch(self, job: FarmJob, attempt: int) -> None:
+        """Fire a ``stall-dispatch`` fault: sleep in the dispatch loop.
+
+        Runs *before* the deadline check at each (re)submission site, so
+        a stalled dispatch burns the job's own budget — the overload
+        chaos suite's deterministic lever for deadline expiries.
+        """
+        plan = job.options.faults
+        if plan is None:
+            return
+        duration = plan.fire_duration(STALL_DISPATCH, job.fault_key(), attempt)
+        if duration > 0:
+            time.sleep(duration)
+
     def _run_job_with_retry(
         self, job_fn, job: FarmJob, failures: int, counters: dict[str, int]
     ) -> tuple[Any, int]:
@@ -818,7 +849,11 @@ class CompileFarm:
                     time.sleep(delay)
 
     def iter_results(
-        self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
+        self,
+        jobs: Sequence[FarmJob],
+        *,
+        with_schedules: bool = False,
+        deadlines: Sequence[float | None] | None = None,
     ) -> Iterator[tuple[int, PointMetrics | FarmJobResult | FarmJobError]]:
         """Stream ``(index, result)`` pairs as jobs finish.
 
@@ -836,8 +871,25 @@ class CompileFarm:
         :class:`FarmJobError` record in its slot instead of raising
         (check ``result.failed``); ``job_reports[index]`` carries the
         per-job status/attempts picture as soon as the pair is yielded.
+
+        ``deadlines`` gives each job a *relative* wall-clock budget in
+        seconds from the start of this call (None = no deadline; the
+        service derives these from request ``deadline_s``).  A job whose
+        budget expires before it is submitted is cooperatively cancelled
+        — finalised as a :class:`FarmJobError` wrapping
+        :class:`~repro.exceptions.DeadlineExceeded`, no executor time, no
+        retries — and an in-flight job past its deadline is abandoned
+        the same terminal way (a ``timeout_s`` overrun, by contrast,
+        retries).  Duplicate jobs share the *loosest* of their budgets;
+        waiters with tighter deadlines are expired by the service layer.
         """
         jobs = list(jobs)
+        if deadlines is not None:
+            deadlines = list(deadlines)
+            if len(deadlines) != len(jobs):
+                raise QPilotError(
+                    f"deadlines must match jobs: got {len(deadlines)} for {len(jobs)} jobs"
+                )
         unique: dict[tuple, int] = {}
         unique_jobs: list[FarmJob] = []
         indices_by_unique: list[list[int]] = []
@@ -852,9 +904,25 @@ class CompileFarm:
         job_fn = compile_farm_job_with_schedule if with_schedules else compile_farm_job
         policy = self.policy
         self.job_reports = {}
-        counters = {"retries": 0, "pool_respawns": 0, "timeouts": 0, "failed_jobs": 0}
+        counters = {
+            "retries": 0,
+            "pool_respawns": 0,
+            "timeouts": 0,
+            "failed_jobs": 0,
+            "expired": 0,
+        }
         failures = [0] * len(unique_jobs)
         degraded = False
+
+        # absolute per-slot deadlines, measured from the start of this
+        # call; duplicates share the loosest budget (None = unbounded)
+        t0 = time.monotonic()
+        slot_deadline_at: list[float | None] = [None] * len(unique_jobs)
+        if deadlines is not None:
+            for slot, indices in enumerate(indices_by_unique):
+                budgets = [deadlines[i] for i in indices]
+                if all(budget is not None for budget in budgets):
+                    slot_deadline_at[slot] = t0 + max(budgets)
 
         def report(slot: int, result: Any) -> list[tuple[int, Any]]:
             """Record a slot's terminal outcome; return its (index, result) pairs."""
@@ -875,13 +943,38 @@ class CompileFarm:
                 self.job_reports[index] = entry
             return [(index, result) for index in indices_by_unique[slot]]
 
+        def expire_slot(slot: int) -> list[tuple[int, Any]]:
+            """Finalise a slot whose deadline passed: terminal, no retries."""
+            counters["expired"] += 1
+            job = unique_jobs[slot]
+            exc = DeadlineExceeded(
+                f"farm job {job.fault_key()!r} deadline expired before completion",
+                digest=job.digest(),
+            )
+            record = FarmJobError.from_exception(
+                exc, attempts=failures[slot], fault_key=job.fault_key()
+            )
+            return report(slot, record)
+
+        def dispatch_expired(slot: int) -> bool:
+            """Cooperative-cancellation check at a (re)submission site."""
+            at = slot_deadline_at[slot]
+            return at is not None and time.monotonic() >= at
+
         start = time.perf_counter()
         if self.executor == "reference" or len(unique_jobs) <= 1:
             # A single unique job gains nothing from a pool; run it
             # in-process and report the backend that actually ran.
             backend, workers = "reference", 1
             for slot, job in enumerate(unique_jobs):
-                result, failures[slot] = self._run_job_with_retry(job_fn, job, 0, counters)
+                self._stall_dispatch(job, failures[slot])
+                if dispatch_expired(slot):
+                    for pair in expire_slot(slot):
+                        yield pair
+                    continue
+                result, failures[slot] = self._run_job_with_retry(
+                    job_fn, job, failures[slot], counters
+                )
                 for pair in report(slot, result):
                     yield pair
         else:
@@ -889,15 +982,27 @@ class CompileFarm:
             workers = min(self.max_workers or available_workers(), len(unique_jobs))
             pool = self._new_pool(backend, workers)
             pending: dict[Future, int] = {}
-            deadlines: dict[Future, float] = {}
+            future_deadlines: dict[Future, float] = {}
             unresolved = set(range(len(unique_jobs)))
             respawns = 0
 
-            def submit(slot: int) -> None:
+            def submit(slot: int) -> list[tuple[int, Any]]:
+                """(Re)submit a slot — or cooperatively cancel it if expired."""
+                self._stall_dispatch(unique_jobs[slot], failures[slot])
+                if dispatch_expired(slot):
+                    unresolved.discard(slot)
+                    return expire_slot(slot)
                 future = pool.submit(job_fn, unique_jobs[slot], failures[slot])
                 pending[future] = slot
+                now = time.monotonic()
+                candidates = []
                 if policy.timeout_s is not None:
-                    deadlines[future] = time.monotonic() + policy.timeout_s
+                    candidates.append(now + policy.timeout_s)
+                if slot_deadline_at[slot] is not None:
+                    candidates.append(slot_deadline_at[slot])
+                if candidates:
+                    future_deadlines[future] = min(candidates)
+                return []
 
             def register_failure(slot: int, exc: BaseException) -> list[tuple[int, Any]]:
                 """One failed attempt: retry with backoff, or finalise the slot."""
@@ -914,23 +1019,31 @@ class CompileFarm:
                 if delay:
                     time.sleep(delay)
                 try:
-                    submit(slot)
+                    return submit(slot)
                 except BrokenExecutor:
                     degraded = True  # no pool left to retry on; drain inline
                 return []
 
             try:
+                initial_events: list[tuple[int, Any]] = []
                 try:
                     for slot in range(len(unique_jobs)):
-                        submit(slot)
+                        initial_events.extend(submit(slot))
                 except BrokenExecutor:
                     degraded = True  # pool unusable from the start
+                for pair in initial_events:
+                    yield pair
                 while unresolved:
                     if degraded:
                         # respawn budget exhausted: finish the remaining
                         # jobs on the in-process reference path so the
                         # sweep completes (memoised results are kept)
                         for slot in sorted(unresolved):
+                            self._stall_dispatch(unique_jobs[slot], failures[slot])
+                            if dispatch_expired(slot):
+                                for pair in expire_slot(slot):
+                                    yield pair
+                                continue
                             result, failures[slot] = self._run_job_with_retry(
                                 job_fn, unique_jobs[slot], failures[slot], counters
                             )
@@ -942,24 +1055,31 @@ class CompileFarm:
                         degraded = True  # nothing in flight yet jobs remain
                         continue
                     timeout = None
-                    if deadlines:
-                        timeout = max(0.005, min(deadlines.values()) - time.monotonic())
+                    if future_deadlines:
+                        timeout = max(0.005, min(future_deadlines.values()) - time.monotonic())
                     done, _ = wait(list(pending), timeout=timeout, return_when=FIRST_COMPLETED)
                     events: list[tuple[int, Any]] = []
                     if not done:
                         # overdue jobs: queued ones are cancelled, running
-                        # ones abandoned (their late results are discarded);
-                        # either way the attempt failed and retries apply
+                        # ones abandoned (their late results are discarded).
+                        # A job past its *own* deadline expires terminally;
+                        # a policy ``timeout_s`` overrun is a failed attempt
+                        # and retries apply
                         now = time.monotonic()
                         overdue = [
                             future
-                            for future, deadline in deadlines.items()
+                            for future, deadline in future_deadlines.items()
                             if future in pending and deadline <= now
                         ]
                         for future in overdue:
                             slot = pending.pop(future)
-                            deadlines.pop(future, None)
+                            future_deadlines.pop(future, None)
                             future.cancel()
+                            slot_at = slot_deadline_at[slot]
+                            if slot_at is not None and slot_at <= now:
+                                unresolved.discard(slot)
+                                events.extend(expire_slot(slot))
+                                continue
                             counters["timeouts"] += 1
                             exc = TimeoutError(
                                 f"farm job {unique_jobs[slot].fault_key()!r} exceeded "
@@ -978,7 +1098,7 @@ class CompileFarm:
                     broken: list[tuple[int, BaseException]] = []
                     for future in ordered:
                         slot = pending.pop(future, None)
-                        deadlines.pop(future, None)
+                        future_deadlines.pop(future, None)
                         if slot is None or future.cancelled():
                             continue  # abandoned after timeout, or cancelled
                         exc = future.exception()
@@ -1000,7 +1120,7 @@ class CompileFarm:
                                 (slot, BrokenExecutor("process pool died with this job in flight"))
                             )
                         pending.clear()
-                        deadlines.clear()
+                        future_deadlines.clear()
                         pool.shutdown(wait=False, cancel_futures=True)
                         if respawns < policy.max_pool_respawns:
                             respawns += 1
@@ -1032,10 +1152,16 @@ class CompileFarm:
         }
 
     def run(
-        self, jobs: Sequence[FarmJob], *, with_schedules: bool = False
+        self,
+        jobs: Sequence[FarmJob],
+        *,
+        with_schedules: bool = False,
+        deadlines: Sequence[float | None] | None = None,
     ) -> list[PointMetrics | FarmJobResult | FarmJobError]:
         jobs = list(jobs)
         results: list[Any] = [None] * len(jobs)
-        for index, result in self.iter_results(jobs, with_schedules=with_schedules):
+        for index, result in self.iter_results(
+            jobs, with_schedules=with_schedules, deadlines=deadlines
+        ):
             results[index] = result
         return results

@@ -44,6 +44,68 @@ class VerificationError(QPilotError):
     """Raised when a compiled schedule fails semantic verification."""
 
 
+class AdmissionError(QPilotError):
+    """A request was refused at the service's front door.
+
+    Raised by :meth:`repro.service.queue.JobQueue.submit` when admitting
+    the request would breach the queue's :class:`QueuePolicy` — the queue
+    is at ``max_depth``, the client is at ``max_pending_per_client``, or
+    the request names an unknown priority lane.  Admission control is
+    what keeps the queue bounded: overload turns into fast typed
+    rejections instead of unbounded memory growth.  Carries the
+    ``client_id``, ``lane`` and a machine-readable ``reason``
+    (``"queue-full"`` / ``"client-quota"`` / ``"unknown-lane"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        client_id: str | None = None,
+        lane: str | None = None,
+        reason: str | None = None,
+    ):
+        super().__init__(message)
+        self.client_id = client_id
+        self.lane = lane
+        self.reason = reason
+
+
+class LoadShedError(AdmissionError):
+    """An admitted request was dropped by load shedding.
+
+    When queue depth crosses the policy's ``shed_high_water`` mark the
+    service drops the lowest-priority, most recently queued work first;
+    every coalesced waiter on a shed ticket observes this error.
+    """
+
+
+class DeadlineExceeded(QPilotError):
+    """A request's end-to-end deadline expired before it completed.
+
+    Raised to every coalesced waiter of a ticket whose ``deadline_s``
+    budget ran out — in the queue (fail fast, never dispatched) or in
+    the farm (the remaining budget is the job's per-job timeout).
+    """
+
+    def __init__(self, message: str, *, digest: str | None = None):
+        super().__init__(message)
+        self.digest = digest
+
+
+class CircuitOpenError(QPilotError):
+    """The farm circuit breaker is open; a cold key was rejected.
+
+    While the breaker is open the service still serves warm keys from
+    the store but refuses to dispatch new compiles — failing fast beats
+    queueing work behind a farm that is currently failing everything.
+    """
+
+    def __init__(self, message: str, *, digest: str | None = None):
+        super().__init__(message)
+        self.digest = digest
+
+
 class CompileError(QPilotError):
     """A compile request ultimately failed after the farm's retry budget.
 

@@ -25,6 +25,16 @@ log-and-continue; and the store's eviction is lockfile-guarded so
 multiple daemons can share one root.  Every failure mode is reproducible
 via the seeded :class:`~repro.utils.faults.FaultPlan` registry.
 
+PR 8 makes the layer overload-robust: the queue runs under a
+:class:`QueuePolicy` (admission control with typed
+:class:`~repro.exceptions.AdmissionError` rejections, weighted priority
+lanes, per-client quotas, load shedding past a high-water mark),
+requests carry end-to-end ``deadline_s`` budgets that expire typed
+(:class:`~repro.exceptions.DeadlineExceeded`) and propagate into the
+farm, and a :class:`CircuitBreaker` around farm dispatch fails cold keys
+fast (:class:`~repro.exceptions.CircuitOpenError`) while warm keys keep
+serving from the store.
+
 Quick start::
 
     from repro.core import WorkloadSpec
@@ -38,20 +48,39 @@ Quick start::
     print(service.stats.to_dict())
 """
 
-from repro.exceptions import CompileError
-from repro.service.queue import CompileRequest, JobQueue, QueuedJob
-from repro.service.service import CompileResponse, CompileService, ServiceStats
+from repro.exceptions import (
+    AdmissionError,
+    CircuitOpenError,
+    CompileError,
+    DeadlineExceeded,
+    LoadShedError,
+)
+from repro.service.queue import CompileRequest, JobQueue, QueuedJob, QueuePolicy
+from repro.service.service import (
+    BreakerPolicy,
+    CircuitBreaker,
+    CompileResponse,
+    CompileService,
+    ServiceStats,
+)
 from repro.service.store import ScheduleStore, StoreEntry, StoreStats
 from repro.utils.faults import FaultPlan, FaultRule
 
 __all__ = [
+    "AdmissionError",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CompileError",
     "CompileRequest",
     "CompileResponse",
     "CompileService",
+    "DeadlineExceeded",
     "FaultPlan",
     "FaultRule",
     "JobQueue",
+    "LoadShedError",
+    "QueuePolicy",
     "QueuedJob",
     "ScheduleStore",
     "ServiceStats",

@@ -21,6 +21,14 @@ output).  ``warm`` replays an archived DSE trajectory
 hot; ``stats`` reports entry count and on-disk bytes.  ``--memory-entries``
 sizes the in-process LRU front tier and ``--compress`` gzips new disk
 entries (old entries stay readable).
+
+Overload knobs (PR 8): ``--client-id``, ``--priority`` and
+``--deadline-s`` attach serving metadata to compile/sweep requests
+(quota accounting, priority lane, end-to-end budget);
+``--max-dead-letters`` bounds the dead-letter list and
+``--evict-lock-stale-s`` tunes the store's eviction-lock staleness
+cutoff.  The stats output reports the overload counters (rejected /
+shed / expired, breaker state and trips, dead-letter drops).
 """
 
 from __future__ import annotations
@@ -46,6 +54,8 @@ def _service_from_args(args: argparse.Namespace) -> CompileService:
         max_workers=args.jobs,
         memory_entries=args.memory_entries,
         compress=args.compress,
+        max_dead_letters=getattr(args, "max_dead_letters", None),
+        evict_lock_stale_s=getattr(args, "evict_lock_stale_s", None),
     )
 
 
@@ -112,6 +122,12 @@ def _print_stats(service: CompileService) -> None:
         f"(hit rate {hit_rate if hit_rate is None else round(hit_rate, 3)}), "
         f"{stats['farm_dispatches']} farm dispatches"
     )
+    print(
+        f"overload: {stats['rejected']} rejected, {stats['shed']} shed, "
+        f"{stats['expired']} expired, breaker {stats['breaker_state']} "
+        f"({stats['breaker_trips']} trips), "
+        f"{stats['dead_letters_dropped']} dead letters dropped"
+    )
 
 
 def _response_dict(response) -> dict:
@@ -129,7 +145,12 @@ def _response_dict(response) -> dict:
 def _cmd_compile(args: argparse.Namespace) -> int:
     service = _service_from_args(args)
     request = CompileRequest.for_width(
-        _workload_from_args(args), args.width, options=_request_options(args)
+        _workload_from_args(args),
+        args.width,
+        options=_request_options(args),
+        client_id=args.client_id,
+        priority=args.priority,
+        deadline_s=args.deadline_s,
     )
     response = service.compile(request)
     if args.json:
@@ -152,7 +173,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     options = _request_options(args)
     requests = [
-        CompileRequest.for_width(workload, width, options=options) for width in args.widths
+        CompileRequest.for_width(
+            workload,
+            width,
+            options=options,
+            client_id=args.client_id,
+            priority=args.priority,
+            deadline_s=args.deadline_s,
+        )
+        for width in args.widths
     ]
     if args.json:
         payload = {"points": [_response_dict(r) for r in service.stream(requests)]}
@@ -274,6 +303,35 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument(
             "--compress", action="store_true", help="gzip new store entries on disk"
+        )
+        sub.add_argument(
+            "--max-dead-letters",
+            type=int,
+            default=None,
+            help="bound on the failed-ticket dead-letter list (default: 256)",
+        )
+        sub.add_argument(
+            "--evict-lock-stale-s",
+            type=float,
+            default=None,
+            help="age (s) past which a store eviction lock is broken (default: 30)",
+        )
+    for sub in (compile_cmd, sweep_cmd):
+        sub.add_argument(
+            "--client-id",
+            default="anonymous",
+            help="client identity for per-client quota accounting",
+        )
+        sub.add_argument(
+            "--priority",
+            default=None,
+            help="priority lane (interactive/batch/background; default: interactive)",
+        )
+        sub.add_argument(
+            "--deadline-s",
+            type=float,
+            default=None,
+            help="end-to-end deadline budget in seconds (default: none)",
         )
     return parser
 

@@ -26,15 +26,43 @@ The differential guarantees compose: the farm's executor oracle makes
 every backend produce byte-identical canonical schedules, and the store
 persists exactly those bytes — so a cache hit is indistinguishable from
 a recompile, which is what makes caching *correct* and not just fast.
+
+Overload robustness (PR 8) keeps that guarantee under pressure instead
+of queueing unboundedly:
+
+* **Admission control + priority lanes** — the :class:`JobQueue` runs
+  under a :class:`~repro.service.queue.QueuePolicy`: over-depth and
+  over-quota submissions are rejected with a typed
+  :class:`~repro.exceptions.AdmissionError`, and admitted work drains by
+  deterministic weighted round-robin over priority lanes.
+* **End-to-end deadlines** — a request's ``deadline_s`` budget follows
+  it through the queue (expired tickets fail fast with
+  :class:`~repro.exceptions.DeadlineExceeded`, never dispatched) and
+  into the farm (the remaining budget is the job's deadline; see
+  ``CompileFarm.iter_results(deadlines=...)``).
+* **Load shedding** — when depth crosses the policy's
+  ``shed_high_water`` mark, the lowest-priority newest queued work is
+  dropped with :class:`~repro.exceptions.LoadShedError`.
+* **Circuit breaker** — :class:`CircuitBreaker` watches farm dispatch:
+  after ``failure_threshold`` consecutive failures it opens, cold keys
+  are rejected immediately with
+  :class:`~repro.exceptions.CircuitOpenError` while warm keys keep
+  serving from the store, and after a seeded deterministic timeout a
+  single half-open probe decides whether to close again.
+
+Shedding, expiry and breaking change *which* requests complete, never
+*what* they return — every admitted-and-completed request still returns
+canonical bytes identical to the fault-free reference run, pinned by the
+overload chaos suite (``tests/test_overload.py``).
 """
 
 from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
 from repro.core.farm import (
     CompileFarm,
@@ -48,9 +76,22 @@ from repro.core.farm import (
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.dse import SweepResult
 from repro.core.schedule import FPQASchedule
-from repro.exceptions import QPilotError
-from repro.service.queue import FAILED, CompileRequest, JobQueue, QueuedJob
+from repro.exceptions import (
+    AdmissionError,
+    CircuitOpenError,
+    DeadlineExceeded,
+    LoadShedError,
+    QPilotError,
+)
+from repro.service.queue import (
+    FAILED,
+    CompileRequest,
+    JobQueue,
+    QueuedJob,
+    QueuePolicy,
+)
 from repro.service.store import ScheduleStore, StoreEntry
+from repro.utils.faults import deterministic_draw
 from repro.utils.serialization import canonical_json, schedule_from_dict
 
 logger = logging.getLogger(__name__)
@@ -68,6 +109,112 @@ DEFAULT_STREAM_CHUNK = 32
 #: opt out).  A serving process wants its hot head answered without disk
 #: I/O; 256 parsed entries is a few MB for typical schedules.
 DEFAULT_MEMORY_ENTRIES = 256
+
+#: Circuit-breaker states.
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs of the farm-dispatch circuit breaker.
+
+    ``failure_threshold`` consecutive dispatch failures trip the breaker
+    open; it stays open for :meth:`open_duration` seconds, then admits a
+    single half-open probe whose outcome closes it (success) or re-trips
+    it (failure).  The open duration is ``reset_timeout_s`` stretched by
+    up to ``jitter`` fraction of itself using a *seeded* draw keyed by
+    the trip count (:func:`~repro.utils.faults.deterministic_draw`), so
+    reopen timing is reproducible run to run — the same determinism
+    discipline as the farm's retry backoff.
+    """
+
+    failure_threshold: int = 5
+    reset_timeout_s: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise QPilotError("failure_threshold must be at least 1")
+        if self.reset_timeout_s <= 0:
+            raise QPilotError("reset_timeout_s must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise QPilotError("jitter must be in [0, 1]")
+
+    def open_duration(self, trips: int) -> float:
+        """Seconds the breaker stays open after trip number ``trips``."""
+        return self.reset_timeout_s * (
+            1.0 + self.jitter * deterministic_draw(self.seed, "breaker-reset", "trip", trips)
+        )
+
+
+class CircuitBreaker:
+    """Closed → open → half-open state machine around farm dispatch.
+
+    The service records one success/failure per dispatched unique job;
+    ``failure_threshold`` *consecutive* failures open the breaker.  While
+    open, :meth:`current_state` lazily transitions to half-open once the
+    seeded open duration elapses (no timers — state is a pure function of
+    the injected ``clock``), and :meth:`allow_probe` grants exactly one
+    probe slot; the probe's outcome closes or re-trips the breaker.
+    Warm-key serving never consults the breaker — only cold dispatch
+    does, which is what "serve warm keys while open" means.
+    """
+
+    def __init__(
+        self, policy: BreakerPolicy | None = None, *, clock: Callable[[], float] | None = None
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock or time.monotonic
+        self._state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.opened_until = 0.0
+        self._probe_claimed = False
+
+    def current_state(self) -> str:
+        """The live state (open lazily becomes half-open past its timeout)."""
+        if self._state == BREAKER_OPEN and self.clock() >= self.opened_until:
+            self._state = BREAKER_HALF_OPEN
+            self._probe_claimed = False
+        return self._state
+
+    def allow_probe(self) -> bool:
+        """Claim the single half-open probe slot (True exactly once)."""
+        if self.current_state() != BREAKER_HALF_OPEN or self._probe_claimed:
+            return False
+        self._probe_claimed = True
+        return True
+
+    def record_success(self) -> None:
+        """A dispatch succeeded: close and reset the consecutive count."""
+        self._state = BREAKER_CLOSED
+        self.consecutive_failures = 0
+        self._probe_claimed = False
+
+    def record_failure(self) -> None:
+        """A dispatch failed: count it, tripping at the threshold.
+
+        A half-open probe failure re-trips immediately; failures recorded
+        while already open (stragglers from a batch dispatched before the
+        trip) count but cannot re-trip.
+        """
+        state = self.current_state()
+        self.consecutive_failures += 1
+        if state == BREAKER_HALF_OPEN or (
+            state == BREAKER_CLOSED
+            and self.consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.trips += 1
+        self._state = BREAKER_OPEN
+        self.opened_until = self.clock() + self.policy.open_duration(self.trips)
+        self.consecutive_failures = 0
+        self._probe_claimed = False
 
 
 @dataclass(frozen=True)
@@ -124,6 +271,15 @@ class ServiceStats:
     ``store_write_errors`` (results served despite a failed persist) and
     ``degraded`` (sticky: some run fell back to the in-process reference
     executor).
+
+    The overload counters tally *submissions* (coalesced waiters each
+    count — every one observed the outcome): ``rejected`` (admission
+    refusals plus breaker-open cold rejections), ``shed`` (dropped past
+    the high-water mark), ``expired`` (deadline ran out, in queue or in
+    the farm) and ``dead_letters_dropped`` (failed tickets trimmed off
+    the bounded dead-letter list).  ``breaker_state``/``breaker_trips``
+    and the per-lane ``lane_depths`` snapshot complete the overload
+    picture.
     """
 
     requests: int = 0
@@ -140,6 +296,13 @@ class ServiceStats:
     failed_jobs: int = 0
     store_write_errors: int = 0
     degraded: bool = False
+    rejected: int = 0
+    shed: int = 0
+    expired: int = 0
+    dead_letters_dropped: int = 0
+    breaker_state: str = BREAKER_CLOSED
+    breaker_trips: int = 0
+    lane_depths: dict[str, int] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float | None:
@@ -169,6 +332,13 @@ class ServiceStats:
             "failed_jobs": self.failed_jobs,
             "store_write_errors": self.store_write_errors,
             "degraded": self.degraded,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "expired": self.expired,
+            "dead_letters_dropped": self.dead_letters_dropped,
+            "breaker_state": self.breaker_state,
+            "breaker_trips": self.breaker_trips,
+            "lane_depths": dict(self.lane_depths),
         }
 
 
@@ -196,6 +366,23 @@ class CompileService:
         backoff, per-job timeout, pool respawns.  A job that exhausts it
         fails only its own ticket (typed, dead-lettered); the batch and
         the service survive.
+    queue_policy:
+        The :class:`~repro.service.queue.QueuePolicy` — admission limits
+        (``max_depth``, ``max_pending_per_client``), priority lanes and
+        the ``shed_high_water`` mark.  Defaults to unbounded with the
+        standard lanes (the pre-overload-control behaviour).
+    breaker:
+        The :class:`BreakerPolicy` of the farm-dispatch circuit breaker
+        (always on; the default trips after 5 consecutive failures).
+    clock:
+        Monotonic time source for deadlines and breaker timing
+        (injectable so overload tests are deterministic).  The farm keeps
+        real time — deadlines cross into it as *relative* budgets.
+    max_dead_letters, evict_lock_stale_s:
+        Bounds threaded through to :attr:`JobQueue.max_dead_letters` and
+        the store's eviction-lock staleness cutoff
+        (``evict_lock_stale_s`` applies only to stores the service
+        constructs from a path; a ready-made store keeps its own).
     """
 
     def __init__(
@@ -208,22 +395,40 @@ class CompileService:
         policy: FarmPolicy | None = None,
         memory_entries: int | None = DEFAULT_MEMORY_ENTRIES,
         compress: bool = False,
+        queue_policy: QueuePolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+        clock: Callable[[], float] | None = None,
+        max_dead_letters: int | None = None,
+        evict_lock_stale_s: float | None = None,
     ):
-        self.store = (
-            store
-            if isinstance(store, ScheduleStore)
-            else ScheduleStore(store, memory_entries=memory_entries, compress=compress)
-        )
+        if isinstance(store, ScheduleStore):
+            self.store = store
+        else:
+            store_kwargs: dict[str, Any] = {
+                "memory_entries": memory_entries,
+                "compress": compress,
+            }
+            if evict_lock_stale_s is not None:
+                store_kwargs["evict_lock_stale_s"] = evict_lock_stale_s
+            self.store = ScheduleStore(store, **store_kwargs)
         self.farm = CompileFarm(executor, max_workers=max_workers, policy=policy)
-        self.queue = JobQueue()
+        self._clock = clock or time.monotonic
+        self.queue = JobQueue(
+            queue_policy, max_dead_letters=max_dead_letters, clock=self._clock
+        )
+        self.breaker = CircuitBreaker(breaker, clock=self._clock)
         self.batch_size = batch_size
         self._stats = ServiceStats()
 
     # -- stats ----------------------------------------------------------
     @property
     def stats(self) -> ServiceStats:
-        """Live aggregate stats (queue depth up to date)."""
+        """Live aggregate stats (queue/lane depths and breaker up to date)."""
         self._stats.queue_depth = self.queue.depth
+        self._stats.lane_depths = self.queue.lane_depths()
+        self._stats.dead_letters_dropped = self.queue.dead_letters_dropped
+        self._stats.breaker_state = self.breaker.current_state()
+        self._stats.breaker_trips = self.breaker.trips
         return self._stats
 
     def _absorb_farm_stats(self) -> None:
@@ -262,13 +467,75 @@ class CompileService:
         self.queue.bury(ticket)
         self._stats.failed_jobs += 1
 
+    def _expire_ticket(self, ticket: QueuedJob) -> None:
+        """Fail a ticket whose deadline ran out; every waiter sees it."""
+        ticket.fail(
+            DeadlineExceeded(
+                f"request {ticket.digest[:12]} deadline expired before completion",
+                digest=ticket.digest,
+            )
+        )
+        self.queue.bury(ticket)
+        self._stats.expired += ticket.submissions
+
+    def _reject_open(self, ticket: QueuedJob) -> None:
+        """Fail a cold ticket refused because the breaker is open."""
+        ticket.fail(
+            CircuitOpenError(
+                f"circuit breaker open; cold request {ticket.digest[:12]} rejected",
+                digest=ticket.digest,
+            )
+        )
+        self.queue.bury(ticket)
+        self._stats.rejected += ticket.submissions
+
+    def _shed_over_high_water(self) -> None:
+        """Drop lowest-priority queued work past the high-water mark."""
+        high = self.queue.policy.shed_high_water
+        if high is None or self.queue.depth <= high:
+            return
+        for ticket in self.queue.shed(self.queue.depth - high):
+            ticket.fail(
+                LoadShedError(
+                    f"request {ticket.digest[:12]} shed: queue depth crossed "
+                    f"high water ({high})",
+                    client_id=ticket.request.client_id,
+                    lane=ticket.lane,
+                    reason="load-shed",
+                )
+            )
+            self.queue.bury(ticket)
+            self._stats.shed += ticket.submissions
+
+    def _breaker_admits(self) -> bool:
+        """Whether cold dispatch is allowed right now (claims the probe)."""
+        state = self.breaker.current_state()
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_HALF_OPEN:
+            return self.breaker.allow_probe()
+        return False
+
     # -- submission ------------------------------------------------------
     def submit(self, request: CompileRequest) -> QueuedJob:
-        """Queue one request; identical pending requests share a ticket."""
-        ticket = self.queue.submit(request)
+        """Queue one request; identical pending requests share a ticket.
+
+        Raises :class:`~repro.exceptions.AdmissionError` when the queue
+        policy refuses the request (over depth, over the client's quota,
+        unknown lane) — overload rejects fast instead of queueing
+        unboundedly.  A successful submit may shed *other* queued work if
+        depth crossed the policy's high-water mark (those tickets fail
+        with :class:`~repro.exceptions.LoadShedError`).
+        """
         self._stats.requests += 1
+        try:
+            ticket = self.queue.submit(request)
+        except AdmissionError:
+            self._stats.rejected += 1
+            raise
         if ticket.submissions > 1:
             self._stats.coalesced += 1
+        self._shed_over_high_water()
         return ticket
 
     def submit_all(self, requests: Iterable[CompileRequest]) -> list[QueuedJob]:
@@ -278,42 +545,86 @@ class CompileService:
     def process_batch(self, limit: int | None = None) -> list[QueuedJob]:
         """Drain one batch: answer warm keys from the store, farm the rest.
 
-        Returns the resolved tickets in submission order.  Only cold keys
-        reach the farm — a batch of all-warm requests performs **zero**
-        router invocations.
+        Returns the popped tickets in weighted lane order.  Only cold
+        keys reach the farm — a batch of all-warm requests performs
+        **zero** router invocations.  Overload semantics: tickets whose
+        deadline already passed fail fast with
+        :class:`~repro.exceptions.DeadlineExceeded` (expired-in-queue
+        work is never dispatched), cold keys are rejected with
+        :class:`~repro.exceptions.CircuitOpenError` while the breaker is
+        open (warm keys keep serving from the store), and dispatched
+        jobs carry their remaining deadline budget into the farm.
         """
         start = time.perf_counter()
         batch = self.queue.pop_batch(self.batch_size if limit is None else limit)
         cold: list[QueuedJob] = []
         for ticket in batch:
+            if ticket.expired(self._clock()):
+                self._expire_ticket(ticket)
+                continue
             entry = self.store.get(ticket.digest)
+            # re-check after the read: a slow store (``slow-store-read``)
+            # can burn the whole budget on the warm path
+            if ticket.expired(self._clock()):
+                self._expire_ticket(ticket)
+                continue
             if entry is not None:
                 self._stats.cache_hits += 1
                 ticket.resolve(CompileResponse.from_store(entry))
+                self.queue.finish(ticket)
             else:
                 self._stats.cache_misses += 1
                 cold.append(ticket)
-        if cold:
-            jobs = [ticket.request.job() for ticket in cold]
+        dispatch: list[QueuedJob] = []
+        for ticket in cold:
+            if self._breaker_admits():
+                dispatch.append(ticket)
+            else:
+                self._reject_open(ticket)
+        if dispatch:
+            now = self._clock()
+            ready: list[QueuedJob] = []
+            budgets: list[float | None] = []
+            for ticket in dispatch:
+                budget = ticket.remaining_budget(now)
+                if budget is not None and budget <= 0:
+                    self._expire_ticket(ticket)
+                    continue
+                ready.append(ticket)
+                budgets.append(budget)
+            jobs = [ticket.request.job() for ticket in ready]
             self._stats.farm_dispatches += len(jobs)
             try:
-                results = self.farm.run(jobs, with_schedules=True)
-                self._absorb_farm_stats()
-                for ticket, result in zip(cold, results):
+                if jobs:
+                    results = self.farm.run(jobs, with_schedules=True, deadlines=budgets)
+                    self._absorb_farm_stats()
+                else:
+                    results = []
+                for ticket, result in zip(ready, results):
                     if isinstance(result, FarmJobError):
                         # one poisoned job fails only its own ticket —
                         # typed, dead-lettered, visible to every
-                        # coalesced waiter on the shared object
-                        self._fail_ticket(ticket, result)
+                        # coalesced waiter on the shared object.  Both
+                        # real failures and in-farm expiries count
+                        # against the breaker: either way the farm is
+                        # not completing work right now
+                        if result.error_type == "DeadlineExceeded":
+                            self._expire_ticket(ticket)
+                        else:
+                            self._fail_ticket(ticket, result)
+                        self.breaker.record_failure()
                         continue
+                    self.breaker.record_success()
                     self._store_put(ticket.digest, result)
                     ticket.resolve(CompileResponse.from_farm(ticket.digest, result))
+                    self.queue.finish(ticket)
             except BaseException as exc:
                 # tickets are already out of the queue — mark the unresolved
                 # ones failed so waiters see the error instead of hanging
-                for ticket in cold:
+                for ticket in ready:
                     if not ticket.done and not ticket.failed:
                         ticket.fail(exc)
+                        self.queue.finish(ticket)
                 raise
         # per *resolved* submission, exactly like stream(): coalesced
         # waiters each count as a completed request, but a failed
@@ -427,19 +738,46 @@ class CompileService:
             yield from self._stream_chunk(chunk)
 
     def _stream_chunk(self, chunk: list[CompileRequest]) -> Iterator[CompileResponse]:
+        # The streaming path is pull-based — the consumer's pace is its
+        # own backpressure — so admission quotas deliberately do not
+        # apply here.  Deadlines and the circuit breaker do: an expired
+        # or breaker-rejected request is typed + dead-lettered and the
+        # output count shrinks by its submissions, same as a failure.
         start = time.perf_counter()
         cold_tickets: list[QueuedJob] = []
         cold_index: dict[str, int] = {}
+        default_lane = self.queue.policy.default_lane
         for request in chunk:
             self._stats.requests += 1
             digest = request.digest()
+            deadline_at = (
+                None
+                if request.deadline_s is None
+                else self._clock() + request.deadline_s
+            )
             if digest in cold_index:
                 # already being compiled in this chunk — the shared ticket
-                # will emit one extra response when it resolves
+                # will emit one extra response when it resolves, and its
+                # deadline tightens to the strictest waiter's
                 self._stats.coalesced += 1
-                cold_tickets[cold_index[digest]].submissions += 1
+                ticket = cold_tickets[cold_index[digest]]
+                ticket.submissions += 1
+                if deadline_at is not None and (
+                    ticket.deadline_at is None or deadline_at < ticket.deadline_at
+                ):
+                    ticket.deadline_at = deadline_at
                 continue
             entry = self.store.get(digest)
+            lane = request.priority if request.priority is not None else default_lane
+            if deadline_at is not None and self._clock() >= deadline_at:
+                # the budget is gone already (e.g. a slow store read) —
+                # expired even if the key turned out warm
+                self._expire_ticket(
+                    QueuedJob(
+                        request=request, digest=digest, lane=lane, deadline_at=deadline_at
+                    )
+                )
+                continue
             if entry is not None:
                 self._stats.cache_hits += 1
                 self._stats.completed += 1
@@ -449,25 +787,53 @@ class CompileService:
             else:
                 self._stats.cache_misses += 1
                 cold_index[digest] = len(cold_tickets)
-                cold_tickets.append(QueuedJob(request=request, digest=digest))
-        if cold_tickets:
-            jobs = [ticket.request.job() for ticket in cold_tickets]
-            self._stats.farm_dispatches += len(jobs)
-            for index, result in self.farm.iter_results(jobs, with_schedules=True):
-                ticket = cold_tickets[index]
-                if isinstance(result, FarmJobError):
-                    # the stream keeps flowing for the healthy requests;
-                    # the failed ticket is typed + dead-lettered, so
-                    # callers find it on ``queue.dead_letters`` (the
-                    # output count shrinks by its submissions)
-                    self._fail_ticket(ticket, result)
+                cold_tickets.append(
+                    QueuedJob(
+                        request=request, digest=digest, lane=lane, deadline_at=deadline_at
+                    )
+                )
+        dispatch: list[QueuedJob] = []
+        for ticket in cold_tickets:
+            if self._breaker_admits():
+                dispatch.append(ticket)
+            else:
+                self._reject_open(ticket)
+        if dispatch:
+            now = self._clock()
+            ready: list[QueuedJob] = []
+            budgets: list[float | None] = []
+            for ticket in dispatch:
+                budget = ticket.remaining_budget(now)
+                if budget is not None and budget <= 0:
+                    self._expire_ticket(ticket)
                     continue
-                self._store_put(ticket.digest, result)
-                response = CompileResponse.from_farm(ticket.digest, result)
-                ticket.resolve(response)
-                for _ in range(ticket.submissions):
-                    self._stats.completed += 1
-                    self._stats.busy_s += time.perf_counter() - start
-                    yield response
-                    start = time.perf_counter()
-            self._absorb_farm_stats()
+                ready.append(ticket)
+                budgets.append(budget)
+            jobs = [ticket.request.job() for ticket in ready]
+            self._stats.farm_dispatches += len(jobs)
+            if jobs:
+                for index, result in self.farm.iter_results(
+                    jobs, with_schedules=True, deadlines=budgets
+                ):
+                    ticket = ready[index]
+                    if isinstance(result, FarmJobError):
+                        # the stream keeps flowing for the healthy requests;
+                        # the failed ticket is typed + dead-lettered, so
+                        # callers find it on ``queue.dead_letters`` (the
+                        # output count shrinks by its submissions)
+                        if result.error_type == "DeadlineExceeded":
+                            self._expire_ticket(ticket)
+                        else:
+                            self._fail_ticket(ticket, result)
+                        self.breaker.record_failure()
+                        continue
+                    self.breaker.record_success()
+                    self._store_put(ticket.digest, result)
+                    response = CompileResponse.from_farm(ticket.digest, result)
+                    ticket.resolve(response)
+                    for _ in range(ticket.submissions):
+                        self._stats.completed += 1
+                        self._stats.busy_s += time.perf_counter() - start
+                        yield response
+                        start = time.perf_counter()
+                self._absorb_farm_stats()

@@ -76,6 +76,7 @@ from repro.exceptions import QPilotError
 from repro.utils.faults import (
     CORRUPT_STORE_ENTRY,
     FAIL_STORE_WRITE,
+    SLOW_STORE_READ,
     FaultPlan,
     InjectedStoreWriteError,
 )
@@ -90,9 +91,10 @@ _SUPPORTED_SCHEMA_VERSIONS = (1, _STORE_SCHEMA_VERSION)
 
 _GZIP_MAGIC = b"\x1f\x8b"
 
-#: Age (seconds) past which another daemon's eviction lock is presumed
-#: abandoned (crashed holder) and broken.  Eviction scans take
-#: milliseconds, so this is orders of magnitude of headroom.
+#: Default age (seconds) past which another daemon's eviction lock is
+#: presumed abandoned (crashed holder) and broken.  Eviction scans take
+#: milliseconds, so this is orders of magnitude of headroom.  Tunable
+#: per store via the ``evict_lock_stale_s`` constructor parameter.
 _EVICT_LOCK_STALE_S = 30.0
 
 
@@ -238,25 +240,30 @@ class ScheduleStore:
         memory_entries: int | None = None,
         compress: bool = False,
         faults: FaultPlan | None = None,
+        evict_lock_stale_s: float = _EVICT_LOCK_STALE_S,
     ):
         if max_entries is not None and max_entries < 1:
             raise QPilotError("max_entries must be at least 1")
         if memory_entries is not None and memory_entries < 1:
             raise QPilotError("memory_entries must be at least 1")
+        if evict_lock_stale_s <= 0:
+            raise QPilotError("evict_lock_stale_s must be positive")
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.max_entries = max_entries
         self.memory_entries = memory_entries
         self.compress = compress
         self.faults = faults
+        self.evict_lock_stale_s = evict_lock_stale_s
         self.stats = StoreStats()
         # the memory tier: digest -> StoreEntry, most-recently-used last
         self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
         # entry count, maintained incrementally so bounded-store writes
         # don't re-scan the whole tree; None until first needed
         self._count: int | None = None
-        # per-digest write attempts, so bounded fault rules stop firing
+        # per-digest write/read attempts, so bounded fault rules stop firing
         self._write_attempts: dict[str, int] = {}
+        self._read_attempts: dict[str, int] = {}
 
     # -- addressing -----------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -310,7 +317,18 @@ class ScheduleStore:
         removed and the caller recompiles, which rewrites a good entry.
         Legacy schema-version-1 entries parse fine and are migrated in
         place (rewritten at the current schema and codec).
+
+        A ``slow-store-read`` fault sleeps here before the lookup —
+        *both* tiers — simulating a slow or contended disk so end-to-end
+        deadlines can expire on the warm path (chaos testing only; with
+        no plan attached this is a single ``is None`` check).
         """
+        if self.faults is not None:
+            attempt = self._read_attempts.get(digest, 0)
+            self._read_attempts[digest] = attempt + 1
+            duration = self.faults.fire_duration(SLOW_STORE_READ, digest, attempt)
+            if duration > 0:
+                time.sleep(duration)
         memory_entry = self._memory.get(digest)
         if memory_entry is not None:
             self._memory.move_to_end(digest)
@@ -452,8 +470,9 @@ class ScheduleStore:
         self._memory.clear()
         self._count = None  # recount lazily (unlinks may have failed)
         # a long-lived daemon clearing its store starts a fresh fault
-        # epoch too — per-digest write attempts must not leak forever
+        # epoch too — per-digest attempt ledgers must not leak forever
         self._write_attempts.clear()
+        self._read_attempts.clear()
         return removed
 
     def _touch(self, path: Path) -> None:
@@ -469,8 +488,8 @@ class ScheduleStore:
         Returns an open fd on success, ``None`` when another daemon holds
         the lock (its scan covers our excess too — skipping is correct,
         the bound is approximate between evictions by design).  A lock
-        older than :data:`_EVICT_LOCK_STALE_S` belonged to a crashed
-        holder and is broken.
+        older than ``evict_lock_stale_s`` belonged to a crashed holder
+        and is broken.
         """
         lock = self.root / ".evict.lock"
         for _ in range(2):  # second pass only after breaking a stale lock
@@ -481,7 +500,7 @@ class ScheduleStore:
                     age = time.time() - lock.stat().st_mtime
                 except OSError:
                     continue  # holder just released it; retry the create
-                if age <= _EVICT_LOCK_STALE_S:
+                if age <= self.evict_lock_stale_s:
                     return None
                 try:
                     lock.unlink(missing_ok=True)

@@ -28,6 +28,14 @@ Fault kinds (the compile fabric's failure modes):
   service's log-and-continue path runs.
 * ``corrupt-store-entry`` — garble the entry's bytes after a store
   write, so the next read takes the corruption-unlink repair path.
+* ``slow-store-read`` — sleep ``duration_s`` inside
+  :meth:`ScheduleStore.get` before the lookup, simulating a slow or
+  contended disk so end-to-end deadlines can expire on the warm path.
+* ``stall-dispatch`` — sleep ``duration_s`` in the farm's dispatch loop
+  before a job is submitted to its executor, simulating a stalled farm:
+  queued jobs burn their deadline budget without ever reaching a
+  worker, which is how the overload chaos suite forces deterministic
+  deadline expiries and circuit-breaker trips.
 
 Plans are carried on :class:`~repro.core.farm.FarmOptions` (compile-side
 faults) and :class:`~repro.service.store.ScheduleStore` (store-side
@@ -55,6 +63,8 @@ SLEEP_IN_COMPILE = "sleep-in-compile"
 RAISE_IN_COMPILE = "raise-in-compile"
 FAIL_STORE_WRITE = "fail-store-write"
 CORRUPT_STORE_ENTRY = "corrupt-store-entry"
+SLOW_STORE_READ = "slow-store-read"
+STALL_DISPATCH = "stall-dispatch"
 
 FAULT_KINDS = (
     CRASH_WORKER,
@@ -62,6 +72,8 @@ FAULT_KINDS = (
     RAISE_IN_COMPILE,
     FAIL_STORE_WRITE,
     CORRUPT_STORE_ENTRY,
+    SLOW_STORE_READ,
+    STALL_DISPATCH,
 )
 
 #: Environment variable holding a JSON fault plan (the CI chaos preset).
@@ -172,16 +184,25 @@ class FaultPlan:
             for rule in self.rules
         )
 
-    def sleep_duration(self, key: str, attempt: int = 0) -> float:
-        """Seconds a firing ``sleep-in-compile`` rule wants (0.0 if none)."""
+    def fire_duration(self, kind: str, key: str, attempt: int = 0) -> float:
+        """Seconds the firing rules of ``kind`` want (0.0 when none fire).
+
+        The shared body of every duration-bearing fault
+        (``sleep-in-compile``, ``slow-store-read``, ``stall-dispatch``):
+        the longest firing rule wins.
+        """
         return max(
             (
                 rule.duration_s
                 for rule in self.rules
-                if rule.kind == SLEEP_IN_COMPILE and rule.fires(self.seed, key, attempt)
+                if rule.kind == kind and rule.fires(self.seed, key, attempt)
             ),
             default=0.0,
         )
+
+    def sleep_duration(self, key: str, attempt: int = 0) -> float:
+        """Seconds a firing ``sleep-in-compile`` rule wants (0.0 if none)."""
+        return self.fire_duration(SLEEP_IN_COMPILE, key, attempt)
 
     # -- serialisation --------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
