@@ -241,6 +241,22 @@ class QuantumCircuit:
         return max(level) if level else 0
 
     # ------------------------------------------------------------------
+    # interchange
+    # ------------------------------------------------------------------
+    def to_qasm(self) -> str:
+        """Serialise to an OpenQASM 2.0 string (see :mod:`repro.circuit.qasm`)."""
+        from repro.circuit.qasm import to_qasm
+
+        return to_qasm(self)
+
+    @classmethod
+    def from_qasm(cls, text: str, *, limits=None) -> "QuantumCircuit":
+        """Parse untrusted OpenQASM 2.0 text under a :class:`CircuitLimits` guard."""
+        from repro.circuit.qasm import from_qasm
+
+        return from_qasm(text, limits=limits)
+
+    # ------------------------------------------------------------------
     # transformations
     # ------------------------------------------------------------------
     def copy(self, name: str | None = None) -> "QuantumCircuit":

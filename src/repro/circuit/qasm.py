@@ -1,15 +1,31 @@
-"""Minimal OpenQASM 2 export / import.
+"""Hardened OpenQASM 2 export / import.
 
 Only the subset of OpenQASM 2.0 needed to round-trip this library's
 circuits is supported (one quantum register, the gate names in
 :mod:`repro.circuit.gate`).  This exists so users can move compiled
-baseline circuits in and out of other toolchains.
+baseline circuits in and out of other toolchains — and, since the
+serving stack accepts user uploads, the import path treats its input
+as **untrusted**:
+
+- gate parameters are evaluated by a small recursive-descent arithmetic
+  parser (numbers, ``pi``, ``+ - * /``, unary minus, parentheses) —
+  never ``eval`` — so hostile expressions like ``9**9**9`` or
+  ``__import__`` are rejected in microseconds with a typed error;
+- operand indices are validated against the declared ``qreg`` size,
+  duplicate operands and conflicting / missing ``qreg`` declarations
+  are rejected;
+- a :class:`CircuitLimits` resource guard bounds text bytes, qubits,
+  gate count and expression nesting *before* any gate object is built.
+
+Every rejection raises :class:`repro.exceptions.CircuitError` carrying
+the 1-based ``line`` and ``column`` of the offending token.
 """
 
 from __future__ import annotations
 
 import math
 import re
+from dataclasses import dataclass
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gate import Gate, parameter_count
@@ -59,8 +75,40 @@ _QASM_NAMES = {
 _REVERSE_NAMES = {v: k for k, v in _QASM_NAMES.items()}
 _REVERSE_NAMES["u3"] = "u"
 
-_GATE_RE = re.compile(r"^\s*([a-zA-Z_][\w]*)\s*(?:\(([^)]*)\))?\s+(.*?);\s*$")
-_OPERAND_RE = re.compile(r"q\[(\d+)\]")
+
+@dataclass(frozen=True)
+class CircuitLimits:
+    """Resource guard applied to untrusted QASM before any gate is built.
+
+    The defaults comfortably cover every workload this library generates
+    while keeping a hostile upload from exhausting memory or CPU: the
+    text-byte cap is checked before the parser touches the input, the
+    qubit cap at the ``qreg`` declaration, the gate cap as statements
+    accumulate, and the parse-depth cap inside the angle-expression
+    parser.  Use :meth:`unbounded` to parse trusted, already-validated
+    text (e.g. re-building a content-addressed workload in a farm
+    worker).
+    """
+
+    max_qubits: int = 256
+    max_gates: int = 100_000
+    max_text_bytes: int = 1_000_000
+    max_parse_depth: int = 32
+
+    def __post_init__(self) -> None:
+        for field in ("max_qubits", "max_gates", "max_text_bytes", "max_parse_depth"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < 1:
+                raise CircuitError(f"CircuitLimits.{field} must be a positive int, got {value!r}")
+
+    @classmethod
+    def unbounded(cls) -> "CircuitLimits":
+        """Limits large enough to never trigger (for pre-validated text)."""
+        big = 2**62
+        return cls(max_qubits=big, max_gates=big, max_text_bytes=big, max_parse_depth=10_000)
+
+
+DEFAULT_LIMITS = CircuitLimits()
 
 
 def to_qasm(circuit: QuantumCircuit) -> str:
@@ -98,56 +146,346 @@ def _format_angle(value: float) -> str:
     return repr(float(value))
 
 
-def _parse_angle(token: str) -> float:
-    token = token.strip().replace(" ", "")
-    if not token:
-        raise CircuitError("empty parameter in QASM gate")
-    token = token.replace("pi", repr(math.pi))
-    try:
-        return float(eval(token, {"__builtins__": {}}, {}))  # noqa: S307 - restricted eval of arithmetic
-    except Exception as exc:  # pragma: no cover - defensive
-        raise CircuitError(f"cannot parse QASM angle {token!r}") from exc
+_NUMBER_RE = re.compile(r"(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][+-]?\d+)?")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_INDEXED_OPERAND_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*)\s*\[\s*(\d+)\s*\]$")
+_QREG_RE = re.compile(r"^qreg\s+([A-Za-z_][A-Za-z_0-9]*)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+([A-Za-z_][A-Za-z_0-9]*)\s*\[\s*(\d+)\s*\]$")
+_MEASURE_RE = re.compile(
+    r"^measure\s+([A-Za-z_][A-Za-z_0-9]*)\s*\[\s*(\d+)\s*\]"
+    r"\s*->\s*([A-Za-z_][A-Za-z_0-9]*)\s*\[\s*(\d+)\s*\]$"
+)
 
 
-def from_qasm(text: str) -> QuantumCircuit:
-    """Parse an OpenQASM 2.0 string produced by :func:`to_qasm`."""
-    num_qubits = None
+class _AngleParser:
+    """Recursive-descent evaluator for the QASM angle expression grammar.
+
+    ``expr := term (('+'|'-') term)*``;
+    ``term := factor (('*'|'/') factor)*``;
+    ``factor := ('+'|'-') factor | '(' expr ')' | NUMBER | 'pi'``.
+
+    Nesting is bounded by ``max_depth`` and every error carries the
+    1-based line and column of the offending character in the original
+    source line (``col_offset`` is the 0-based index where this
+    expression starts within that line).
+    """
+
+    def __init__(self, text: str, line_no: int, col_offset: int, max_depth: int):
+        self.text = text
+        self.pos = 0
+        self.line_no = line_no
+        self.col_offset = col_offset
+        self.max_depth = max_depth
+
+    def error(self, message: str, pos: int | None = None) -> CircuitError:
+        at = self.pos if pos is None else pos
+        return CircuitError(
+            f"line {self.line_no}: {message}",
+            line=self.line_no,
+            column=self.col_offset + at + 1,
+        )
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse(self) -> float:
+        if not self.text.strip():
+            raise self.error("empty parameter in QASM gate", pos=0)
+        value = self._expr(0)
+        self._skip_ws()
+        if self.pos < len(self.text):
+            raise self.error(f"unexpected {self.text[self.pos]!r} in angle expression")
+        if not math.isfinite(value):
+            raise self.error("angle expression is not finite", pos=0)
+        return value
+
+    def _expr(self, depth: int) -> float:
+        value = self._term(depth)
+        while True:
+            self._skip_ws()
+            op = self._peek()
+            if op not in ("+", "-"):
+                return value
+            self.pos += 1
+            rhs = self._term(depth)
+            value = value + rhs if op == "+" else value - rhs
+
+    def _term(self, depth: int) -> float:
+        value = self._factor(depth)
+        while True:
+            self._skip_ws()
+            op = self._peek()
+            if op not in ("*", "/"):
+                return value
+            op_pos = self.pos
+            self.pos += 1
+            rhs = self._factor(depth)
+            if op == "/":
+                if rhs == 0.0:
+                    raise self.error("division by zero in angle expression", pos=op_pos)
+                value = value / rhs
+            else:
+                value = value * rhs
+
+    def _factor(self, depth: int) -> float:
+        if depth >= self.max_depth:
+            raise self.error(f"angle expression nested deeper than {self.max_depth}")
+        self._skip_ws()
+        char = self._peek()
+        if char == "-":
+            self.pos += 1
+            return -self._factor(depth + 1)
+        if char == "+":
+            self.pos += 1
+            return self._factor(depth + 1)
+        if char == "(":
+            self.pos += 1
+            value = self._expr(depth + 1)
+            self._skip_ws()
+            if self._peek() != ")":
+                raise self.error("unclosed '(' in angle expression")
+            self.pos += 1
+            return value
+        match = _NUMBER_RE.match(self.text, self.pos)
+        if match:
+            self.pos = match.end()
+            return float(match.group())
+        match = _IDENT_RE.match(self.text, self.pos)
+        if match:
+            if match.group() != "pi":
+                raise self.error(f"unknown identifier {match.group()!r} in angle expression")
+            self.pos = match.end()
+            return math.pi
+        if not char:
+            raise self.error("angle expression ended unexpectedly")
+        raise self.error(f"unexpected {char!r} in angle expression")
+
+
+def _parse_angle(
+    token: str,
+    *,
+    line_no: int = 0,
+    col_offset: int = 0,
+    max_depth: int = DEFAULT_LIMITS.max_parse_depth,
+) -> float:
+    """Safely evaluate one QASM angle expression (no ``eval``)."""
+    return _AngleParser(token, line_no, col_offset, max_depth).parse()
+
+
+def _err(message: str, line_no: int, column: int) -> CircuitError:
+    return CircuitError(f"line {line_no}: {message}", line=line_no, column=column)
+
+
+def _iter_statements(text: str):
+    """Yield ``(line_no, col, statement)`` triples, one per ``;``-terminated statement.
+
+    Comments are stripped; a non-blank trailer without a terminating
+    semicolon is an error.  Columns are 0-based offsets into the
+    original line so downstream errors can point at exact characters.
+    """
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        code = raw_line.split("//")[0]
+        pos = 0
+        while pos < len(code):
+            semi = code.find(";", pos)
+            if semi < 0:
+                trailer = code[pos:]
+                if trailer.strip():
+                    column = pos + (len(trailer) - len(trailer.lstrip())) + 1
+                    raise _err(f"statement missing ';': {trailer.strip()!r}", line_no, column)
+                break
+            statement = code[pos:semi]
+            lead = len(statement) - len(statement.lstrip())
+            stripped = statement.strip()
+            if stripped:
+                yield line_no, pos + lead, stripped
+            pos = semi + 1
+
+
+def _split_gate_statement(
+    statement: str, line_no: int, col: int
+) -> tuple[str, str | None, int, str, int]:
+    """Split ``name(params) operands`` → (name, params, params_col, operands, operands_col)."""
+    match = _IDENT_RE.match(statement)
+    if match is None:
+        raise _err(f"cannot parse statement: {statement!r}", line_no, col + 1)
+    name = match.group()
+    pos = match.end()
+    while pos < len(statement) and statement[pos] in " \t":
+        pos += 1
+    params_text: str | None = None
+    params_col = col + pos
+    if pos < len(statement) and statement[pos] == "(":
+        depth = 1
+        start = pos + 1
+        scan = start
+        while scan < len(statement) and depth:
+            if statement[scan] == "(":
+                depth += 1
+            elif statement[scan] == ")":
+                depth -= 1
+            scan += 1
+        if depth:
+            raise _err("unclosed '(' in gate parameters", line_no, col + pos + 1)
+        params_text = statement[start : scan - 1]
+        params_col = col + start
+        pos = scan
+    operands = statement[pos:]
+    lead = len(operands) - len(operands.lstrip())
+    return name, params_text, params_col, operands.strip(), col + pos + lead
+
+
+def _parse_operands(
+    operand_text: str,
+    operands_col: int,
+    line_no: int,
+    register: tuple[str, int],
+    *,
+    gate_name: str,
+) -> tuple[int, ...]:
+    """Validate a comma-separated operand list against the declared qreg."""
+    reg_name, reg_size = register
+    if not operand_text:
+        raise _err(f"gate {gate_name} has no operands", line_no, operands_col + 1)
+    if gate_name == "barrier" and operand_text.strip() == reg_name:
+        return tuple(range(reg_size))
+    qubits: list[int] = []
+    cursor = operands_col
+    for part in operand_text.split(","):
+        lead = len(part) - len(part.lstrip())
+        column = cursor + lead + 1
+        token = part.strip()
+        match = _INDEXED_OPERAND_RE.match(token)
+        if match is None:
+            raise _err(
+                f"cannot parse operand {token!r} (expected {reg_name}[<index>])",
+                line_no,
+                column,
+            )
+        name, index_text = match.groups()
+        if name != reg_name:
+            raise _err(f"operand references undeclared register {name!r}", line_no, column)
+        index = int(index_text)
+        if index >= reg_size:
+            raise _err(
+                f"operand {name}[{index}] out of range for qreg {reg_name}[{reg_size}]",
+                line_no,
+                column,
+            )
+        if index in qubits:
+            raise _err(f"duplicate operand {name}[{index}] in {gate_name}", line_no, column)
+        qubits.append(index)
+        cursor += len(part) + 1
+    return tuple(qubits)
+
+
+def from_qasm(text: str, *, limits: CircuitLimits | None = None) -> QuantumCircuit:
+    """Parse an untrusted OpenQASM 2.0 string into a :class:`QuantumCircuit`.
+
+    ``limits`` defaults to :data:`DEFAULT_LIMITS`; every validation
+    failure raises a :class:`CircuitError` carrying ``line``/``column``.
+    """
+    if limits is None:
+        limits = DEFAULT_LIMITS
+    nbytes = len(text.encode("utf-8", errors="surrogatepass"))
+    if nbytes > limits.max_text_bytes:
+        raise CircuitError(
+            f"QASM text is {nbytes} bytes, over the {limits.max_text_bytes}-byte limit"
+        )
+    register: tuple[str, int] | None = None
     gates: list[Gate] = []
-    for raw_line in text.splitlines():
-        line = raw_line.split("//")[0].strip()
-        if not line or line.startswith("OPENQASM") or line.startswith("include"):
+    for line_no, col, statement in _iter_statements(text):
+        if statement.startswith("OPENQASM") or statement.startswith("include"):
             continue
-        if line.startswith("qreg"):
-            match = re.search(r"\[(\d+)\]", line)
-            if not match:
-                raise CircuitError(f"cannot parse qreg declaration: {line}")
-            num_qubits = int(match.group(1))
+        if statement.startswith("qreg"):
+            match = _QREG_RE.match(statement)
+            if match is None:
+                raise _err(f"cannot parse qreg declaration: {statement!r}", line_no, col + 1)
+            name, size_text = match.groups()
+            size = int(size_text)
+            if register is not None:
+                prior = f"{register[0]}[{register[1]}]"
+                raise _err(
+                    f"conflicting qreg {name}[{size}] (already declared {prior})",
+                    line_no,
+                    col + 1,
+                )
+            if size < 1:
+                raise _err(f"qreg {name}[{size}] must hold at least one qubit", line_no, col + 1)
+            if size > limits.max_qubits:
+                raise _err(
+                    f"qreg {name}[{size}] exceeds the {limits.max_qubits}-qubit limit",
+                    line_no,
+                    col + 1,
+                )
+            register = (name, size)
             continue
-        if line.startswith("creg"):
+        if statement.startswith("creg"):
+            if _CREG_RE.match(statement) is None:
+                raise _err(f"cannot parse creg declaration: {statement!r}", line_no, col + 1)
             continue
-        if line.startswith("measure"):
-            match = _OPERAND_RE.search(line)
-            if not match:
-                raise CircuitError(f"cannot parse measure: {line}")
-            gates.append(Gate("measure", (int(match.group(1)),)))
+        if register is None:
+            raise _err(
+                f"statement before any qreg declaration: {statement!r}", line_no, col + 1
+            )
+        if len(gates) >= limits.max_gates:
+            raise _err(
+                f"circuit exceeds the {limits.max_gates}-gate limit", line_no, col + 1
+            )
+        if statement.startswith("measure"):
+            match = _MEASURE_RE.match(statement)
+            if match is None:
+                raise _err(f"cannot parse measure: {statement!r}", line_no, col + 1)
+            reg_name, reg_size = register
+            name, index = match.group(1), int(match.group(2))
+            if name != reg_name:
+                raise _err(f"measure references undeclared register {name!r}", line_no, col + 1)
+            if index >= reg_size:
+                raise _err(
+                    f"measure {name}[{index}] out of range for qreg {reg_name}[{reg_size}]",
+                    line_no,
+                    col + 1,
+                )
+            gates.append(Gate("measure", (index,)))
             continue
-        match = _GATE_RE.match(line)
-        if not match:
-            raise CircuitError(f"cannot parse QASM line: {line}")
-        qasm_name, params_text, operand_text = match.groups()
+        qasm_name, params_text, params_col, operand_text, operands_col = _split_gate_statement(
+            statement, line_no, col
+        )
         name = _REVERSE_NAMES.get(qasm_name)
         if name is None:
-            raise CircuitError(f"unsupported QASM gate {qasm_name}")
-        qubits = tuple(int(m) for m in _OPERAND_RE.findall(operand_text))
+            raise _err(f"unsupported QASM gate {qasm_name!r}", line_no, col + 1)
         params: tuple[float, ...] = ()
-        if params_text:
-            params = tuple(_parse_angle(tok) for tok in params_text.split(","))
+        if params_text is not None:
+            parts = params_text.split(",")
+            values = []
+            cursor = params_col
+            for part in parts:
+                values.append(
+                    _parse_angle(
+                        part,
+                        line_no=line_no,
+                        col_offset=cursor,
+                        max_depth=limits.max_parse_depth,
+                    )
+                )
+                cursor += len(part) + 1
+            params = tuple(values)
         expected = parameter_count(name)
-        if name not in {"barrier"} and expected != len(params):
-            raise CircuitError(
-                f"gate {name} expects {expected} params, QASM line has {len(params)}: {line}"
+        if name != "barrier" and expected != len(params):
+            raise _err(
+                f"gate {name} expects {expected} params, got {len(params)}", line_no, col + 1
             )
-        gates.append(Gate(name, qubits, params))
-    if num_qubits is None:
+        qubits = _parse_operands(
+            operand_text, operands_col, line_no, register, gate_name=name
+        )
+        try:
+            gates.append(Gate(name, qubits, params))
+        except CircuitError as exc:
+            raise _err(str(exc), line_no, col + 1) from exc
+    if register is None:
         raise CircuitError("QASM text does not declare a qreg")
-    return QuantumCircuit(num_qubits, gates, name="from_qasm")
+    return QuantumCircuit(register[1], gates, name="from_qasm")

@@ -61,6 +61,7 @@ VOLATILE_SWEEP_META_KEYS = frozenset(
         "pool_respawns",
         "timeouts",
         "failed_jobs",
+        "expired",
     }
 )
 

@@ -106,8 +106,12 @@ from repro.core.qsim_router import QSimRouterOptions
 from repro.exceptions import DeadlineExceeded, QPilotError
 from repro.hardware.fpqa import FPQAConfig
 
-#: Workload families the farm understands.
-WORKLOAD_KINDS = ("circuit", "qsim", "qaoa")
+#: Workload families the farm understands.  ``circuit``/``qsim``/``qaoa``
+#: are the synthetic paper benchmarks; ``qasm`` carries untrusted
+#: user-uploaded OpenQASM text (content-addressed by its sha1); ``qec``
+#: and ``molecule`` expose the seed repo's surface-code and chemistry
+#: workloads to the farm and the serving stack.
+WORKLOAD_KINDS = ("circuit", "qsim", "qaoa", "qasm", "qec", "molecule")
 
 
 def _canonical_params(params: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
@@ -144,6 +148,61 @@ class WorkloadSpec:
             )
         if self.num_qubits < 1:
             raise QPilotError("workload needs at least one qubit")
+        if self.kind == "qasm":
+            self._validate_qasm()
+        elif self.kind == "qec":
+            self._validate_qec()
+        elif self.kind == "molecule":
+            self._validate_molecule()
+
+    def _validate_qasm(self) -> None:
+        """A qasm spec cannot exist with unparsable text or a wrong size.
+
+        The ingestion boundary (:meth:`qasm` / ``CompileService.submit_qasm``)
+        already applied a :class:`repro.circuit.CircuitLimits` guard; this
+        re-parse (unbounded, structural only) guarantees that hand-built or
+        archived specs are equally incapable of smuggling invalid text past
+        the validators and into a farm worker.
+        """
+        from repro.circuit.qasm import CircuitLimits, from_qasm
+
+        text = self.param("qasm")
+        if not isinstance(text, str) or not text.strip():
+            raise QPilotError("qasm workload needs a non-empty 'qasm' text param")
+        circuit = from_qasm(text, limits=CircuitLimits.unbounded())
+        if circuit.num_qubits != self.num_qubits:
+            raise QPilotError(
+                f"qasm spec claims {self.num_qubits} qubits but the text declares "
+                f"qreg[{circuit.num_qubits}]"
+            )
+
+    def _validate_qec(self) -> None:
+        distance = self.param("distance")
+        rounds = self.param("rounds", 1)
+        if not isinstance(distance, int) or distance < 2:
+            raise QPilotError(f"qec workload needs an int distance >= 2, got {distance!r}")
+        if not isinstance(rounds, int) or rounds < 1:
+            raise QPilotError(f"qec workload needs an int rounds >= 1, got {rounds!r}")
+        expected = 2 * distance * distance - 1
+        if self.num_qubits != expected:
+            raise QPilotError(
+                f"distance-{distance} surface code uses {expected} qubits "
+                f"(data + ancilla), spec claims {self.num_qubits}"
+            )
+
+    def _validate_molecule(self) -> None:
+        from repro.workloads.molecules import MOLECULES
+
+        molecule = self.param("molecule")
+        if molecule not in MOLECULES:
+            raise QPilotError(
+                f"unknown molecule {molecule!r}; choose from {sorted(MOLECULES)}"
+            )
+        expected = MOLECULES[molecule].num_qubits
+        if self.num_qubits != expected:
+            raise QPilotError(
+                f"molecule {molecule} uses {expected} qubits, spec claims {self.num_qubits}"
+            )
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -250,6 +309,68 @@ class WorkloadSpec:
             params=_canonical_params({"graph": "edges", "edges": edge_tuple, "layers": layers}),
         )
 
+    @classmethod
+    def qasm(
+        cls, text: str, *, limits: "CircuitLimits | None" = None, name: str | None = None
+    ) -> "WorkloadSpec":
+        """Untrusted OpenQASM 2.0 upload, content-addressed by its sha1.
+
+        The text is validated under ``limits`` (default
+        :data:`repro.circuit.DEFAULT_LIMITS`) *here*, before the spec —
+        and therefore any farm job — exists; a :class:`CircuitError`
+        with line/column escapes on anything malformed, hostile or
+        oversized.  Identical text yields an identical
+        :meth:`fingerprint` (the name is excluded from it), so repeat
+        uploads coalesce in the queue and warm-serve from the store
+        exactly like synthetic workloads.
+        """
+        from repro.circuit.qasm import from_qasm
+
+        circuit = from_qasm(text, limits=limits)
+        sha1 = hashlib.sha1(text.encode("utf-8", errors="surrogatepass")).hexdigest()
+        return cls(
+            kind="qasm",
+            name=name or f"qasm_{sha1[:12]}",
+            num_qubits=circuit.num_qubits,
+            params=_canonical_params({"qasm": text}),
+        )
+
+    @classmethod
+    def qec_surface_code(
+        cls, distance: int, *, rounds: int = 1, name: str | None = None
+    ) -> "WorkloadSpec":
+        """Surface-code syndrome-extraction circuit (``workloads/qec.py``).
+
+        ``distance²`` data qubits plus ``distance² − 1`` stabilizer
+        ancillas, measured ``rounds`` times.
+        """
+        distance = int(distance)
+        rounds = int(rounds)
+        return cls(
+            kind="qec",
+            name=name or f"surface_d{distance}_r{rounds}",
+            num_qubits=2 * distance * distance - 1,
+            params=_canonical_params(
+                {"code": "surface", "distance": distance, "rounds": rounds}
+            ),
+        )
+
+    @classmethod
+    def molecule(cls, molecule: str, *, name: str | None = None) -> "WorkloadSpec":
+        """Table 1 molecular Hamiltonian (``workloads/molecules.py``)."""
+        from repro.workloads.molecules import MOLECULES
+
+        if molecule not in MOLECULES:
+            raise QPilotError(
+                f"unknown molecule {molecule!r}; choose from {sorted(MOLECULES)}"
+            )
+        return cls(
+            kind="molecule",
+            name=name or f"molecule_{molecule}",
+            num_qubits=MOLECULES[molecule].num_qubits,
+            params=_canonical_params({"molecule": molecule}),
+        )
+
     # -- materialisation ------------------------------------------------
     def param(self, key: str, default=None):
         for k, v in self.params:
@@ -257,8 +378,31 @@ class WorkloadSpec:
                 return v
         return default
 
+    def qasm_sha1(self) -> str:
+        """Content hash of an uploaded QASM text (the upload's identity)."""
+        if self.kind != "qasm":
+            raise QPilotError(f"qasm_sha1 is only defined for qasm workloads, not {self.kind}")
+        text = self.param("qasm")
+        return hashlib.sha1(text.encode("utf-8", errors="surrogatepass")).hexdigest()
+
     def build(self):
         """Materialise the workload object (circuit / strings / edge list)."""
+        if self.kind == "qasm":
+            from repro.circuit.qasm import CircuitLimits, from_qasm
+
+            # Ingestion already validated under real limits; the unbounded
+            # re-parse here just rebuilds the (content-addressed) circuit.
+            return from_qasm(self.param("qasm"), limits=CircuitLimits.unbounded())
+        if self.kind == "qec":
+            from repro.workloads.qec import surface_code_syndrome_circuit
+
+            return surface_code_syndrome_circuit(
+                self.param("distance"), rounds=self.param("rounds", 1)
+            )
+        if self.kind == "molecule":
+            from repro.workloads.molecules import molecule_pauli_strings
+
+            return molecule_pauli_strings(self.param("molecule"))
         if self.kind == "circuit":
             from repro.circuit.random_circuits import random_cx_circuit
 
@@ -294,9 +438,9 @@ class WorkloadSpec:
     def compile_with(self, compiler: QPilotCompiler, built=None) -> CompilationResult:
         """Compile this workload with the right router of ``compiler``."""
         workload = self.build() if built is None else built
-        if self.kind == "circuit":
+        if self.kind in ("circuit", "qasm", "qec"):
             return compiler.compile_circuit(workload)
-        if self.kind == "qsim":
+        if self.kind in ("qsim", "molecule"):
             return compiler.compile_pauli_strings(workload)
         return compiler.compile_qaoa(
             self.num_qubits, workload, layers=int(self.param("layers", 1))

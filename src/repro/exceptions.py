@@ -13,7 +13,18 @@ class QPilotError(Exception):
 
 
 class CircuitError(QPilotError):
-    """Raised for malformed circuits or invalid gate constructions."""
+    """Raised for malformed circuits or invalid gate constructions.
+
+    Errors raised while parsing OpenQASM text additionally carry the
+    1-based ``line`` and ``column`` of the offending token so callers
+    (and the service's rejection responses) can point at the exact
+    source location; both are ``None`` for errors without one.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class DecompositionError(CircuitError):
@@ -104,6 +115,25 @@ class CircuitOpenError(QPilotError):
     def __init__(self, message: str, *, digest: str | None = None):
         super().__init__(message)
         self.digest = digest
+
+
+class InvalidCircuitError(QPilotError):
+    """An untrusted circuit was rejected at the service's ingestion boundary.
+
+    Raised by :meth:`repro.service.CompileService.submit_qasm` (and the
+    ``--qasm`` CLI path) when user-supplied OpenQASM fails validation —
+    unparsable text, out-of-range or duplicate operands, conflicting or
+    missing ``qreg``, or a breach of the :class:`repro.circuit.CircuitLimits`
+    resource guard.  The underlying :class:`CircuitError` is chained as
+    ``__cause__``; ``line`` / ``column`` locate the offending token when
+    known.  Rejections are counted in ``ServiceStats.rejected_invalid``
+    and never reach the farm or the dead-letter list.
+    """
+
+    def __init__(self, message: str, *, line: int | None = None, column: int | None = None):
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class CompileError(QPilotError):

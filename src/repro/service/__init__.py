@@ -35,6 +35,16 @@ farm, and a :class:`CircuitBreaker` around farm dispatch fails cold keys
 fast (:class:`~repro.exceptions.CircuitOpenError`) while warm keys keep
 serving from the store.
 
+PR 9 opens the front door to *untrusted* circuits:
+:meth:`CompileService.submit_qasm` (and ``compile --qasm file.oq`` on
+the CLI) validates user-supplied OpenQASM under a
+:class:`~repro.circuit.CircuitLimits` resource guard before any queue
+ticket exists — rejections are typed
+(:class:`~repro.exceptions.InvalidCircuitError`, with line/column),
+counted in ``ServiceStats.rejected_invalid``, and never reach the farm
+or the dead-letter list, while valid uploads are content-addressed by
+their sha1 and coalesce/warm-serve exactly like synthetic workloads.
+
 Quick start::
 
     from repro.core import WorkloadSpec
@@ -53,6 +63,7 @@ from repro.exceptions import (
     CircuitOpenError,
     CompileError,
     DeadlineExceeded,
+    InvalidCircuitError,
     LoadShedError,
 )
 from repro.service.queue import CompileRequest, JobQueue, QueuedJob, QueuePolicy
@@ -78,6 +89,7 @@ __all__ = [
     "DeadlineExceeded",
     "FaultPlan",
     "FaultRule",
+    "InvalidCircuitError",
     "JobQueue",
     "LoadShedError",
     "QueuePolicy",

@@ -29,6 +29,15 @@ Overload knobs (PR 8): ``--client-id``, ``--priority`` and
 ``--evict-lock-stale-s`` tunes the store's eviction-lock staleness
 cutoff.  The stats output reports the overload counters (rejected /
 shed / expired, breaker state and trips, dead-letter drops).
+
+Untrusted circuits (PR 9): ``--qasm FILE`` compiles/sweeps a
+user-supplied OpenQASM 2.0 file through the service's hardened
+ingestion boundary instead of a synthetic ``--kind`` workload, and
+``--kind qec`` / ``--kind molecule`` (with ``--distance``/``--rounds``
+and ``--molecule``) expose the surface-code and chemistry workloads.
+Invalid QASM exits with status **2** and a typed one-line rejection
+(error type, line, column) — never a traceback; valid uploads are
+content-addressed so a repeat upload is a store hit.
 """
 
 from __future__ import annotations
@@ -41,10 +50,14 @@ from typing import Sequence
 
 from repro.core.dse import SweepResult
 from repro.core.farm import FarmOptions, WorkloadSpec
+from repro.exceptions import InvalidCircuitError
 from repro.service.queue import CompileRequest
 from repro.service.service import DEFAULT_MEMORY_ENTRIES, CompileService
 from repro.service.store import ScheduleStore
 from repro.utils.faults import FaultPlan
+
+#: Exit status for a typed ingestion rejection (invalid untrusted QASM).
+EXIT_INVALID_CIRCUIT = 2
 
 
 def _service_from_args(args: argparse.Namespace) -> CompileService:
@@ -77,9 +90,17 @@ def _request_options(args: argparse.Namespace) -> FarmOptions:
 def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--kind",
-        choices=("circuit", "qsim", "qaoa"),
+        choices=("circuit", "qsim", "qaoa", "qec", "molecule"),
         default="circuit",
         help="workload family (default: circuit)",
+    )
+    parser.add_argument(
+        "--qasm",
+        default=None,
+        metavar="FILE",
+        help="compile an untrusted OpenQASM 2.0 file instead of --kind "
+        "(validated at the service's ingestion boundary; invalid input "
+        f"exits {EXIT_INVALID_CIRCUIT} with a typed rejection)",
     )
     parser.add_argument("--qubits", type=int, default=16, help="number of data qubits")
     parser.add_argument("--seed", type=int, default=2024, help="workload RNG seed")
@@ -95,16 +116,52 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--edge-probability", type=float, default=0.3, help="[qaoa] G(n, p) edge probability"
     )
+    parser.add_argument(
+        "--distance", type=int, default=3, help="[qec] surface-code distance"
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=1, help="[qec] syndrome-extraction rounds"
+    )
+    parser.add_argument(
+        "--molecule",
+        default="H2",
+        help="[molecule] Table 1 molecule name (H2, LiH_UCCSD, H2O, BeH2)",
+    )
 
 
-def _workload_from_args(args: argparse.Namespace) -> WorkloadSpec:
+def _workload_from_args(args: argparse.Namespace, service: CompileService) -> WorkloadSpec:
+    if args.qasm:
+        text = Path(args.qasm).read_text(encoding="utf-8")
+        return service.ingest_qasm(text)
     if args.kind == "circuit":
         return WorkloadSpec.random_circuit(args.qubits, args.gate_multiple, seed=args.seed)
     if args.kind == "qsim":
         return WorkloadSpec.qsim(
             args.qubits, args.pauli_probability, num_strings=args.num_strings, seed=args.seed
         )
+    if args.kind == "qec":
+        return WorkloadSpec.qec_surface_code(args.distance, rounds=args.rounds)
+    if args.kind == "molecule":
+        return WorkloadSpec.molecule(args.molecule)
     return WorkloadSpec.qaoa_random_graph(args.qubits, args.edge_probability, seed=args.seed)
+
+
+def _print_invalid(exc: InvalidCircuitError, args: argparse.Namespace) -> int:
+    """Report a typed ingestion rejection (never a traceback)."""
+    if args.json:
+        payload = {
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "line": exc.line,
+                "column": exc.column,
+            }
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        where = "" if exc.line is None else f" (line {exc.line}, column {exc.column})"
+        print(f"rejected: {type(exc).__name__}{where}: {exc}", file=sys.stderr)
+    return EXIT_INVALID_CIRCUIT
 
 
 def _stats_dict(service: CompileService) -> dict:
@@ -144,8 +201,12 @@ def _response_dict(response) -> dict:
 
 def _cmd_compile(args: argparse.Namespace) -> int:
     service = _service_from_args(args)
+    try:
+        workload = _workload_from_args(args, service)
+    except InvalidCircuitError as exc:
+        return _print_invalid(exc, args)
     request = CompileRequest.for_width(
-        _workload_from_args(args),
+        workload,
         args.width,
         options=_request_options(args),
         client_id=args.client_id,
@@ -170,7 +231,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     service = _service_from_args(args)
-    workload = _workload_from_args(args)
+    try:
+        workload = _workload_from_args(args, service)
+    except InvalidCircuitError as exc:
+        return _print_invalid(exc, args)
     options = _request_options(args)
     requests = [
         CompileRequest.for_width(

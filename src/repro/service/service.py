@@ -71,6 +71,7 @@ from repro.core.farm import (
     FarmOptions,
     FarmPolicy,
     PointMetrics,
+    WorkloadSpec,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,11 +79,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import (
     AdmissionError,
+    CircuitError,
     CircuitOpenError,
     DeadlineExceeded,
+    InvalidCircuitError,
     LoadShedError,
     QPilotError,
 )
+from repro.hardware.fpqa import FPQAConfig
 from repro.service.queue import (
     FAILED,
     CompileRequest,
@@ -280,6 +284,11 @@ class ServiceStats:
     the bounded dead-letter list).  ``breaker_state``/``breaker_trips``
     and the per-lane ``lane_depths`` snapshot complete the overload
     picture.
+
+    ``rejected_invalid`` counts untrusted uploads refused at the
+    ingestion boundary (:meth:`CompileService.submit_qasm`) — malformed
+    or resource-guard-breaching QASM that never became a queue ticket,
+    never reached the farm and never dead-lettered.
     """
 
     requests: int = 0
@@ -297,6 +306,7 @@ class ServiceStats:
     store_write_errors: int = 0
     degraded: bool = False
     rejected: int = 0
+    rejected_invalid: int = 0
     shed: int = 0
     expired: int = 0
     dead_letters_dropped: int = 0
@@ -333,6 +343,7 @@ class ServiceStats:
             "store_write_errors": self.store_write_errors,
             "degraded": self.degraded,
             "rejected": self.rejected,
+            "rejected_invalid": self.rejected_invalid,
             "shed": self.shed,
             "expired": self.expired,
             "dead_letters_dropped": self.dead_letters_dropped,
@@ -643,13 +654,8 @@ class CompileService:
             resolved.extend(self.process_batch())
         return resolved
 
-    def compile(self, request: CompileRequest) -> CompileResponse:
-        """Synchronous convenience: submit one request and resolve it now.
-
-        Coalesces with any identical request already queued (both tickets
-        resolve together, in queue order).
-        """
-        ticket = self.submit(request)
+    def resolve(self, ticket: QueuedJob) -> CompileResponse:
+        """Drive the service loop until ``ticket`` resolves (or raise typed)."""
         while not ticket.done:
             if ticket.status == FAILED:
                 ticket.raise_error()
@@ -657,6 +663,79 @@ class CompileService:
                 raise QPilotError("ticket pending but queue empty — ticket failed?")
             self.process_batch()
         return ticket.response
+
+    def compile(self, request: CompileRequest) -> CompileResponse:
+        """Synchronous convenience: submit one request and resolve it now.
+
+        Coalesces with any identical request already queued (both tickets
+        resolve together, in queue order).
+        """
+        return self.resolve(self.submit(request))
+
+    # -- untrusted ingestion ----------------------------------------------
+    def ingest_qasm(self, text: str, *, limits=None, name: str | None = None) -> WorkloadSpec:
+        """Validate untrusted OpenQASM text into a content-addressed spec.
+
+        This is the abuse boundary: the text is parsed under ``limits``
+        (default :data:`repro.circuit.DEFAULT_LIMITS`) before any queue
+        ticket or farm job exists.  A failure — syntax, hostile angle
+        expression, out-of-range or duplicate operands, missing or
+        conflicting ``qreg``, resource-guard breach — increments
+        ``ServiceStats.rejected_invalid`` and raises a typed
+        :class:`~repro.exceptions.InvalidCircuitError` carrying the
+        offending line/column, with the underlying
+        :class:`~repro.exceptions.CircuitError` chained as ``__cause__``.
+        Invalid input is **never** dispatched and never dead-letters.
+        """
+        try:
+            return WorkloadSpec.qasm(text, limits=limits, name=name)
+        except CircuitError as exc:
+            self._stats.rejected_invalid += 1
+            raise InvalidCircuitError(
+                f"invalid QASM circuit rejected: {exc}",
+                line=getattr(exc, "line", None),
+                column=getattr(exc, "column", None),
+            ) from exc
+
+    def submit_qasm(
+        self,
+        text: str,
+        *,
+        width: int | None = None,
+        config: "FPQAConfig | None" = None,
+        options: FarmOptions | None = None,
+        limits=None,
+        name: str | None = None,
+        client_id: str = "anonymous",
+        priority: str | None = None,
+        deadline_s: float | None = None,
+    ) -> QueuedJob:
+        """Queue one untrusted QASM upload (validated first; see above).
+
+        Exactly one of ``width`` (an FPQA array width sized to the
+        circuit) or a ready-made ``config`` must be given.  Identical
+        text under identical config/options coalesces with any pending
+        ticket and warm-serves from the store — uploads are
+        content-addressed by their sha1 like every other workload.
+        """
+        spec = self.ingest_qasm(text, limits=limits, name=name)
+        if (width is None) == (config is None):
+            raise QPilotError("submit_qasm needs exactly one of width= or config=")
+        if config is None:
+            config = FPQAConfig.with_width(spec.num_qubits, int(width))
+        request = CompileRequest(
+            workload=spec,
+            config=config,
+            options=options or FarmOptions(),
+            client_id=client_id,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+        return self.submit(request)
+
+    def compile_qasm(self, text: str, **kwargs) -> CompileResponse:
+        """Synchronous convenience: :meth:`submit_qasm` + :meth:`resolve`."""
+        return self.resolve(self.submit_qasm(text, **kwargs))
 
     # -- cache warming ---------------------------------------------------
     def warm_from(self, sweep: "SweepResult") -> dict[str, int]:
@@ -674,8 +753,6 @@ class CompileService:
         persisted now), ``already`` (servable before the call) and
         ``skipped`` (failed points and pre-job-record archives).
         """
-        from repro.core.farm import WorkloadSpec
-
         counts = {"points": 0, "warmed": 0, "already": 0, "skipped": 0}
         requests: list[CompileRequest] = []
         seen: set[str] = set()

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[2];
+qreg r[3];
+cx q[0], r[0];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rz(pi/(1-1)) q[0];

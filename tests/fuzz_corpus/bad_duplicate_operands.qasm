@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[2];
+cx q[1], q[1];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rx(__import__('os').system('true')) q[0];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rx(9**9**9) q[0];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+h q[0];
+qreg q[2];

@@ -1,0 +1,4 @@
+OPENQASM 2.0;
+qreg q[2];
+h q[0]
+cx q[0], q[1];

@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[1];
+rx(1e99999) q[0];

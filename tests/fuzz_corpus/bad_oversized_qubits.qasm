@@ -1,0 +1,3 @@
+OPENQASM 2.0;
+qreg q[100000];
+h q[0];

@@ -1,0 +1,18 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[14];
+// qubits 12-13 stay idle
+h q[0];
+cx q[0], q[1];
+cx q[1], q[2];
+cx q[2], q[3];
+cx q[3], q[4];
+cx q[4], q[5];
+rzz(pi/2) q[0], q[5];
+h q[6];
+cx q[6], q[7];
+cx q[7], q[8];
+cx q[8], q[9];
+cx q[9], q[10];
+cx q[10], q[11];
+rzz(pi/2) q[6], q[11];

@@ -20,6 +20,8 @@ from repro.circuit import random_cx_circuit, random_pauli_strings
 from repro.core import GenericRouter, route_pauli_strings, route_qaoa
 from repro.utils.serialization import schedule_to_json
 from repro.workloads import ring_graph_edges
+from repro.workloads.molecules import molecule_pauli_strings
+from repro.workloads.qec import surface_code_syndrome_circuit
 
 GOLDEN_DIR = Path(__file__).resolve().parent
 
@@ -39,10 +41,22 @@ def build_qaoa_schedule():
     return route_qaoa(6, ring_graph_edges(6))
 
 
+def build_qec_schedule():
+    """Generic router on a distance-2 surface-code syndrome round."""
+    return GenericRouter().compile(surface_code_syndrome_circuit(2))
+
+
+def build_molecule_schedule():
+    """Quantum-simulation router on the H2 Hamiltonian (Table 1)."""
+    return route_pauli_strings(molecule_pauli_strings("H2"))
+
+
 GOLDEN_CASES = {
     "generic_4q_6g": build_generic_schedule,
     "qsim_5q_3strings": build_qsim_schedule,
     "qaoa_6q_ring": build_qaoa_schedule,
+    "qec_surface_d2": build_qec_schedule,
+    "molecule_h2": build_molecule_schedule,
 }
 
 

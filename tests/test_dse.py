@@ -104,7 +104,13 @@ class TestJsonRoundTrip:
                 make_point(8, depth=7, axes={"workload": "a"}),
                 make_point(16, depth=5, axes={"workload": "b", "two_qubit_fidelity": 0.99}),
             ],
-            meta={"widths": [8, 16], "executor": "reference", "wall_s": 1.23, "max_workers": 4},
+            meta={
+                "widths": [8, 16],
+                "executor": "reference",
+                "wall_s": 1.23,
+                "max_workers": 4,
+                "expired": 1,
+            },
         )
 
     def test_round_trip_preserves_everything_durable(self, sweep):
@@ -125,6 +131,8 @@ class TestJsonRoundTrip:
         assert "wall_s" not in data["meta"]
         assert "max_workers" not in data["meta"]
         assert "executor" not in data["meta"]
+        # farm deadline counters are load-dependent, not durable
+        assert "expired" not in data["meta"]
         assert all(p["metrics"]["compile_time_s"] is None for p in data["points"])
         assert canonical == json.dumps(data, indent=2, sort_keys=True)
 

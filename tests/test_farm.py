@@ -95,7 +95,63 @@ class TestWorkloadSpec:
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(QPilotError):
-            WorkloadSpec(kind="molecule", name="x", num_qubits=4)
+            WorkloadSpec(kind="tensor-network", name="x", num_qubits=4)
+
+    def test_qasm_spec_content_addressed_by_text(self):
+        from repro.circuit import ghz_circuit, to_qasm
+
+        text = to_qasm(ghz_circuit(5))
+        a = WorkloadSpec.qasm(text)
+        b = WorkloadSpec.qasm(text, name="renamed")
+        assert a.fingerprint() == b.fingerprint()
+        assert a.qasm_sha1() == b.qasm_sha1()
+        assert a.num_qubits == 5
+        other = WorkloadSpec.qasm(to_qasm(ghz_circuit(6)))
+        assert other.fingerprint() != a.fingerprint()
+
+    def test_qasm_spec_round_trips_through_dict(self):
+        from repro.circuit import ghz_circuit, to_qasm
+
+        spec = WorkloadSpec.qasm(to_qasm(ghz_circuit(4)))
+        clone = WorkloadSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+    def test_qasm_spec_rejects_inconsistent_construction(self):
+        from repro.circuit import ghz_circuit, to_qasm
+
+        text = to_qasm(ghz_circuit(5))
+        with pytest.raises(QPilotError):
+            WorkloadSpec(kind="qasm", name="x", num_qubits=9, params=(("qasm", text),))
+        with pytest.raises(QPilotError):
+            WorkloadSpec(kind="qasm", name="x", num_qubits=1, params=())
+
+    def test_qec_spec_sizes_and_validation(self):
+        spec = WorkloadSpec.qec_surface_code(2, rounds=2)
+        assert spec.num_qubits == 7  # d^2 data + d^2-1 ancilla
+        circuit = spec.build()
+        assert circuit.num_qubits == 7
+        assert any(g.name == "measure" for g in circuit.gates)
+        with pytest.raises(QPilotError):
+            WorkloadSpec.qec_surface_code(1)
+        with pytest.raises(QPilotError):
+            WorkloadSpec(
+                kind="qec",
+                name="x",
+                num_qubits=6,
+                params=(("code", "surface"), ("distance", 2), ("rounds", 1)),
+            )
+
+    def test_molecule_spec_sizes_and_validation(self):
+        spec = WorkloadSpec.molecule("H2")
+        assert spec.num_qubits == 4
+        strings = spec.build()
+        assert strings and all(len(s.label) == 4 for s in strings)
+        assert [s.label for s in strings] == [s.label for s in spec.build()]
+        with pytest.raises(QPilotError):
+            WorkloadSpec.molecule("Unobtainium")
+        with pytest.raises(QPilotError):
+            WorkloadSpec(kind="molecule", name="x", num_qubits=5, params=(("molecule", "H2"),))
 
     def test_compile_with_matches_direct_compiler_call(self):
         config = FPQAConfig.with_width(16, 8)
@@ -203,6 +259,28 @@ class TestExecutorOracle:
         reference = CompileFarm("reference").run(jobs, with_schedules=True)
         pooled = CompileFarm(executor).run(jobs, with_schedules=True)
         for spec, ref, pool in zip(FAMILY_SPECS, reference, pooled):
+            assert canonical_json(ref.schedule) == canonical_json(pool.schedule), spec.name
+            assert ref.router == pool.router
+            assert ref.metrics.deterministic() == pool.metrics.deterministic()
+
+    @pytest.mark.parametrize("executor", POOLED_EXECUTORS)
+    def test_untrusted_kinds_byte_identical_canonical_schedules(self, executor):
+        """The PR 9 kinds (qasm, qec, molecule) honour the same oracle contract."""
+        from repro.circuit import ghz_circuit, to_qasm
+        from repro.utils.serialization import canonical_json
+
+        specs = [
+            WorkloadSpec.qasm(to_qasm(ghz_circuit(6))),
+            WorkloadSpec.qec_surface_code(2),
+            WorkloadSpec.molecule("H2"),
+        ]
+        jobs = [
+            FarmJob(workload=spec, config=FPQAConfig.with_width(spec.num_qubits, 4))
+            for spec in specs
+        ]
+        reference = CompileFarm("reference").run(jobs, with_schedules=True)
+        pooled = CompileFarm(executor).run(jobs, with_schedules=True)
+        for spec, ref, pool in zip(specs, reference, pooled):
             assert canonical_json(ref.schedule) == canonical_json(pool.schedule), spec.name
             assert ref.router == pool.router
             assert ref.metrics.deterministic() == pool.metrics.deterministic()

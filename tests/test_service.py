@@ -13,8 +13,9 @@ import json
 
 import pytest
 
+from repro.circuit import CircuitLimits
 from repro.core import FarmOptions, QPilotCompiler, WorkloadSpec
-from repro.exceptions import QPilotError
+from repro.exceptions import CircuitError, InvalidCircuitError, QPilotError
 from repro.hardware.fpqa import FPQAConfig
 from repro.service import (
     CompileRequest,
@@ -22,6 +23,7 @@ from repro.service import (
     JobQueue,
     ScheduleStore,
 )
+from repro.service.cli import EXIT_INVALID_CIRCUIT
 from repro.service.cli import main as cli_main
 from repro.utils.serialization import schedule_to_json
 
@@ -535,6 +537,68 @@ class TestWarmFrom:
         assert counts == {"points": 3, "warmed": 1, "already": 0, "skipped": 2}
 
 
+VALID_QASM = (
+    "OPENQASM 2.0;\n"
+    "qreg q[4];\n"
+    "h q[0];\n"
+    "cx q[0], q[1];\n"
+    "cx q[1], q[2];\n"
+    "cx q[2], q[3];\n"
+)
+BAD_QASM = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[9];\n"
+
+
+class TestQasmIngestion:
+    """The untrusted ingestion boundary: submit_qasm / compile_qasm."""
+
+    def test_valid_upload_compiles_then_serves_warm(self, tmp_path):
+        service = service_for(tmp_path)
+        cold = service.compile_qasm(VALID_QASM, width=4)
+        assert cold.source == "compiled"
+        assert service.stats.farm_dispatches == 1
+        warm = service.compile_qasm(VALID_QASM, width=4)
+        assert warm.cached
+        assert service.stats.farm_dispatches == 1
+        assert warm.schedule_json() == cold.schedule_json()
+
+    def test_identical_uploads_coalesce_before_dispatch(self, tmp_path):
+        service = service_for(tmp_path)
+        first = service.submit_qasm(VALID_QASM, width=4)
+        second = service.submit_qasm(VALID_QASM, width=4, name="renamed-upload")
+        assert service.queue.depth == 1
+        service.process_batch()
+        assert first.done and second.done
+        assert first.response.schedule_json() == second.response.schedule_json()
+        assert service.stats.farm_dispatches == 1
+
+    def test_invalid_upload_rejected_typed_without_dispatch(self, tmp_path):
+        service = service_for(tmp_path)
+        with pytest.raises(InvalidCircuitError) as excinfo:
+            service.compile_qasm(BAD_QASM, width=4)
+        assert isinstance(excinfo.value.__cause__, CircuitError)
+        assert excinfo.value.line == 3
+        assert service.stats.rejected_invalid == 1
+        assert service.stats.farm_dispatches == 0
+        assert service.queue.depth == 0
+        assert not service.queue.dead_letters
+        assert service.stats.to_dict()["rejected_invalid"] == 1
+
+    def test_ingest_applies_caller_limits(self, tmp_path):
+        service = service_for(tmp_path)
+        with pytest.raises(InvalidCircuitError):
+            service.compile_qasm(VALID_QASM, width=4, limits=CircuitLimits(max_qubits=2))
+        assert service.stats.rejected_invalid == 1
+
+    def test_submit_qasm_requires_exactly_one_sizing(self, tmp_path):
+        service = service_for(tmp_path)
+        with pytest.raises(QPilotError):
+            service.submit_qasm(VALID_QASM)
+        with pytest.raises(QPilotError):
+            service.submit_qasm(
+                VALID_QASM, width=4, config=FPQAConfig.with_width(4, 4)
+            )
+
+
 class TestServiceCli:
     def _compile_args(self, store) -> list[str]:
         return [
@@ -576,6 +640,39 @@ class TestServiceCli:
         stats = json.loads(capsys.readouterr().out)
         assert stats["entries"] == 1
         assert stats["disk_bytes"] > 0
+
+    def test_compile_qasm_file_then_cache_hit(self, tmp_path, capsys):
+        qasm_file = tmp_path / "upload.oq"
+        qasm_file.write_text(VALID_QASM)
+        store = tmp_path / "store"
+        args = [
+            "compile", "--store", str(store), "--executor", "reference",
+            "--qasm", str(qasm_file), "--width", "4",
+        ]
+        assert cli_main(args) == 0
+        assert "compiled:" in capsys.readouterr().out
+        assert cli_main(args) == 0
+        out = capsys.readouterr().out
+        assert "cache:" in out
+        assert "1 cache hits / 0 misses" in out
+
+    def test_invalid_qasm_exits_typed(self, tmp_path, capsys):
+        qasm_file = tmp_path / "hostile.oq"
+        qasm_file.write_text("OPENQASM 2.0;\nqreg q[1];\nrx(9**9**9) q[0];\n")
+        store = tmp_path / "store"
+        args = [
+            "compile", "--store", str(store), "--executor", "reference",
+            "--qasm", str(qasm_file), "--width", "4",
+        ]
+        assert cli_main(args) == EXIT_INVALID_CIRCUIT
+        captured = capsys.readouterr()
+        assert "rejected: InvalidCircuitError" in captured.err
+        assert "Traceback" not in captured.err
+        assert cli_main(args + ["--json"]) == EXIT_INVALID_CIRCUIT
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["type"] == "InvalidCircuitError"
+        assert payload["error"]["line"] == 3
+        assert len(ScheduleStore(store)) == 0
 
     def test_warm_subcommand_replays_an_archive(self, tmp_path, capsys):
         from repro.core import sweep_grid
