@@ -32,6 +32,11 @@ the compile farm, serial reference oracle vs process-pool executor, and
 ``headline_dse_fig14_s`` is the parallel wall clock.  ``--no-dse`` skips
 it; ``--dse-jobs N`` caps the worker processes.
 
+Each entry's ``phases`` object breaks one compile per router family down
+by tracing span (``route``, ``verify``, and the generic router's summed
+``stage`` spans) via the ``repro.obs`` tracer, so a regression can be
+attributed to a phase without re-profiling by hand.
+
 The *service* headline (PR 5) runs a small request grid twice through
 :class:`repro.service.CompileService` against a fresh temp store: the cold
 pass compiles and persists, the warm pass must be answered entirely from
@@ -53,10 +58,12 @@ from repro.baselines.layout import trivial_layout
 from repro.baselines.sabre import SabreOptions, SabreRouter
 from repro.circuit import random_cx_circuit
 from repro.core import available_workers, sweep_grid
+from repro.core.compiler import QPilotCompiler
 from repro.core.generic_router import GenericRouter
 from repro.core.qaoa_router import QAOARouter
 from repro.core.qsim_router import QSimRouter
 from repro.hardware import grid_device
+from repro.obs.tracing import Tracer, activate
 from repro.utils.profiling import TrajectoryRecorder, time_call
 from repro.utils.reporting import format_table
 from repro.workloads import fig14_workload_specs, qsim_workload, random_graph_edges
@@ -122,6 +129,42 @@ def _bench_sabre(num_qubits: int, gate_factor: int, repeats: int) -> tuple[float
     layout = trivial_layout(circuit, device)
     routed, seconds = time_call(router.run, circuit, layout, repeats=repeats, warmup=1)
     return seconds, routed.num_swaps
+
+
+def _bench_phases(num_qubits: int, gate_factor: int) -> dict[str, dict[str, float]]:
+    """Per-phase span timings of one compile per router family.
+
+    Runs each Q-Pilot router once under an active tracer and aggregates
+    span durations by span name, so the trajectory records *where* the
+    compile time goes (``route`` vs ``verify``; ``stage`` sums the
+    generic router's per-stage spans nested inside ``route``).  Single
+    un-warmed runs: this is a breakdown, not a headline — compare phase
+    *shares* across entries, not absolute seconds.
+    """
+    compiler = QPilotCompiler()
+    workloads = {
+        "generic": lambda: compiler.compile_circuit(
+            random_cx_circuit(num_qubits, gate_factor * num_qubits, seed=SEED)
+        ),
+        "qsim": lambda: compiler.compile_pauli_strings(
+            qsim_workload(num_qubits, 0.1, num_strings=25, seed=SEED)
+        ),
+        "qaoa": lambda: compiler.compile_qaoa(
+            num_qubits, random_graph_edges(num_qubits, 0.1, seed=SEED)
+        ),
+    }
+    phases: dict[str, dict[str, float]] = {}
+    for router, run in workloads.items():
+        tracer = Tracer()
+        with activate(tracer):
+            run()
+        by_name: dict[str, float] = {}
+        for record in tracer.records():
+            by_name[record.name] = by_name.get(record.name, 0.0) + (
+                record.end_s - record.start_s
+            )
+        phases[router] = {name: round(seconds, 6) for name, seconds in sorted(by_name.items())}
+    return phases
 
 
 def _bench_dse_fig14(max_workers: int | None = None) -> dict:
@@ -217,6 +260,7 @@ def run_compile_speed_sweep(
         "seed": SEED,
         "results": results,
         "headline_generic_100q_500g_s": results["generic"].get("100"),
+        "phases": _bench_phases(min(sizes), gate_factor),
     }
     if include_sabre:
         entry["sabre_num_swaps"] = sabre_num_swaps
@@ -245,6 +289,10 @@ def _print_entry(entry: dict) -> None:
     if "sabre_num_swaps" in entry:
         swaps = ", ".join(f"{size}q: {n}" for size, n in entry["sabre_num_swaps"].items())
         print(f"sabre swaps — {swaps}")
+    if "phases" in entry:
+        for router, timings in entry["phases"].items():
+            parts = ", ".join(f"{name} {seconds:.4f}s" for name, seconds in timings.items())
+            print(f"phases[{router}] — {parts}")
     if "dse_fig14" in entry:
         dse = entry["dse_fig14"]
         print(
@@ -278,6 +326,10 @@ def test_compile_speed_sweep():
     assert last["dse_fig14"]["serial_s"] > 0
     assert last["headline_service_cache_hit_rate"] == 1.0
     assert last["service"]["cold_s"] > 0
+    for router in ("generic", "qsim", "qaoa"):
+        assert last["phases"][router]["route"] > 0, f"missing route phase for {router}"
+        assert "verify" in last["phases"][router]
+    assert last["phases"]["generic"]["stage"] > 0
 
 
 def _parse_args() -> argparse.Namespace:

@@ -20,6 +20,7 @@ from repro.core.qsim_router import QSimRouter, QSimRouterOptions
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import RoutingError
 from repro.hardware.fpqa import FPQAConfig
+from repro.obs.tracing import span
 
 
 @dataclass
@@ -72,7 +73,8 @@ class QPilotCompiler:
     def compile_circuit(self, circuit: QuantumCircuit) -> CompilationResult:
         """Compile an arbitrary circuit with the generic flying-ancilla router."""
         router = GenericRouter(self.config, self.generic_options)
-        schedule = router.compile(circuit)
+        with span("route", router="generic"):
+            schedule = router.compile(circuit)
         return self._package(schedule, "generic")
 
     def compile_pauli_strings(
@@ -80,7 +82,8 @@ class QPilotCompiler:
     ) -> CompilationResult:
         """Compile a Trotter step with the quantum-simulation router."""
         router = QSimRouter(self.config, self.qsim_options)
-        schedule = router.compile(strings, num_qubits)
+        with span("route", router="qsim"):
+            schedule = router.compile(strings, num_qubits)
         return self._package(schedule, "qsim")
 
     def compile_qaoa(
@@ -93,7 +96,10 @@ class QPilotCompiler:
     ) -> CompilationResult:
         """Compile a QAOA cost layer (or full circuit) with the QAOA router."""
         router = QAOARouter(self.config, self.qaoa_options)
-        schedule = router.compile(num_qubits, edges, layers=layers, full_circuit=full_circuit)
+        with span("route", router="qaoa"):
+            schedule = router.compile(
+                num_qubits, edges, layers=layers, full_circuit=full_circuit
+            )
         return self._package(schedule, "qaoa")
 
     def compile(self, workload, **kwargs) -> CompilationResult:
@@ -120,8 +126,9 @@ class QPilotCompiler:
 
     # ------------------------------------------------------------------
     def _package(self, schedule: FPQASchedule, router: str) -> CompilationResult:
-        schedule.validate()
-        evaluation = self.evaluator.evaluate(schedule)
+        with span("verify", router=router):
+            schedule.validate()
+            evaluation = self.evaluator.evaluate(schedule)
         return CompilationResult(
             schedule=schedule,
             evaluation=evaluation,

@@ -143,6 +143,18 @@ class DesignPoint:
     def sabre_num_swaps(self) -> int | None:
         return self.metrics.sabre_num_swaps
 
+    @property
+    def spans(self):
+        """Worker-side trace records of this point's compile.
+
+        Populated only when the sweep ran with
+        ``FarmOptions(trace=True)``; rides on :class:`PointMetrics` like
+        ``compile_time_s``, so it crosses the worker boundary with the
+        job but never enters archives (``metrics.to_dict()`` excludes
+        it).
+        """
+        return self.metrics.spans if self.metrics is not None else None
+
     def summary(self) -> dict:
         if self.failed:
             data = {

@@ -78,6 +78,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 import traceback as traceback_module
@@ -105,6 +106,11 @@ from repro.core.qaoa_router import QAOARouterOptions
 from repro.core.qsim_router import QSimRouterOptions
 from repro.exceptions import DeadlineExceeded, QPilotError
 from repro.hardware.fpqa import FPQAConfig
+from repro.obs.events import log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import SpanRecord, Tracer, activate, span
+
+logger = logging.getLogger(__name__)
 
 #: Workload families the farm understands.  ``circuit``/``qsim``/``qaoa``
 #: are the synthetic paper benchmarks; ``qasm`` carries untrusted
@@ -501,6 +507,13 @@ class FarmOptions:
     byte-identical (and cache-compatible) with a fault-free one.  Jobs
     differing only in their plan are therefore memoised together; use
     one plan per run.
+
+    ``trace`` follows the same precedent for observability: when set,
+    the worker entry points run the compile under a throwaway
+    :class:`~repro.obs.tracing.Tracer` and return the finished span
+    records on the result object.  Tracing never changes what a job
+    computes, so ``trace`` is excluded from :meth:`key`, :meth:`digest`
+    and :meth:`to_dict` exactly like ``faults``.
     """
 
     label: str = "default"
@@ -509,6 +522,7 @@ class FarmOptions:
     qaoa: QAOARouterOptions | None = None
     include_sabre: bool = False
     faults: FaultPlan | None = None
+    trace: bool = False
 
     def key(self) -> str:
         """Canonical memo key (dataclass reprs are deterministic)."""
@@ -605,6 +619,13 @@ class PointMetrics:
     Workers return these instead of full schedules so results cross the
     process boundary as a few floats.  All values except the wall-clock
     ``compile_time_s`` are deterministic functions of the job.
+
+    ``spans`` carries the worker-side trace records when the job ran
+    with ``FarmOptions(trace=True)`` (``None`` otherwise — the default
+    path pays nothing).  Like ``compile_time_s`` it is volatile
+    observability state: excluded from :meth:`to_dict` (and therefore
+    from store entries and sweep archives) and cleared by
+    :meth:`deterministic`.
     """
 
     #: Discriminator shared with :class:`FarmJobResult`/:class:`FarmJobError`.
@@ -621,6 +642,7 @@ class PointMetrics:
     average_parallelism: float
     compile_time_s: float | None = None
     sabre_num_swaps: int | None = None
+    spans: tuple[SpanRecord, ...] | None = None
 
     @classmethod
     def from_result(
@@ -642,16 +664,20 @@ class PointMetrics:
         )
 
     def to_dict(self) -> dict[str, Any]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        # spans are volatile observability state and never enter the
+        # serialised form (store entries / archives stay byte-stable)
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "spans"
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "PointMetrics":
-        names = {f.name for f in fields(cls)}
+        names = {f.name for f in fields(cls)} - {"spans"}
         return cls(**{k: v for k, v in data.items() if k in names})
 
     def deterministic(self) -> "PointMetrics":
-        """Copy with the volatile wall-clock field cleared (for comparisons)."""
-        return replace(self, compile_time_s=None)
+        """Copy with the volatile fields cleared (for comparisons)."""
+        return replace(self, compile_time_s=None, spans=None)
 
 
 @dataclass(frozen=True)
@@ -673,6 +699,10 @@ class FarmJobResult:
     metrics: PointMetrics
     router: str
     schedule: dict[str, Any]
+    #: Worker-side trace records (populated when ``FarmOptions.trace`` is
+    #: set; empty otherwise).  Volatile observability state — the service
+    #: grafts these into its own tracer and never persists them.
+    spans: tuple[SpanRecord, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -822,44 +852,74 @@ def _worker_init(in_process_worker: bool = False) -> None:
         gate_diagonal(name)
 
 
-def _compile_job(job: FarmJob, attempt: int = 0) -> tuple[CompilationResult, PointMetrics]:
+def _compile_attempt(job: FarmJob, attempt: int) -> tuple[CompilationResult, PointMetrics]:
+    """One compile attempt: fault injection, workload build, route, SABRE.
+
+    Span calls are the shared no-op unless a tracer is active (worker
+    tracer when ``options.trace``, or a caller's tracer on the inline
+    reference path), so the default path pays a single attribute check.
+    """
+    workload_spec = job.workload
+    with span("compile", workload=workload_spec.name, kind=workload_spec.kind, attempt=attempt):
+        if job.options.faults is not None:
+            inject_compile_faults(
+                job.options.faults,
+                job.fault_key(),
+                attempt,
+                in_process_worker=_IN_PROCESS_WORKER,
+            )
+        options = job.options
+        compiler = QPilotCompiler(
+            job.config,
+            generic_options=options.generic,
+            qsim_options=options.qsim,
+            qaoa_options=options.qaoa,
+        )
+        with span("workload-build", kind=workload_spec.kind):
+            workload = _cached_workload(workload_spec)
+        start = time.perf_counter()
+        result = workload_spec.compile_with(compiler, built=workload)
+        elapsed = time.perf_counter() - start
+        sabre_swaps = None
+        if options.include_sabre and workload_spec.kind == "circuit":
+            with span("sabre"):
+                sabre_swaps = _sabre_swap_count(workload_spec, workload)
+        metrics = PointMetrics.from_result(result, sabre_num_swaps=sabre_swaps)
+        if metrics.compile_time_s is None:
+            metrics = replace(metrics, compile_time_s=elapsed)
+        return result, metrics
+
+
+def _compile_job(
+    job: FarmJob, attempt: int = 0
+) -> tuple[CompilationResult, PointMetrics, tuple[SpanRecord, ...] | None]:
     """Compile one grid cell; shared body of the two worker entry points.
 
     ``attempt`` is the number of failed attempts before this one.  It is
     threaded from the executor so fault-plan decisions — pure functions
     of ``(seed, kind, fault_key, attempt)`` — fire identically on every
     backend, and a bounded fault stops firing once retries pass it.
+
+    With ``options.trace`` the attempt runs under a throwaway worker-local
+    :class:`Tracer` and the finished records come back as the third
+    element (picklable, ready for the caller to :func:`adopt`); otherwise
+    the third element is ``None`` and no tracer is created.
     """
-    if job.options.faults is not None:
-        inject_compile_faults(
-            job.options.faults,
-            job.fault_key(),
-            attempt,
-            in_process_worker=_IN_PROCESS_WORKER,
-        )
-    options = job.options
-    compiler = QPilotCompiler(
-        job.config,
-        generic_options=options.generic,
-        qsim_options=options.qsim,
-        qaoa_options=options.qaoa,
-    )
-    workload = _cached_workload(job.workload)
-    start = time.perf_counter()
-    result = job.workload.compile_with(compiler, built=workload)
-    elapsed = time.perf_counter() - start
-    sabre_swaps = None
-    if options.include_sabre and job.workload.kind == "circuit":
-        sabre_swaps = _sabre_swap_count(job.workload, workload)
-    metrics = PointMetrics.from_result(result, sabre_num_swaps=sabre_swaps)
-    if metrics.compile_time_s is None:
-        metrics = replace(metrics, compile_time_s=elapsed)
-    return result, metrics
+    if not job.options.trace:
+        result, metrics = _compile_attempt(job, attempt)
+        return result, metrics, None
+    tracer = Tracer()
+    with activate(tracer):
+        result, metrics = _compile_attempt(job, attempt)
+    return result, metrics, tuple(tracer.records())
 
 
 def compile_farm_job(job: FarmJob, attempt: int = 0) -> PointMetrics:
     """Compile one grid cell and return its metrics (runs in the worker)."""
-    return _compile_job(job, attempt)[1]
+    _, metrics, spans = _compile_job(job, attempt)
+    if spans:
+        metrics = replace(metrics, spans=spans)
+    return metrics
 
 
 def compile_farm_job_with_schedule(job: FarmJob, attempt: int = 0) -> FarmJobResult:
@@ -870,11 +930,12 @@ def compile_farm_job_with_schedule(job: FarmJob, attempt: int = 0) -> FarmJobRes
     """
     from repro.utils.serialization import schedule_to_dict
 
-    result, metrics = _compile_job(job, attempt)
+    result, metrics, spans = _compile_job(job, attempt)
     return FarmJobResult(
         metrics=metrics,
         router=result.router,
         schedule=schedule_to_dict(result.schedule, canonical=True),
+        spans=spans or (),
     )
 
 
@@ -934,14 +995,33 @@ class CompileFarm:
         *,
         max_workers: int | None = None,
         policy: FarmPolicy | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if executor not in EXECUTORS:
             raise QPilotError(f"unknown farm executor {executor!r}; expected one of {EXECUTORS}")
         self.executor = _EXECUTOR_ALIASES.get(executor, executor)
         self.max_workers = max_workers
         self.policy = policy or FarmPolicy()
+        #: Optional metrics sink: cumulative ``farm_*`` counters across
+        #: runs (``last_stats`` stays the per-run snapshot API).
+        self.registry = registry
         self.last_stats: dict[str, Any] = {}
         self.job_reports: dict[int, dict[str, Any]] = {}
+
+    def _record_run_stats(self, stats: dict[str, Any]) -> None:
+        """Fold one run's ``last_stats`` into the cumulative registry."""
+        registry = self.registry
+        if registry is None:
+            return
+        registry.counter("farm_runs_total").inc()
+        registry.counter("farm_jobs_total").inc(stats["num_jobs"])
+        registry.counter("farm_unique_jobs_total").inc(stats["num_unique_jobs"])
+        for name in ("retries", "pool_respawns", "timeouts", "failed_jobs", "expired"):
+            if stats[name]:
+                registry.counter(f"farm_{name}_total").inc(stats[name])
+        if stats["degraded"]:
+            registry.counter("farm_degraded_total").inc()
+        registry.histogram("farm_run_wall_seconds").observe(stats["wall_s"])
 
     def _new_pool(self, backend: str, workers: int):
         if backend == "thread":
@@ -983,11 +1063,21 @@ class CompileFarm:
             except Exception as exc:
                 failures += 1
                 if failures > policy.max_retries:
+                    log_event(
+                        logger,
+                        "job-failed",
+                        job=key,
+                        attempts=failures,
+                        error=type(exc).__name__,
+                    )
                     return (
                         FarmJobError.from_exception(exc, attempts=failures, fault_key=key),
                         failures,
                     )
                 counters["retries"] += 1
+                log_event(
+                    logger, "job-retry", job=key, failures=failures, error=type(exc).__name__
+                )
                 delay = policy.backoff_s(key, failures)
                 if delay:
                     time.sleep(delay)
@@ -1091,6 +1181,7 @@ class CompileFarm:
             """Finalise a slot whose deadline passed: terminal, no retries."""
             counters["expired"] += 1
             job = unique_jobs[slot]
+            log_event(logger, "job-expired", job=job.fault_key(), failures=failures[slot])
             exc = DeadlineExceeded(
                 f"farm job {job.fault_key()!r} deadline expired before completion",
                 digest=job.digest(),
@@ -1152,13 +1243,24 @@ class CompileFarm:
                 """One failed attempt: retry with backoff, or finalise the slot."""
                 nonlocal degraded
                 failures[slot] += 1
+                key = unique_jobs[slot].fault_key()
                 if failures[slot] > policy.max_retries:
                     unresolved.discard(slot)
+                    log_event(
+                        logger,
+                        "job-failed",
+                        job=key,
+                        attempts=failures[slot],
+                        error=type(exc).__name__,
+                    )
                     record = FarmJobError.from_exception(
-                        exc, attempts=failures[slot], fault_key=unique_jobs[slot].fault_key()
+                        exc, attempts=failures[slot], fault_key=key
                     )
                     return report(slot, record)
                 counters["retries"] += 1
+                log_event(
+                    logger, "job-retry", job=key, failures=failures[slot], error=type(exc).__name__
+                )
                 delay = policy.backoff_s(unique_jobs[slot].fault_key(), failures[slot])
                 if delay:
                     time.sleep(delay)
@@ -1182,6 +1284,12 @@ class CompileFarm:
                         # respawn budget exhausted: finish the remaining
                         # jobs on the in-process reference path so the
                         # sweep completes (memoised results are kept)
+                        log_event(
+                            logger,
+                            "farm-degraded",
+                            remaining=len(unresolved),
+                            respawns=respawns,
+                        )
                         for slot in sorted(unresolved):
                             self._stall_dispatch(unique_jobs[slot], failures[slot])
                             if dispatch_expired(slot):
@@ -1269,6 +1377,12 @@ class CompileFarm:
                         if respawns < policy.max_pool_respawns:
                             respawns += 1
                             counters["pool_respawns"] += 1
+                            log_event(
+                                logger,
+                                "pool-respawn",
+                                respawns=respawns,
+                                in_flight=len(broken),
+                            )
                             pool = self._new_pool(backend, workers)
                             for slot, exc in broken:
                                 events.extend(register_failure(slot, exc))
@@ -1294,6 +1408,7 @@ class CompileFarm:
             "degraded": degraded,
             **counters,
         }
+        self._record_run_stats(self.last_stats)
 
     def run(
         self,

@@ -47,6 +47,7 @@ from repro.hardware.constraints import (
 )
 from repro.hardware.fpqa import FPQAConfig, SLMArray
 from repro.core.movement import MovementStep
+from repro.obs.tracing import span
 
 
 @dataclass
@@ -97,19 +98,27 @@ class GenericRouter:
 
         stage_index = 0
         while not dag.is_done():
-            progressed = self._flush_one_qubit_gates(dag, schedule)
-            if dag.is_done():
-                break
-            front = sorted(i for i in dag.front_layer_unsorted() if dag.gate(i).num_qubits == 2)
-            if not front:
-                if progressed:
-                    continue
-                raise RoutingError("front layer contains no executable gates")
-            selected = self._select_legal_subset(front, dag, positions)
-            if not selected:
-                raise RoutingError("could not select any front-layer gate (internal error)")
-            self._emit_macro(selected, dag, array, schedule, stage_index)
-            stage_index += 1
+            # the per-stage span is the shared no-op object unless a
+            # tracer is active on this thread (disabled tracing must not
+            # show up in the 150q/1500g perf smoke)
+            with span("stage", index=stage_index):
+                progressed = self._flush_one_qubit_gates(dag, schedule)
+                if dag.is_done():
+                    break
+                front = sorted(
+                    i for i in dag.front_layer_unsorted() if dag.gate(i).num_qubits == 2
+                )
+                if not front:
+                    if progressed:
+                        continue
+                    raise RoutingError("front layer contains no executable gates")
+                selected = self._select_legal_subset(front, dag, positions)
+                if not selected:
+                    raise RoutingError(
+                        "could not select any front-layer gate (internal error)"
+                    )
+                self._emit_macro(selected, dag, array, schedule, stage_index)
+                stage_index += 1
 
         if had_measurements and self.options.include_measurement:
             schedule.append(MeasurementStage(qubits=list(range(circuit.num_qubits)), label="measure"))

@@ -1,0 +1,116 @@
+"""Structured JSON-lines event log on the ``repro.*`` logger hierarchy.
+
+Discrete, rare happenings — a fault fired, a retry, a pool respawn, a
+breaker transition, an eviction, a rejection, a dead-letter — are logged
+as *events*: a short machine-readable name plus a flat field dict,
+emitted through ordinary :mod:`logging` loggers
+(``logging.getLogger(__name__)`` in each module, so the hierarchy is
+``repro.core.farm``, ``repro.service.store``, …).
+
+Nothing is configured at import time: with no handler attached an event
+costs one ``isEnabledFor`` check, and the records render as normal log
+lines under whatever configuration the host application has.  Call
+:func:`configure_event_log` to attach the JSON-lines handler — one JSON
+object per line, safe to ``tail -f`` and to parse — and
+:func:`remove_event_log` to detach it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import Any, IO
+
+__all__ = [
+    "JsonLinesFormatter",
+    "configure_event_log",
+    "log_event",
+    "remove_event_log",
+]
+
+#: ``LogRecord`` attribute names used to carry structured payloads.
+_EVENT_ATTR = "repro_event"
+_FIELDS_ATTR = "repro_fields"
+
+
+def log_event(logger: logging.Logger, event: str, /, **fields: Any) -> None:
+    """Emit one structured event through ``logger`` (INFO level).
+
+    ``fields`` must be JSON-serialisable scalars (or close to it); the
+    formatter falls back to ``str`` for anything else.  Without the
+    JSON-lines handler attached the record formats as
+    ``event key=value ...`` under any standard formatter.
+    """
+    if not logger.isEnabledFor(logging.INFO):
+        return
+    tail = " ".join(f"{key}={value}" for key, value in fields.items())
+    logger.info(
+        "%s%s",
+        event,
+        f" {tail}" if tail else "",
+        extra={_EVENT_ATTR: event, _FIELDS_ATTR: fields},
+    )
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per record: ``{"ts", "level", "logger", "event", ...}``.
+
+    Structured fields from :func:`log_event` are inlined; records from
+    plain ``logger.warning(...)`` calls carry their rendered message
+    under ``"message"`` so the whole ``repro.*`` hierarchy lands in one
+    parseable stream.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+        }
+        event = getattr(record, _EVENT_ATTR, None)
+        if event is not None:
+            payload["event"] = event
+            payload.update(getattr(record, _FIELDS_ATTR, {}) or {})
+        else:
+            payload["event"] = "log"
+            payload["message"] = record.getMessage()
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure_event_log(
+    target: "str | Path | IO[str] | None" = None,
+    *,
+    level: int = logging.INFO,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Attach a JSON-lines handler to the ``repro`` logger hierarchy.
+
+    ``target`` is a path (appended to), an open text stream, or ``None``
+    for stderr.  Returns the handler so callers can detach it with
+    :func:`remove_event_log`.  The root logger is never touched, and the
+    ``repro`` logger keeps propagating, so host applications stay in
+    charge of their own logging.
+    """
+    if target is None:
+        handler: logging.Handler = logging.StreamHandler(sys.stderr)
+    elif isinstance(target, (str, Path)):
+        handler = logging.FileHandler(target, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler(target)
+    handler.setFormatter(JsonLinesFormatter())
+    handler.setLevel(level)
+    logger = logging.getLogger(logger_name)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET or logger.level > level:
+        logger.setLevel(level)
+    return handler
+
+
+def remove_event_log(handler: logging.Handler, *, logger_name: str = "repro") -> None:
+    """Detach a handler installed by :func:`configure_event_log`."""
+    logging.getLogger(logger_name).removeHandler(handler)
+    handler.close()

@@ -38,6 +38,15 @@ and ``--molecule``) expose the surface-code and chemistry workloads.
 Invalid QASM exits with status **2** and a typed one-line rejection
 (error type, line, column) — never a traceback; valid uploads are
 content-addressed so a repeat upload is a store hit.
+
+Observability: ``compile``/``sweep --trace FILE`` runs the request under
+a :class:`~repro.obs.tracing.Tracer` and writes the span tree as JSON;
+``trace show FILE`` renders such a file flame-style; ``compile``/
+``sweep --metrics [json|prom]`` dumps the service's metrics registry
+after the command, and ``stats --metrics [json|prom]`` exposes a
+store's registry (counters plus entry/byte gauges) in JSON or
+Prometheus text format; ``--events FILE`` (or ``-`` for stderr)
+attaches the JSON-lines structured event log for the run.
 """
 
 from __future__ import annotations
@@ -45,12 +54,15 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import nullcontext
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.dse import SweepResult
 from repro.core.farm import FarmOptions, WorkloadSpec
 from repro.exceptions import InvalidCircuitError
+from repro.obs.events import configure_event_log, remove_event_log
+from repro.obs.tracing import Tracer, activate, format_trace
 from repro.service.queue import CompileRequest
 from repro.service.service import DEFAULT_MEMORY_ENTRIES, CompileService
 from repro.service.store import ScheduleStore
@@ -58,6 +70,43 @@ from repro.utils.faults import FaultPlan
 
 #: Exit status for a typed ingestion rejection (invalid untrusted QASM).
 EXIT_INVALID_CIRCUIT = 2
+
+
+def _run_observed(
+    args: argparse.Namespace, body: Callable[[argparse.Namespace], int]
+) -> int:
+    """Run a command body under the requested tracer / event log.
+
+    ``--trace FILE`` activates a :class:`Tracer` for the whole command
+    and writes the span tree as JSON afterwards (readable with
+    ``trace show FILE``); ``--events FILE`` attaches the JSON-lines
+    event-log handler for the duration (``-`` streams to stderr).
+    """
+    trace_path = getattr(args, "trace", None)
+    events_path = getattr(args, "events", None)
+    handler = None
+    if events_path:
+        handler = configure_event_log(None if events_path == "-" else events_path)
+    tracer = Tracer() if trace_path else None
+    try:
+        with (activate(tracer) if tracer is not None else nullcontext()):
+            code = body(args)
+    finally:
+        if handler is not None:
+            remove_event_log(handler)
+    if tracer is not None:
+        Path(trace_path).write_text(
+            json.dumps(tracer.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    return code
+
+
+def _print_metrics(service: CompileService, mode: str) -> None:
+    if mode == "prom":
+        sys.stdout.write(service.metrics_prometheus())
+    else:
+        print(json.dumps(service.metrics_dict(), indent=2, sort_keys=True))
 
 
 def _service_from_args(args: argparse.Namespace) -> CompileService:
@@ -200,6 +249,10 @@ def _response_dict(response) -> dict:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    return _run_observed(args, _compile_body)
+
+
+def _compile_body(args: argparse.Namespace) -> int:
     service = _service_from_args(args)
     try:
         workload = _workload_from_args(args, service)
@@ -214,6 +267,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_s,
     )
     response = service.compile(request)
+    if args.metrics:
+        _print_metrics(service, args.metrics)
+        return 0
     if args.json:
         payload = _response_dict(response)
         payload["stats"] = _stats_dict(service)
@@ -230,6 +286,10 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    return _run_observed(args, _sweep_body)
+
+
+def _sweep_body(args: argparse.Namespace) -> int:
     service = _service_from_args(args)
     try:
         workload = _workload_from_args(args, service)
@@ -247,6 +307,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         for width in args.widths
     ]
+    if args.metrics:
+        for _ in service.stream(requests):
+            pass
+        _print_metrics(service, args.metrics)
+        return 1 if service.queue.dead_letters else 0
     if args.json:
         payload = {"points": [_response_dict(r) for r in service.stream(requests)]}
         payload["failed"] = [
@@ -290,15 +355,39 @@ def _cmd_warm(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     store = ScheduleStore(args.store)
+    entries = len(store)
+    disk_bytes = store.disk_bytes()
+    if args.metrics:
+        # registry exposition: the lifetime counters of *this* store
+        # object are zero (it was just opened), but the disk gauges make
+        # the store inspectable by any Prometheus-speaking scraper
+        store.registry.gauge("store_disk_entries").set(entries)
+        store.registry.gauge("store_disk_bytes").set(disk_bytes)
+        if args.metrics == "prom":
+            sys.stdout.write(store.registry.to_prometheus())
+        else:
+            print(json.dumps(store.registry.to_dict(), indent=2, sort_keys=True))
+        return 0
     data = {
         "root": str(store.root),
-        "entries": len(store),
-        "disk_bytes": store.disk_bytes(),
+        "entries": entries,
+        "disk_bytes": disk_bytes,
     }
     if args.json:
         print(json.dumps(data, indent=2, sort_keys=True))
     else:
         print(f"store {data['root']}: {data['entries']} entries, {data['disk_bytes']} bytes")
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    """Render a ``--trace`` JSON file flame-style (durations, % of root)."""
+    try:
+        document = json.loads(Path(args.file).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace file {args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(format_trace(document))
     return 0
 
 
@@ -338,10 +427,22 @@ def build_parser() -> argparse.ArgumentParser:
     warm_cmd.set_defaults(func=_cmd_warm)
 
     stats_cmd = commands.add_parser("stats", help="inspect a schedule store")
+    stats_cmd.add_argument(
+        "--metrics",
+        choices=("json", "prom"),
+        default=None,
+        help="dump the store's metrics registry (json or Prometheus text)",
+    )
     stats_cmd.set_defaults(func=_cmd_stats)
 
     clear_cmd = commands.add_parser("clear", help="empty a schedule store")
     clear_cmd.set_defaults(func=_cmd_clear)
+
+    trace_cmd = commands.add_parser("trace", help="work with --trace span files")
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_show = trace_sub.add_parser("show", help="render a trace file flame-style")
+    trace_show.add_argument("file", help="JSON file written by compile/sweep --trace")
+    trace_show.set_defaults(func=_cmd_trace_show)
 
     for sub in (compile_cmd, sweep_cmd, warm_cmd, stats_cmd, clear_cmd):
         sub.add_argument("--store", required=True, help="schedule-store directory")
@@ -381,6 +482,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="age (s) past which a store eviction lock is broken (default: 30)",
         )
     for sub in (compile_cmd, sweep_cmd):
+        sub.add_argument(
+            "--trace",
+            default=None,
+            metavar="FILE",
+            help="trace the command and write the span tree as JSON to FILE",
+        )
+        sub.add_argument(
+            "--metrics",
+            choices=("json", "prom"),
+            default=None,
+            help="print the service metrics registry instead of the normal output",
+        )
+        sub.add_argument(
+            "--events",
+            default=None,
+            metavar="FILE",
+            help="write JSON-lines structured events to FILE ('-' for stderr)",
+        )
         sub.add_argument(
             "--client-id",
             default="anonymous",

@@ -60,7 +60,7 @@ from __future__ import annotations
 
 import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 
@@ -87,6 +87,9 @@ from repro.exceptions import (
     QPilotError,
 )
 from repro.hardware.fpqa import FPQAConfig
+from repro.obs.events import log_event
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import adopt, span, tracing_enabled
 from repro.service.queue import (
     FAILED,
     CompileRequest,
@@ -183,6 +186,7 @@ class CircuitBreaker:
         if self._state == BREAKER_OPEN and self.clock() >= self.opened_until:
             self._state = BREAKER_HALF_OPEN
             self._probe_claimed = False
+            log_event(logger, "breaker-half-open", trips=self.trips)
         return self._state
 
     def allow_probe(self) -> bool:
@@ -194,6 +198,8 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """A dispatch succeeded: close and reset the consecutive count."""
+        if self._state != BREAKER_CLOSED:
+            log_event(logger, "breaker-closed", trips=self.trips)
         self._state = BREAKER_CLOSED
         self.consecutive_failures = 0
         self._probe_claimed = False
@@ -219,6 +225,7 @@ class CircuitBreaker:
         self.opened_until = self.clock() + self.policy.open_duration(self.trips)
         self.consecutive_failures = 0
         self._probe_claimed = False
+        log_event(logger, "breaker-open", trips=self.trips)
 
 
 @dataclass(frozen=True)
@@ -266,6 +273,12 @@ class CompileResponse:
 @dataclass
 class ServiceStats:
     """Aggregate serving statistics since service construction.
+
+    Since the observability PR this dataclass is a *view*: the counters
+    live in the service's :class:`~repro.obs.metrics.MetricsRegistry`
+    (``service_*`` instruments) and ``CompileService.stats`` builds one
+    of these from the registry on access — there is no second,
+    hand-maintained copy of any number.
 
     The fault-tolerance counters mirror the farm's per-run stats,
     accumulated across every dispatch: ``retries`` (failed attempts that
@@ -411,44 +424,132 @@ class CompileService:
         clock: Callable[[], float] | None = None,
         max_dead_letters: int | None = None,
         evict_lock_stale_s: float | None = None,
+        registry: MetricsRegistry | None = None,
     ):
+        # one registry per service by default, so concurrent services
+        # (and tests) observe only their own traffic; pass
+        # ``registry=repro.obs.REGISTRY`` to publish process-wide
+        self.registry = registry if registry is not None else MetricsRegistry()
         if isinstance(store, ScheduleStore):
             self.store = store
         else:
             store_kwargs: dict[str, Any] = {
                 "memory_entries": memory_entries,
                 "compress": compress,
+                "registry": self.registry,
             }
             if evict_lock_stale_s is not None:
                 store_kwargs["evict_lock_stale_s"] = evict_lock_stale_s
             self.store = ScheduleStore(store, **store_kwargs)
-        self.farm = CompileFarm(executor, max_workers=max_workers, policy=policy)
+        self.farm = CompileFarm(
+            executor, max_workers=max_workers, policy=policy, registry=self.registry
+        )
         self._clock = clock or time.monotonic
         self.queue = JobQueue(
             queue_policy, max_dead_letters=max_dead_letters, clock=self._clock
         )
         self.breaker = CircuitBreaker(breaker, clock=self._clock)
         self.batch_size = batch_size
-        self._stats = ServiceStats()
+        # hot-path instrument handles (the registry get-or-create is
+        # locked; the serving loop should not pay it per request)
+        metric = self.registry.counter
+        self._c_requests = metric("service_requests_total")
+        self._c_coalesced = metric("service_coalesced_total")
+        self._c_cache_hits = metric("service_cache_hits_total")
+        self._c_cache_misses = metric("service_cache_misses_total")
+        self._c_farm_dispatches = metric("service_farm_dispatches_total")
+        self._c_completed = metric("service_completed_total")
+        self._c_busy = metric("service_busy_seconds_total")
+        self._c_retries = metric("service_retries_total")
+        self._c_pool_respawns = metric("service_pool_respawns_total")
+        self._c_timeouts = metric("service_timeouts_total")
+        self._c_failed_jobs = metric("service_failed_jobs_total")
+        self._c_store_write_errors = metric("service_store_write_errors_total")
+        self._c_rejected = metric("service_rejected_total")
+        self._c_rejected_invalid = metric("service_rejected_invalid_total")
+        self._c_shed = metric("service_shed_total")
+        self._c_expired = metric("service_expired_total")
+        self._g_degraded = self.registry.gauge("service_degraded")
 
     # -- stats ----------------------------------------------------------
     @property
     def stats(self) -> ServiceStats:
-        """Live aggregate stats (queue/lane depths and breaker up to date)."""
-        self._stats.queue_depth = self.queue.depth
-        self._stats.lane_depths = self.queue.lane_depths()
-        self._stats.dead_letters_dropped = self.queue.dead_letters_dropped
-        self._stats.breaker_state = self.breaker.current_state()
-        self._stats.breaker_trips = self.breaker.trips
-        return self._stats
+        """Live aggregate stats — a view over the metrics registry."""
+        self._refresh_gauges()
+        return ServiceStats(
+            requests=int(self._c_requests.value),
+            coalesced=int(self._c_coalesced.value),
+            cache_hits=int(self._c_cache_hits.value),
+            cache_misses=int(self._c_cache_misses.value),
+            farm_dispatches=int(self._c_farm_dispatches.value),
+            completed=int(self._c_completed.value),
+            busy_s=float(self._c_busy.value),
+            queue_depth=self.queue.depth,
+            retries=int(self._c_retries.value),
+            pool_respawns=int(self._c_pool_respawns.value),
+            timeouts=int(self._c_timeouts.value),
+            failed_jobs=int(self._c_failed_jobs.value),
+            store_write_errors=int(self._c_store_write_errors.value),
+            degraded=bool(self._g_degraded.value),
+            rejected=int(self._c_rejected.value),
+            rejected_invalid=int(self._c_rejected_invalid.value),
+            shed=int(self._c_shed.value),
+            expired=int(self._c_expired.value),
+            dead_letters_dropped=self.queue.dead_letters_dropped,
+            breaker_state=self.breaker.current_state(),
+            breaker_trips=self.breaker.trips,
+            lane_depths=self.queue.lane_depths(),
+        )
+
+    def _refresh_gauges(self) -> None:
+        """Mirror live queue/breaker readings into registry gauges.
+
+        Called on every stats/exposition access so the gauges in
+        ``stats --metrics`` output match what the :class:`ServiceStats`
+        view reports.
+        """
+        registry = self.registry
+        registry.gauge("service_queue_depth").set(self.queue.depth)
+        for lane, depth in self.queue.lane_depths().items():
+            registry.gauge("service_lane_depth", lane=lane).set(depth)
+        registry.gauge("service_dead_letters_dropped").set(self.queue.dead_letters_dropped)
+        registry.gauge("service_breaker_trips").set(self.breaker.trips)
+        state = self.breaker.current_state()
+        for name in (BREAKER_CLOSED, BREAKER_OPEN, BREAKER_HALF_OPEN):
+            registry.gauge("service_breaker_state", state=name).set(
+                1 if name == state else 0
+            )
+
+    def metrics_dict(self) -> dict[str, Any]:
+        """Registry JSON exposition with gauges refreshed."""
+        self._refresh_gauges()
+        return self.registry.to_dict()
+
+    def metrics_prometheus(self) -> str:
+        """Registry Prometheus text exposition with gauges refreshed."""
+        self._refresh_gauges()
+        return self.registry.to_prometheus()
 
     def _absorb_farm_stats(self) -> None:
         """Fold the farm's last-run fault counters into the service view."""
         last = self.farm.last_stats
-        self._stats.retries += last.get("retries", 0)
-        self._stats.pool_respawns += last.get("pool_respawns", 0)
-        self._stats.timeouts += last.get("timeouts", 0)
-        self._stats.degraded = self._stats.degraded or bool(last.get("degraded"))
+        for counter, key in (
+            (self._c_retries, "retries"),
+            (self._c_pool_respawns, "pool_respawns"),
+            (self._c_timeouts, "timeouts"),
+        ):
+            if last.get(key):
+                counter.inc(last[key])
+        if last.get("degraded"):
+            self._g_degraded.set(1)
+
+    def _observe_compile(self, result: FarmJobResult) -> None:
+        """Record a successful compile in the per-router time histogram."""
+        elapsed = result.metrics.compile_time_s
+        if elapsed is not None:
+            self.registry.histogram(
+                "service_compile_seconds", router=result.router
+            ).observe(elapsed)
 
     # -- persistence -----------------------------------------------------
     def _store_put(self, digest: str, result: FarmJobResult) -> bool:
@@ -460,15 +561,17 @@ class CompileService:
         recompiles).
         """
         try:
-            self.store.put(digest, result)
+            with span("store-write", digest=digest[:12]):
+                self.store.put(digest, result)
             return True
         except Exception as exc:
-            self._stats.store_write_errors += 1
-            logger.warning(
-                "schedule store write failed for %s (%s: %s); serving result anyway",
-                digest[:12],
-                type(exc).__name__,
-                exc,
+            self._c_store_write_errors.inc()
+            log_event(
+                logger,
+                "store-write-failed",
+                digest=digest[:12],
+                error=type(exc).__name__,
+                message=str(exc),
             )
             return False
 
@@ -476,7 +579,14 @@ class CompileService:
         """Fail a ticket with its typed cause and dead-letter it."""
         ticket.fail(error)
         self.queue.bury(ticket)
-        self._stats.failed_jobs += 1
+        self._c_failed_jobs.inc()
+        log_event(
+            logger,
+            "dead-letter",
+            digest=ticket.digest[:12],
+            error=error.error_type,
+            attempts=error.attempts,
+        )
 
     def _expire_ticket(self, ticket: QueuedJob) -> None:
         """Fail a ticket whose deadline ran out; every waiter sees it."""
@@ -487,7 +597,10 @@ class CompileService:
             )
         )
         self.queue.bury(ticket)
-        self._stats.expired += ticket.submissions
+        self._c_expired.inc(ticket.submissions)
+        log_event(
+            logger, "request-expired", digest=ticket.digest[:12], waiters=ticket.submissions
+        )
 
     def _reject_open(self, ticket: QueuedJob) -> None:
         """Fail a cold ticket refused because the breaker is open."""
@@ -498,7 +611,14 @@ class CompileService:
             )
         )
         self.queue.bury(ticket)
-        self._stats.rejected += ticket.submissions
+        self._c_rejected.inc(ticket.submissions)
+        log_event(
+            logger,
+            "request-rejected",
+            digest=ticket.digest[:12],
+            reason="breaker-open",
+            waiters=ticket.submissions,
+        )
 
     def _shed_over_high_water(self) -> None:
         """Drop lowest-priority queued work past the high-water mark."""
@@ -516,7 +636,14 @@ class CompileService:
                 )
             )
             self.queue.bury(ticket)
-            self._stats.shed += ticket.submissions
+            self._c_shed.inc(ticket.submissions)
+            log_event(
+                logger,
+                "request-shed",
+                digest=ticket.digest[:12],
+                lane=ticket.lane,
+                waiters=ticket.submissions,
+            )
 
     def _breaker_admits(self) -> bool:
         """Whether cold dispatch is allowed right now (claims the probe)."""
@@ -538,14 +665,21 @@ class CompileService:
         depth crossed the policy's high-water mark (those tickets fail
         with :class:`~repro.exceptions.LoadShedError`).
         """
-        self._stats.requests += 1
+        self._c_requests.inc()
         try:
             ticket = self.queue.submit(request)
-        except AdmissionError:
-            self._stats.rejected += 1
+        except AdmissionError as exc:
+            self._c_rejected.inc()
+            log_event(
+                logger,
+                "request-rejected",
+                digest=request.digest()[:12],
+                reason="admission",
+                error=type(exc).__name__,
+            )
             raise
         if ticket.submissions > 1:
-            self._stats.coalesced += 1
+            self._c_coalesced.inc()
         self._shed_over_high_water()
         return ticket
 
@@ -573,18 +707,20 @@ class CompileService:
             if ticket.expired(self._clock()):
                 self._expire_ticket(ticket)
                 continue
-            entry = self.store.get(ticket.digest)
+            with span("store-get", digest=ticket.digest[:12]) as get_span:
+                entry = self.store.get(ticket.digest)
+                get_span.set("outcome", "hit" if entry is not None else "miss")
             # re-check after the read: a slow store (``slow-store-read``)
             # can burn the whole budget on the warm path
             if ticket.expired(self._clock()):
                 self._expire_ticket(ticket)
                 continue
             if entry is not None:
-                self._stats.cache_hits += 1
+                self._c_cache_hits.inc()
                 ticket.resolve(CompileResponse.from_store(entry))
                 self.queue.finish(ticket)
             else:
-                self._stats.cache_misses += 1
+                self._c_cache_misses.inc()
                 cold.append(ticket)
         dispatch: list[QueuedJob] = []
         for ticket in cold:
@@ -604,10 +740,22 @@ class CompileService:
                 ready.append(ticket)
                 budgets.append(budget)
             jobs = [ticket.request.job() for ticket in ready]
-            self._stats.farm_dispatches += len(jobs)
+            if jobs and tracing_enabled():
+                # digest/memo keys exclude ``trace``, so flipping it on
+                # changes nothing about what (or under which key) the
+                # farm computes — it only ships span records back
+                jobs = [
+                    replace(job, options=replace(job.options, trace=True))
+                    for job in jobs
+                ]
+            self._c_farm_dispatches.inc(len(jobs))
             try:
                 if jobs:
-                    results = self.farm.run(jobs, with_schedules=True, deadlines=budgets)
+                    with span("farm-dispatch", jobs=len(jobs)):
+                        results = self.farm.run(jobs, with_schedules=True, deadlines=budgets)
+                        for result in results:
+                            if isinstance(result, FarmJobResult) and result.spans:
+                                adopt(result.spans)
                     self._absorb_farm_stats()
                 else:
                     results = []
@@ -626,6 +774,7 @@ class CompileService:
                         self.breaker.record_failure()
                         continue
                     self.breaker.record_success()
+                    self._observe_compile(result)
                     self._store_put(ticket.digest, result)
                     ticket.resolve(CompileResponse.from_farm(ticket.digest, result))
                     self.queue.finish(ticket)
@@ -641,10 +790,10 @@ class CompileService:
         # waiters each count as a completed request, but a failed
         # ticket's submissions were never served and must not inflate
         # completed (and through it throughput_rps) under faults
-        self._stats.completed += sum(
-            ticket.submissions for ticket in batch if ticket.done
-        )
-        self._stats.busy_s += time.perf_counter() - start
+        done = sum(ticket.submissions for ticket in batch if ticket.done)
+        if done:
+            self._c_completed.inc(done)
+        self._c_busy.inc(time.perf_counter() - start)
         return batch
 
     def drain(self) -> list[QueuedJob]:
@@ -670,7 +819,10 @@ class CompileService:
         Coalesces with any identical request already queued (both tickets
         resolve together, in queue order).
         """
-        return self.resolve(self.submit(request))
+        # the root span wraps submit *and* resolve so one traced compile
+        # is a single rooted tree (ingest/store/farm spans nest inside)
+        with span("request", workload=request.workload.name):
+            return self.resolve(self.submit(request))
 
     # -- untrusted ingestion ----------------------------------------------
     def ingest_qasm(self, text: str, *, limits=None, name: str | None = None) -> WorkloadSpec:
@@ -688,9 +840,17 @@ class CompileService:
         Invalid input is **never** dispatched and never dead-letters.
         """
         try:
-            return WorkloadSpec.qasm(text, limits=limits, name=name)
+            with span("ingest", bytes=len(text)):
+                return WorkloadSpec.qasm(text, limits=limits, name=name)
         except CircuitError as exc:
-            self._stats.rejected_invalid += 1
+            self._c_rejected_invalid.inc()
+            log_event(
+                logger,
+                "invalid-circuit",
+                error=type(exc).__name__,
+                line=getattr(exc, "line", None),
+                column=getattr(exc, "column", None),
+            )
             raise InvalidCircuitError(
                 f"invalid QASM circuit rejected: {exc}",
                 line=getattr(exc, "line", None),
@@ -735,7 +895,8 @@ class CompileService:
 
     def compile_qasm(self, text: str, **kwargs) -> CompileResponse:
         """Synchronous convenience: :meth:`submit_qasm` + :meth:`resolve`."""
-        return self.resolve(self.submit_qasm(text, **kwargs))
+        with span("request", workload="qasm"):
+            return self.resolve(self.submit_qasm(text, **kwargs))
 
     # -- cache warming ---------------------------------------------------
     def warm_from(self, sweep: "SweepResult") -> dict[str, int]:
@@ -825,7 +986,7 @@ class CompileService:
         cold_index: dict[str, int] = {}
         default_lane = self.queue.policy.default_lane
         for request in chunk:
-            self._stats.requests += 1
+            self._c_requests.inc()
             digest = request.digest()
             deadline_at = (
                 None
@@ -836,7 +997,7 @@ class CompileService:
                 # already being compiled in this chunk — the shared ticket
                 # will emit one extra response when it resolves, and its
                 # deadline tightens to the strictest waiter's
-                self._stats.coalesced += 1
+                self._c_coalesced.inc()
                 ticket = cold_tickets[cold_index[digest]]
                 ticket.submissions += 1
                 if deadline_at is not None and (
@@ -844,7 +1005,9 @@ class CompileService:
                 ):
                     ticket.deadline_at = deadline_at
                 continue
-            entry = self.store.get(digest)
+            with span("store-get", digest=digest[:12]) as get_span:
+                entry = self.store.get(digest)
+                get_span.set("outcome", "hit" if entry is not None else "miss")
             lane = request.priority if request.priority is not None else default_lane
             if deadline_at is not None and self._clock() >= deadline_at:
                 # the budget is gone already (e.g. a slow store read) —
@@ -856,13 +1019,13 @@ class CompileService:
                 )
                 continue
             if entry is not None:
-                self._stats.cache_hits += 1
-                self._stats.completed += 1
-                self._stats.busy_s += time.perf_counter() - start
+                self._c_cache_hits.inc()
+                self._c_completed.inc()
+                self._c_busy.inc(time.perf_counter() - start)
                 yield CompileResponse.from_store(entry)
                 start = time.perf_counter()
             else:
-                self._stats.cache_misses += 1
+                self._c_cache_misses.inc()
                 cold_index[digest] = len(cold_tickets)
                 cold_tickets.append(
                     QueuedJob(
@@ -887,12 +1050,21 @@ class CompileService:
                 ready.append(ticket)
                 budgets.append(budget)
             jobs = [ticket.request.job() for ticket in ready]
-            self._stats.farm_dispatches += len(jobs)
+            if jobs and tracing_enabled():
+                jobs = [
+                    replace(job, options=replace(job.options, trace=True))
+                    for job in jobs
+                ]
+            self._c_farm_dispatches.inc(len(jobs))
             if jobs:
                 for index, result in self.farm.iter_results(
                     jobs, with_schedules=True, deadlines=budgets
                 ):
                     ticket = ready[index]
+                    if isinstance(result, FarmJobResult) and result.spans:
+                        # graft worker spans under whatever span is live
+                        # on the consumer's thread right now
+                        adopt(result.spans)
                     if isinstance(result, FarmJobError):
                         # the stream keeps flowing for the healthy requests;
                         # the failed ticket is typed + dead-lettered, so
@@ -905,12 +1077,13 @@ class CompileService:
                         self.breaker.record_failure()
                         continue
                     self.breaker.record_success()
+                    self._observe_compile(result)
                     self._store_put(ticket.digest, result)
                     response = CompileResponse.from_farm(ticket.digest, result)
                     ticket.resolve(response)
                     for _ in range(ticket.submissions):
-                        self._stats.completed += 1
-                        self._stats.busy_s += time.perf_counter() - start
+                        self._c_completed.inc()
+                        self._c_busy.inc(time.perf_counter() - start)
                         yield response
                         start = time.perf_counter()
                 self._absorb_farm_stats()

@@ -61,6 +61,7 @@ from __future__ import annotations
 
 import gzip
 import json
+import logging
 import os
 import tempfile
 import time
@@ -73,6 +74,8 @@ from typing import Any, Iterator
 from repro.core.farm import FarmJobResult, PointMetrics
 from repro.core.schedule import FPQASchedule
 from repro.exceptions import QPilotError
+from repro.obs.events import log_event
+from repro.obs.metrics import MetricsRegistry
 from repro.utils.faults import (
     CORRUPT_STORE_ENTRY,
     FAIL_STORE_WRITE,
@@ -81,6 +84,8 @@ from repro.utils.faults import (
     InjectedStoreWriteError,
 )
 from repro.utils.serialization import canonical_json, schedule_from_dict
+
+logger = logging.getLogger(__name__)
 
 _STORE_SCHEMA_VERSION = 2
 
@@ -107,6 +112,11 @@ class StoreStats:
     benchmark's headline numbers).  ``evictions`` counts disk-tier LRU
     evictions, ``memory_evictions`` the in-process tier's.  ``migrated``
     counts legacy schema-version-1 entries rewritten on read.
+
+    Since the observability PR this dataclass is a *view*: the numbers
+    live in the store's :class:`~repro.obs.metrics.MetricsRegistry`
+    (``store_*`` instruments) and ``ScheduleStore.stats`` builds one of
+    these on access — no parallel hand-maintained counters.
     """
 
     hits: int = 0
@@ -241,6 +251,7 @@ class ScheduleStore:
         compress: bool = False,
         faults: FaultPlan | None = None,
         evict_lock_stale_s: float = _EVICT_LOCK_STALE_S,
+        registry: MetricsRegistry | None = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise QPilotError("max_entries must be at least 1")
@@ -255,7 +266,18 @@ class ScheduleStore:
         self.compress = compress
         self.faults = faults
         self.evict_lock_stale_s = evict_lock_stale_s
-        self.stats = StoreStats()
+        # counters live here; ``stats`` is a view built on access (a
+        # service shares its registry with the store it constructs)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        metric = self.registry.counter
+        self._c_memory_hits = metric("store_memory_hits_total")
+        self._c_disk_hits = metric("store_disk_hits_total")
+        self._c_misses = metric("store_misses_total")
+        self._c_writes = metric("store_writes_total")
+        self._c_evictions = metric("store_evictions_total")
+        self._c_memory_evictions = metric("store_memory_evictions_total")
+        self._c_corrupt = metric("store_corrupt_total")
+        self._c_migrated = metric("store_migrated_total")
         # the memory tier: digest -> StoreEntry, most-recently-used last
         self._memory: "OrderedDict[str, StoreEntry]" = OrderedDict()
         # entry count, maintained incrementally so bounded-store writes
@@ -264,6 +286,24 @@ class ScheduleStore:
         # per-digest write/read attempts, so bounded fault rules stop firing
         self._write_attempts: dict[str, int] = {}
         self._read_attempts: dict[str, int] = {}
+
+    # -- stats ----------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """Lifetime counters — a view over the metrics registry."""
+        memory_hits = int(self._c_memory_hits.value)
+        disk_hits = int(self._c_disk_hits.value)
+        return StoreStats(
+            hits=memory_hits + disk_hits,
+            memory_hits=memory_hits,
+            disk_hits=disk_hits,
+            misses=int(self._c_misses.value),
+            writes=int(self._c_writes.value),
+            evictions=int(self._c_evictions.value),
+            memory_evictions=int(self._c_memory_evictions.value),
+            corrupt=int(self._c_corrupt.value),
+            migrated=int(self._c_migrated.value),
+        )
 
     # -- addressing -----------------------------------------------------
     def path_for(self, digest: str) -> Path:
@@ -305,7 +345,7 @@ class ScheduleStore:
         self._memory.move_to_end(digest)
         while len(self._memory) > self.memory_entries:
             self._memory.popitem(last=False)
-            self.stats.memory_evictions += 1
+            self._c_memory_evictions.inc()
 
     # -- lookup ---------------------------------------------------------
     def get(self, digest: str) -> StoreEntry | None:
@@ -332,14 +372,13 @@ class ScheduleStore:
         memory_entry = self._memory.get(digest)
         if memory_entry is not None:
             self._memory.move_to_end(digest)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
+            self._c_memory_hits.inc()
             return memory_entry
         path = self.path_for(digest)
         try:
             raw = path.read_bytes()
         except OSError:
-            self.stats.misses += 1
+            self._c_misses.inc()
             return None
         try:
             if raw[:2] == _GZIP_MAGIC:
@@ -360,8 +399,9 @@ class ScheduleStore:
             zlib.error,
             QPilotError,
         ):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self._c_corrupt.inc()
+            self._c_misses.inc()
+            log_event(logger, "corrupt-entry", digest=digest[:12], path=str(path))
             # a concurrent daemon may have repaired the same bad entry
             # first — its unlink must not crash us, and must not be
             # double-counted: only decrement for a file *we* removed
@@ -377,13 +417,18 @@ class ScheduleStore:
                 if self._count is not None:
                     self._count -= 1
             return None
-        self.stats.hits += 1
-        self.stats.disk_hits += 1
+        self._c_disk_hits.inc()
         if data.get("schema_version") != _STORE_SCHEMA_VERSION:
             # migration-on-read: rewrite the legacy entry at the current
             # schema (and this store's codec); the rewrite refreshes the
             # mtime, doubling as the LRU touch
-            self.stats.migrated += 1
+            self._c_migrated.inc()
+            log_event(
+                logger,
+                "entry-migrated",
+                digest=digest[:12],
+                from_version=data.get("schema_version"),
+            )
             try:
                 self._write_entry_file(path, entry)
             except OSError:
@@ -415,7 +460,7 @@ class ScheduleStore:
         path = self.path_for(digest)
         existed = path.exists()
         self._write_entry_file(path, entry)
-        self.stats.writes += 1
+        self._c_writes.inc()
         if not existed and self._count is not None:
             self._count += 1
         if self.faults is not None and self.faults.should_fire(
@@ -560,6 +605,7 @@ class ScheduleStore:
                 except OSError:
                     return (0.0, path.name)
 
+            removed = 0
             for path in sorted(paths, key=lru_key):
                 if excess <= 0:
                     break
@@ -569,9 +615,14 @@ class ScheduleStore:
                     path.unlink(missing_ok=True)
                     if self._count is not None:
                         self._count -= 1
-                    self.stats.evictions += 1
+                    self._c_evictions.inc()
+                    removed += 1
                     excess -= 1
                 except OSError:
                     pass
+            if removed:
+                log_event(
+                    logger, "store-evicted", removed=removed, max_entries=self.max_entries
+                )
         finally:
             self._release_evict_lock(lock_fd)

@@ -50,12 +50,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, fields
 from typing import Any
 
 from repro.exceptions import QPilotError
+from repro.obs.events import log_event
+
+logger = logging.getLogger(__name__)
 
 #: Fault kinds the registry understands.
 CRASH_WORKER = "crash-worker"
@@ -259,11 +263,18 @@ def inject_compile_faults(
     if plan is None:
         return
     if in_process_worker and plan.should_fire(CRASH_WORKER, key, attempt):
+        log_event(logger, "fault-fired", kind=CRASH_WORKER, key=key, attempt=attempt)
         os._exit(13)  # simulate a hard worker death: no cleanup, no excuses
     duration = plan.sleep_duration(key, attempt)
     if duration > 0:
+        log_event(
+            logger, "fault-fired", kind=SLEEP_IN_COMPILE, key=key, attempt=attempt
+        )
         time.sleep(duration)
     if plan.should_fire(RAISE_IN_COMPILE, key, attempt):
+        log_event(
+            logger, "fault-fired", kind=RAISE_IN_COMPILE, key=key, attempt=attempt
+        )
         raise InjectedCompileError(
             f"injected compile fault for {key!r} (attempt {attempt})"
         )

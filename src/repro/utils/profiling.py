@@ -5,35 +5,24 @@ these to measure router hot paths and to append results to a *trajectory
 file* (``BENCH_compile.json``): a JSON document that accumulates one entry
 per benchmark run so that successive performance PRs can be compared
 against each other without digging through git history.
+
+Since the observability PR there is exactly one timing implementation in
+the repo: :class:`Timer` and :class:`TrajectoryRecorder` are re-exports
+of the :mod:`repro.obs` primitives (`repro.obs.tracing.Timer` is also
+what spans use internally), and :func:`time_call` is built on
+:class:`Timer`.  The public API here is unchanged — existing imports of
+``repro.utils.profiling`` keep working.
 """
 
 from __future__ import annotations
 
-import json
 import math
-import time
-from pathlib import Path
 from typing import Any, Callable
 
+from repro.obs.metrics import TrajectoryRecorder
+from repro.obs.tracing import Timer
 
-class Timer:
-    """Context manager measuring wall-clock seconds.
-
-    >>> with Timer() as t:
-    ...     do_work()
-    >>> t.elapsed  # seconds
-    """
-
-    def __init__(self) -> None:
-        self.elapsed = 0.0
-        self._start = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+__all__ = ["Timer", "TrajectoryRecorder", "time_call"]
 
 
 def time_call(
@@ -57,45 +46,7 @@ def time_call(
     best = math.inf
     result: Any = None
     for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn(*args, **kwargs)
-        best = min(best, time.perf_counter() - start)
+        with Timer() as timer:
+            result = fn(*args, **kwargs)
+        best = min(best, timer.elapsed)
     return result, best
-
-
-class TrajectoryRecorder:
-    """Append benchmark entries to a JSON trajectory file.
-
-    The file holds ``{"benchmark": ..., "entries": [...]}``; every
-    :meth:`record` call appends one entry with a timestamp, so the file
-    grows by one entry per benchmark run and preserves the full history.
-    """
-
-    def __init__(self, path: str | Path, benchmark: str):
-        self.path = Path(path)
-        self.benchmark = benchmark
-
-    def load(self) -> dict:
-        if self.path.exists():
-            try:
-                document = json.loads(self.path.read_text())
-            except (ValueError, OSError):
-                document = None
-            if isinstance(document, dict) and isinstance(document.get("entries"), list):
-                return document
-            # unreadable or malformed: move it aside so record() never
-            # overwrites the accumulated trajectory history
-            backup = self.path.with_name(self.path.name + ".corrupt")
-            try:
-                self.path.replace(backup)
-            except OSError:
-                pass
-        return {"benchmark": self.benchmark, "entries": []}
-
-    def record(self, entry: dict) -> dict:
-        """Append ``entry`` (timestamped) and write the file back."""
-        document = self.load()
-        stamped = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"), **entry}
-        document["entries"].append(stamped)
-        self.path.write_text(json.dumps(document, indent=1, sort_keys=False) + "\n")
-        return stamped
